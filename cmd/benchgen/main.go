@@ -1,0 +1,70 @@
+// Command benchgen emits registry circuits as ISCAS-89 .bench netlists,
+// so the synthetic analogs can be inspected or fed to external tools.
+//
+// Usage:
+//
+//	benchgen -circuit s208            # to stdout
+//	benchgen -all -dir ./netlists     # one file per circuit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"limscan/internal/bench"
+	"limscan/internal/bmark"
+)
+
+func main() {
+	var (
+		name = flag.String("circuit", "", "registry circuit to emit")
+		all  = flag.Bool("all", false, "emit every registry circuit")
+		dir  = flag.String("dir", "", "output directory (required with -all)")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		if *dir == "" {
+			fail(fmt.Errorf("-all requires -dir"))
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fail(err)
+		}
+		for _, n := range bmark.Names() {
+			c, err := bmark.Load(n)
+			if err != nil {
+				fail(err)
+			}
+			f, err := os.Create(filepath.Join(*dir, n+".bench"))
+			if err != nil {
+				fail(err)
+			}
+			if err := bench.Write(f, c); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", filepath.Join(*dir, n+".bench"))
+		}
+	case *name != "":
+		c, err := bmark.Load(*name)
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.Write(os.Stdout, c); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("one of -circuit or -all is required"))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+	os.Exit(1)
+}

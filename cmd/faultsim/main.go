@@ -1,0 +1,116 @@
+// Command faultsim is a standalone stuck-at fault simulator for scan
+// tests: it generates (or is told) a random test session and reports
+// fault coverage, optionally listing undetected faults.
+//
+// Usage:
+//
+//	faultsim -circuit s298 -n 32 -len 16 [-seed 1] [-undetected] [-classify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"limscan/internal/atpg"
+	"limscan/internal/bmark"
+	"limscan/internal/core"
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+	"limscan/internal/report"
+	"limscan/internal/stafan"
+)
+
+func main() {
+	var (
+		name       = flag.String("circuit", "", "registry circuit name")
+		n          = flag.Int("n", 32, "number of random tests")
+		length     = flag.Int("len", 16, "vectors per test")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		undetected = flag.Bool("undetected", false, "list undetected faults")
+		classify   = flag.Bool("classify", false, "ATPG-classify undetected faults")
+		estimate   = flag.Bool("estimate", false, "print STAFAN detection-probability estimates for undetected faults")
+		trans      = flag.Bool("trans", false, "simulate the transition (gross-delay) fault universe instead of stuck-at")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "faultsim: -circuit is required")
+		os.Exit(2)
+	}
+	c, err := bmark.Load(*name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	// A session of 2n tests, half of each length (reusing the TS0
+	// generator with LA = LB = length is fine for a plain session; use
+	// n/2 each to honor -n).
+	cfg := core.Config{LA: *length, LB: *length, N: (*n + 1) / 2, Seed: *seed}
+	tests := core.GenerateTS0(c, cfg)
+	if len(tests) > *n {
+		tests = tests[:*n]
+	}
+
+	var reps []fault.Fault
+	total := 0
+	if *trans {
+		reps = fault.TransitionUniverse(c)
+		total = len(reps)
+	} else {
+		var sizes []int
+		reps, sizes = fault.Collapse(c, fault.Universe(c))
+		for _, s := range sizes {
+			total += s
+		}
+	}
+	fs := fault.NewSet(reps)
+	s := fsim.New(c)
+	start := time.Now()
+	st, err := s.Run(tests, fs, fsim.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	if *trans {
+		fmt.Printf("circuit %s: %d transition faults\n", c.Name, len(reps))
+	} else {
+		fmt.Printf("circuit %s: %d collapsed faults (%d uncollapsed)\n", c.Name, len(reps), total)
+	}
+	fmt.Printf("session: %d tests, %s clock cycles\n", len(tests), report.Cycles(st.Cycles))
+	fmt.Printf("detected %d/%d (%.2f%%) in %s (%.0f cycles/s simulated)\n",
+		st.Detected, len(reps), float64(st.Detected)/float64(len(reps))*100,
+		elapsed.Round(time.Millisecond),
+		float64(st.Cycles)/elapsed.Seconds())
+
+	if *classify {
+		eng := atpg.New(c)
+		sum := atpg.Classify(eng, fs)
+		fmt.Printf("ATPG: %d testable, %d untestable, %d aborted\n",
+			sum.Testable, sum.Untestable, sum.Aborted)
+		den := len(reps) - sum.Untestable
+		if den > 0 {
+			fmt.Printf("coverage of detectable faults: %.2f%%\n",
+				float64(fs.Count(fault.Detected))/float64(den)*100)
+		}
+	}
+	if *undetected || *estimate {
+		var ta *stafan.Analysis
+		if *estimate {
+			ta = stafan.Analyze(c, 64*256, *seed)
+		}
+		for i, f := range reps {
+			if fs.State[i] == fault.Undetected || fs.State[i] == fault.Aborted {
+				if ta != nil {
+					fmt.Printf("  undetected: %-30s p(detect/pattern) ~ %.2e\n",
+						f.Pretty(c), ta.DetectProb(f))
+				} else {
+					fmt.Printf("  undetected: %s\n", f.Pretty(c))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Command limscan runs the paper's limited-scan BIST flow on one
+// circuit: generate TS0, run Procedure 2, and report the selected (I,D1)
+// pairs, coverage and clock-cycle cost.
+//
+// Usage:
+//
+//	limscan -circuit s208 [-la 8 -lb 16 -n 64] [-seed 1] [-desc]
+//	limscan -bench path/to/netlist.bench [...]
+//	limscan -circuit s420 -auto        # search combinations in Ncyc0 order
+//	limscan -list                      # show the benchmark registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"limscan/internal/bmark"
+	"limscan/internal/circuit"
+	"limscan/internal/core"
+	"limscan/internal/report"
+	"limscan/internal/vectors"
+)
+
+func main() {
+	var (
+		name    = flag.String("circuit", "", "registry circuit name (see -list)")
+		path    = flag.String("bench", "", "path to a .bench netlist (alternative to -circuit)")
+		la      = flag.Int("la", 8, "test length L_A")
+		lb      = flag.Int("lb", 16, "test length L_B")
+		n       = flag.Int("n", 64, "tests per length (N)")
+		seed    = flag.Uint64("seed", 1, "campaign base seed")
+		desc    = flag.Bool("desc", false, "use the descending D1 order 10..1 (Table 7 mode)")
+		auto    = flag.Bool("auto", false, "search (LA,LB,N) combinations in Ncyc0 order for complete coverage")
+		combos  = flag.Int("maxcombos", 16, "combinations tried with -auto")
+		list    = flag.Bool("list", false, "list the benchmark registry and exit")
+		verbose = flag.Bool("v", false, "print per-pair details")
+		export  = flag.String("export", "", "write the selected test program (TS0 + all selected TS(I,D1)) to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, nm := range bmark.Names() {
+			c, err := bmark.Load(nm)
+			if err != nil {
+				fail(err)
+			}
+			s := c.Stats()
+			fmt.Printf("%-8s %4d PI  %4d PO  %5d FF  %6d gates  depth %d\n",
+				nm, s.PIs, s.POs, s.FFs, s.Gates, s.Depth)
+		}
+		return
+	}
+
+	c := loadCircuit(*name, *path)
+	var d1 []int
+	if *desc {
+		d1 = core.DescendingD1()
+	}
+	r := core.NewRunner(c)
+	start := time.Now()
+
+	var res *core.Result
+	if *auto {
+		out, err := r.FirstComplete(core.CampaignOptions{
+			Base:      core.Config{Seed: *seed, D1Order: d1},
+			MaxCombos: *combos,
+		})
+		if err != nil {
+			fail(err)
+		}
+		res = out.Best
+		if out.Chosen != nil {
+			res = out.Chosen
+		}
+		fmt.Printf("searched %d combinations\n", out.Tried)
+	} else {
+		var err error
+		res, err = r.RunProcedure2(core.Config{LA: *la, LB: *lb, N: *n, Seed: *seed, D1Order: d1})
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	cfg := res.Config
+	fmt.Printf("circuit %s: %d PIs, %d POs, %d state variables\n",
+		c.Name, c.NumPI(), c.NumPO(), c.NumSV())
+	fmt.Printf("parameters LA=%d LB=%d N=%d seed=%d\n", cfg.LA, cfg.LB, cfg.N, cfg.Seed)
+	fmt.Printf("faults: %d collapsed, %d untestable, %d aborted\n",
+		res.TotalFaults, res.Untestable, res.Aborted)
+	fmt.Printf("TS0: %d detected, %s cycles\n",
+		res.InitialDetected, report.Cycles(res.InitialCycles))
+	fmt.Printf("with limited scan: %d pairs, %d detected, %s cycles, ls=%.2f\n",
+		len(res.Pairs), res.Detected, report.Cycles(res.TotalCycles), res.AvgLS)
+	fmt.Printf("coverage %.2f%% (complete=%v) in %s\n",
+		res.Coverage()*100, res.Complete, time.Since(start).Round(time.Millisecond))
+	if *verbose {
+		for _, p := range res.Pairs {
+			fmt.Printf("  pair (I=%d, D1=%d): +%d faults, %s cycles\n",
+				p.I, p.D1, p.Detected, report.Cycles(p.Cycles))
+		}
+	}
+	if *export != "" {
+		if err := exportProgram(*export, c, res); err != nil {
+			fail(err)
+		}
+		fmt.Printf("test program written to %s\n", *export)
+	}
+}
+
+// exportProgram regenerates the full selected test program — TS0 followed
+// by every selected TS(I,D1) — and writes it in the vectors format.
+func exportProgram(path string, c *circuit.Circuit, res *core.Result) error {
+	cfg := res.Config
+	prog := &vectors.Program{Circuit: c.Name, NSV: c.NumSV(), NPI: c.NumPI()}
+	ts0 := core.GenerateTS0(c, cfg)
+	prog.Tests = append(prog.Tests, ts0...)
+	for _, p := range res.Pairs {
+		prog.Tests = append(prog.Tests, core.InsertLimitedScans(c, ts0, p.I, p.D1, cfg)...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := vectors.Write(f, prog); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func loadCircuit(name, path string) *circuit.Circuit {
+	switch {
+	case name != "" && path != "":
+		fail(fmt.Errorf("use either -circuit or -bench, not both"))
+	case name != "":
+		c, err := bmark.Load(name)
+		if err != nil {
+			fail(err)
+		}
+		return c
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		c, err := parseBench(path, f)
+		if err != nil {
+			fail(err)
+		}
+		return c
+	}
+	fail(fmt.Errorf("one of -circuit or -bench is required (try -list)"))
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "limscan: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"io"
+
+	"limscan/internal/bench"
+	"limscan/internal/circuit"
+)
+
+func parseBench(name string, r io.Reader) (*circuit.Circuit, error) {
+	return bench.Parse(name, r)
+}

@@ -1,0 +1,71 @@
+// Command tables regenerates the tables of the paper's evaluation
+// section from the reproduction. With no flags it produces every table
+// on the default circuit lists; -table selects one, -quick shrinks the
+// workloads for a fast demonstration.
+//
+// Usage:
+//
+//	tables [-table N] [-circuits a,b,c] [-seed S] [-maxcombos K] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"limscan/internal/bmark"
+	"limscan/internal/tables"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "table to regenerate (1-9); 0 means all")
+		circuits  = flag.String("circuits", "", "comma-separated circuit names (default: per-table lists)")
+		seed      = flag.Uint64("seed", 1, "campaign base seed")
+		maxCombos = flag.Int("maxcombos", 16, "max (LA,LB,N) combinations tried per circuit")
+		quick     = flag.Bool("quick", false, "shrink workloads for a fast run")
+	)
+	flag.Parse()
+
+	var names []string
+	if *circuits != "" {
+		for _, n := range strings.Split(*circuits, ",") {
+			n = strings.TrimSpace(n)
+			if !bmark.Has(n) {
+				fmt.Fprintf(os.Stderr, "tables: unknown circuit %q (known: %s)\n",
+					n, strings.Join(bmark.Names(), ", "))
+				os.Exit(2)
+			}
+			names = append(names, n)
+		}
+	}
+	o := tables.Options{Seed: *seed, MaxCombos: *maxCombos, Quick: *quick}
+
+	gens := map[int]func() string{
+		1: func() string { return tables.Table1(o) },
+		2: func() string { return tables.Table2(o) },
+		3: func() string { return tables.Table3(o) },
+		4: func() string { return tables.Table4(o) },
+		5: func() string { return tables.Table5(o) },
+		6: func() string { return tables.Table6(names, o) },
+		7: func() string { return tables.Table7(names, o) },
+		8: func() string { return tables.Table8(names, o) },
+		9: func() string { return tables.Table9(names, o) },
+	}
+	order := []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if *table != 0 {
+		if _, ok := gens[*table]; !ok {
+			fmt.Fprintf(os.Stderr, "tables: no table %d (valid: 1-9)\n", *table)
+			os.Exit(2)
+		}
+		order = []int{*table}
+	}
+	for _, n := range order {
+		start := time.Now()
+		out := gens[n]()
+		fmt.Print(out)
+		fmt.Printf("[table %d generated in %s]\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,49 @@
+package limscan_test
+
+import (
+	"fmt"
+
+	"limscan"
+)
+
+// The paper's Section 2 shift semantics: the s27 state 010 shifted one
+// position to the right with fill bit 0 becomes 001.
+func ExampleVec_shift() {
+	state := limscan.MustVec("010")
+	out := state.ShiftRight(0)
+	fmt.Println(state.String(), "shifted-out bit:", out)
+	// Output: 001 shifted-out bit: 0
+}
+
+// The closed-form cost of the base test set TS0, pinned to the first row
+// of the paper's Table 5 (N_SV = 21, L_A = 8, L_B = 16, N = 64).
+func ExampleCostModel_ncyc0() {
+	m := limscan.CostModel{NSV: 21}
+	fmt.Println(m.Ncyc0(8, 16, 64))
+	// Output: 4245
+}
+
+// Loading the embedded real s27 netlist.
+func ExampleLoadBenchmark() {
+	c, err := limscan.LoadBenchmark("s27")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d PIs, %d POs, %d flip-flops\n",
+		c.Name, c.NumPI(), c.NumPO(), c.NumSV())
+	// Output: s27: 4 PIs, 1 POs, 3 flip-flops
+}
+
+// The paper's parameter grid in N_cyc0 order: the first combination for
+// a 21-flip-flop scan chain is (8, 16, 64), as in Table 5.
+func ExampleCombos() {
+	first := limscan.Combos(21)[0]
+	fmt.Printf("LA=%d LB=%d N=%d Ncyc0=%d\n", first.LA, first.LB, first.N, first.Ncyc0)
+	// Output: LA=8 LB=16 N=64 Ncyc0=4245
+}
+
+// Humanized cycle counts in the paper's table style.
+func ExampleHumanCycles() {
+	fmt.Println(limscan.HumanCycles(25450), limscan.HumanCycles(3800000))
+	// Output: 25.4K 3.8M
+}

@@ -1,0 +1,103 @@
+// Atspeed: the Table 7 study — how the D1 search order trades at-speed
+// sequence length against storage.
+//
+// Procedure 2 prefers whichever D1 it tries first. Ascending order
+// (1,2,...,10) picks small D1 values: many limited scans, short at-speed
+// runs between scan operations (high ls). Descending order (10,...,1)
+// yields fewer limited scans and longer at-speed runs (low ls), usually
+// at the cost of more stored (I,D1) pairs. The ls statistic printed here
+// is the paper's: 1/ls is the average at-speed sequence length between
+// scan operations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"limscan"
+)
+
+func main() {
+	circuits := flag.String("circuits", "s208,s298,s382", "comma-separated registry circuits")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "circuit\torder\tapp\tdet\tcycles\tls\tavg at-speed run\ttransition cov\t")
+	for _, name := range splitList(*circuits) {
+		c, err := limscan.LoadBenchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := limscan.NewRunner(c)
+		// Pick the first complete combination with the default order,
+		// then rerun the same combination with the descending order.
+		out, err := r.FirstComplete(limscan.CampaignOptions{
+			Base: limscan.Config{Seed: *seed}, MaxCombos: 10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out.Chosen == nil {
+			fmt.Fprintf(w, "%s\t(no complete combination in range)\t\t\t\t\t\t\n", name)
+			continue
+		}
+		// Transition coverage is why at-speed run length matters: replay
+		// the whole selected test program against the transition fault
+		// universe. Longer runs (lower ls) mean more launch-on-capture
+		// pairs.
+		tdfCov := func(res *limscan.Result) string {
+			cfg := res.Config
+			ts0 := limscan.GenerateTS0(c, cfg)
+			program := append([]limscan.Test(nil), ts0...)
+			for _, p := range res.Pairs {
+				program = append(program, limscan.InsertLimitedScans(c, ts0, p.I, p.D1, cfg)...)
+			}
+			tfs := limscan.NewFaultSet(limscan.TransitionFaults(c))
+			det, _, err := limscan.SimulateTests(c, program, tfs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return fmt.Sprintf("%.1f%%", float64(det)/float64(len(tfs.Faults))*100)
+		}
+		show := func(label string, res *limscan.Result) {
+			run := "-"
+			if res.AvgLS > 0 {
+				run = fmt.Sprintf("%.1f vectors", 1/res.AvgLS)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%.2f\t%s\t%s\t\n",
+				name, label, len(res.Pairs), res.Detected,
+				limscan.HumanCycles(res.TotalCycles), res.AvgLS, run, tdfCov(res))
+		}
+		show("D1=1..10", out.Chosen)
+
+		cfg := out.Chosen.Config
+		cfg.D1Order = limscan.DescendingD1()
+		res, err := r.RunProcedure2(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		show("D1=10..1", res)
+	}
+	w.Flush()
+	fmt.Println("\nThe transition column is the point of at-speed testing: delay")
+	fmt.Println("defects need launch-on-capture pairs, which only uninterrupted")
+	fmt.Println("functional runs provide — the paper's case for larger D1 values.")
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Bistflow: the complete BIST engineering flow around the paper's method.
+//
+// The paper provides the random pattern generator; a shipping BIST also
+// needs response compaction (here: a MISR signature register instead of a
+// golden-stream comparator) and, when a handful of faults have
+// impractically small random detection probability, a deterministic
+// top-off. This example runs the whole pipeline on one circuit:
+//
+//  1. TS0 and Procedure 2 (random limited scan) to near-complete coverage,
+//  2. the same session re-judged through a 24-bit MISR to quantify
+//     compaction aliasing,
+//  3. weighted random patterns as the classic alternative, for contrast,
+//  4. deterministic ATPG top-off of whatever random left behind.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"limscan"
+)
+
+func main() {
+	name := flag.String("circuit", "s953", "registry circuit")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	c, err := limscan.LoadBenchmark(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := limscan.Config{LA: 8, LB: 16, N: 64, Seed: *seed}
+	faults := limscan.CollapsedFaults(c)
+	fmt.Printf("%s: %d collapsed faults\n\n", c.Name, len(faults))
+
+	// 1. The paper's method.
+	r := limscan.NewRunner(c)
+	res, err := r.RunProcedure2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("random limited scan: TS0 %d, +%d pairs -> %d/%d (%.2f%%), %s cycles\n",
+		res.InitialDetected, len(res.Pairs), res.Detected, res.TotalFaults,
+		res.Coverage()*100, limscan.HumanCycles(res.TotalCycles))
+
+	// 2. Compaction aliasing: judge the TS0 session by MISR signature.
+	ts0 := limscan.GenerateTS0(c, cfg)
+	exact := limscan.NewFaultSet(faults)
+	dExact, _, err := limscan.SimulateTests(c, ts0, exact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	misr := limscan.NewFaultSet(faults)
+	dMISR, _, err := limscan.SimulateTestsMISR(c, ts0, misr, 24)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("response compaction:  exact compare %d, 24-bit MISR %d (aliased %d)\n",
+		dExact, dMISR, dExact-dMISR)
+
+	// 3. Weighted random patterns on the same budget.
+	w := limscan.ComputeWeights(c)
+	wts, err := limscan.GenerateWeightedTS0(c, cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weighted := limscan.NewFaultSet(faults)
+	dW, _, err := limscan.SimulateTests(c, wts, weighted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weighted random TS0:  %d detected (plain TS0: %d)\n", dW, dExact)
+
+	// 4. Deterministic top-off of the random campaign's leftovers.
+	fs := limscan.NewFaultSet(faults)
+	if _, _, err := limscan.SimulateTests(c, ts0, fs); err != nil {
+		log.Fatal(err)
+	}
+	top, err := r.TopOff(fs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deterministic top-off after TS0 alone: %d tests add %d faults (%d proven untestable), %s cycles\n",
+		len(top.Tests), top.Detected, top.Proven, limscan.HumanCycles(top.Cycles))
+}

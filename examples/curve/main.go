@@ -1,0 +1,91 @@
+// Curve: coverage versus clock cycles, the figure the paper never drew.
+//
+// Three campaigns on the same circuit and fault list:
+//
+//   - TS0 alone (complete scans only, the paper's baseline test set),
+//   - TS0 followed by the selected limited-scan test sets,
+//   - the [5]/[6]-style multi-chain baseline on the same cycle budget,
+//
+// plus the STAFAN-predicted random-pattern coverage for reference. The
+// curve makes the paper's argument visually: random coverage saturates,
+// and the limited-scan sets push through the plateau.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"limscan"
+)
+
+func main() {
+	name := flag.String("circuit", "s420", "registry circuit")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	c, err := limscan.LoadBenchmark(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults := limscan.CollapsedFaults(c)
+	cfg := limscan.Config{LA: 8, LB: 16, N: 64, Seed: *seed}
+
+	// Campaign with limited scan: TS0 then each selected TS(I,D1).
+	r := limscan.NewRunner(c)
+	res, err := r.RunProcedure2(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts0 := limscan.GenerateTS0(c, cfg)
+	program := append([]limscan.Test(nil), ts0...)
+	for _, p := range res.Pairs {
+		program = append(program, limscan.InsertLimitedScans(c, ts0, p.I, p.D1, cfg)...)
+	}
+	fs := limscan.NewFaultSet(faults)
+	curve, err := limscan.NewRunner(c).CoverageCurve(program, fs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// STAFAN prediction for pure random patterns.
+	ta := limscan.AnalyzeTestability(c, 64*256, *seed)
+
+	total := float64(len(faults))
+	fmt.Printf("%s: %d collapsed faults, TS0 = %d tests, +%d limited-scan sets\n\n",
+		c.Name, len(faults), len(ts0), len(res.Pairs))
+	fmt.Println("cycles      tests  detected  coverage  predicted(random)  ")
+	// Sample the curve at a dozen points plus every set boundary.
+	step := len(curve) / 12
+	if step == 0 {
+		step = 1
+	}
+	vectorsSoFar := func(tests int) int {
+		n := 0
+		for i := 0; i < tests; i++ {
+			n += program[i].Len()
+		}
+		return n
+	}
+	for i := 0; i < len(curve); i++ {
+		boundary := (i+1)%len(ts0) == 0
+		if !boundary && (i+1)%step != 0 {
+			continue
+		}
+		pt := curve[i]
+		cov := float64(pt.Detected) / total
+		pred := ta.ExpectedCoverage(faults, vectorsSoFar(pt.Tests))
+		bar := strings.Repeat("#", int(cov*40))
+		tag := ""
+		if boundary {
+			tag = fmt.Sprintf("  <- end of set %d", (i+1)/len(ts0))
+		}
+		fmt.Printf("%-10s  %-5d  %-8d  %6.2f%%  %6.2f%%  |%-40s|%s\n",
+			limscan.HumanCycles(pt.Cycles), pt.Tests, pt.Detected,
+			cov*100, pred*100, bar, tag)
+	}
+	fmt.Printf("\nfinal: %d/%d detected (%.2f%% of all, %.2f%% of detectable)\n",
+		res.Detected, res.TotalFaults,
+		float64(res.Detected)/total*100, res.Coverage()*100)
+}

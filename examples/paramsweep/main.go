@@ -1,0 +1,64 @@
+// Paramsweep: the trade-off study of Tables 3 and 4.
+//
+// For one circuit it sweeps (L_A, L_B, N) combinations, runs Procedure 2
+// on each, and prints the TS0 cost N_cyc0 next to the total cost N_cyc of
+// reaching complete coverage — illustrating the paper's observation that
+// a larger (more expensive) TS0 sometimes lowers the total cost because
+// fewer (I, D1) applications are needed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"limscan"
+)
+
+func main() {
+	name := flag.String("circuit", "s208", "registry circuit to sweep")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	maxCombos := flag.Int("combos", 10, "combinations to evaluate (in Ncyc0 order)")
+	flag.Parse()
+
+	c, err := limscan.LoadBenchmark(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := limscan.NewRunner(c)
+	fmt.Printf("sweeping %s (N_SV = %d), %d combinations by increasing Ncyc0\n\n",
+		c.Name, c.NumSV(), *maxCombos)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "LA\tLB\tN\tNcyc0\tapp\tNcyc\tcoverage\t")
+	bestTotal := int64(0)
+	var bestCfg limscan.Config
+	for i, combo := range limscan.Combos(c.NumSV()) {
+		if i >= *maxCombos {
+			break
+		}
+		cfg := limscan.Config{LA: combo.LA, LB: combo.LB, N: combo.N, Seed: *seed}
+		res, err := r.RunProcedure2(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ncyc := "-"
+		if res.Complete {
+			ncyc = limscan.HumanCycles(res.TotalCycles)
+			if bestTotal == 0 || res.TotalCycles < bestTotal {
+				bestTotal, bestCfg = res.TotalCycles, cfg
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%s\t%.2f%%\t\n",
+			combo.LA, combo.LB, combo.N, combo.Ncyc0, len(res.Pairs), ncyc, res.Coverage()*100)
+	}
+	w.Flush()
+	if bestTotal > 0 {
+		fmt.Printf("\ncheapest complete combination: LA=%d LB=%d N=%d at %s cycles\n",
+			bestCfg.LA, bestCfg.LB, bestCfg.N, limscan.HumanCycles(bestTotal))
+	} else {
+		fmt.Println("\nno combination in range reached complete coverage (dash rows only)")
+	}
+}

@@ -1,0 +1,66 @@
+// Partialscan: the paper's concluding remark, made concrete.
+//
+// "We considered full scan circuits in this work. However, limited scan
+// can be used to improve the fault coverage for partial scan circuits as
+// well."
+//
+// This example scans only every other flip-flop of a circuit, runs TS0
+// and Procedure 2 under that partial-scan plan, and shows that limited
+// scan operations still add detections — with a cheaper scan chain (the
+// complete scan operation costs only chain-length clocks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"limscan"
+)
+
+func main() {
+	name := flag.String("circuit", "s420", "registry circuit")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	c, err := limscan.LoadBenchmark(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var scanned []int
+	for pos := 0; pos < c.NumSV(); pos += 2 {
+		scanned = append(scanned, pos)
+	}
+	plan, err := limscan.PartialScan(c.NumSV(), scanned)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d flip-flops, %d on the scan chain (every other one)\n\n",
+		c.Name, c.NumSV(), plan.Len())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "plan\tTS0 det\tTS0 cycles\tpairs\tfinal det\ttotal cycles\tcoverage\t")
+	run := func(label string, plan limscan.ScanPlan) {
+		r, err := limscan.NewRunnerWithPlan(c, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := r.RunProcedure2(limscan.Config{LA: 8, LB: 16, N: 64, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%d\t%s\t%.2f%%\t\n",
+			label, res.InitialDetected, limscan.HumanCycles(res.InitialCycles),
+			len(res.Pairs), res.Detected, limscan.HumanCycles(res.TotalCycles),
+			res.Coverage()*100)
+	}
+	run("full scan", limscan.FullScan(c.NumSV()))
+	run("partial scan", plan)
+	w.Flush()
+
+	fmt.Println("\nNote: under partial scan, \"coverage\" uses the full-scan")
+	fmt.Println("detectability denominator, so it is a lower bound; the point is")
+	fmt.Println("the gain from the limited-scan pairs, which survives partial scan.")
+}

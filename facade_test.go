@@ -1,0 +1,191 @@
+package limscan_test
+
+// Exercises the facade wrappers end to end, so the public API surface is
+// covered by tests of its own rather than only through internal packages.
+
+import (
+	"bytes"
+	"testing"
+
+	"limscan"
+)
+
+func TestFacadePartialScanFlow(t *testing.T) {
+	c, err := limscan.LoadBenchmark("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := limscan.FullScan(c.NumSV())
+	if !full.IsFull() || full.Len() != c.NumSV() {
+		t.Fatal("FullScan plan wrong")
+	}
+	plan, err := limscan.PartialScan(c.NumSV(), []int{0, 2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.IsFull() || plan.Len() != 4 {
+		t.Fatal("PartialScan plan wrong")
+	}
+	mask := plan.Scanned()
+	if !mask[0] || mask[1] {
+		t.Fatal("Scanned mask wrong")
+	}
+	cfg := limscan.Config{LA: 4, LB: 8, N: 8, Seed: 1}
+	ts0 := limscan.GenerateTS0WithPlan(c, plan, cfg)
+	if ts0[0].SI.Len() != 4 {
+		t.Fatalf("partial SI has %d bits", ts0[0].SI.Len())
+	}
+	ts := limscan.InsertLimitedScansWithPlan(c, plan, ts0, 1, 2, cfg)
+	fs := limscan.NewFaultSet(limscan.CollapsedFaults(c))
+	det, cycles, err := limscan.SimulateTestsWithPlan(c, plan, ts, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det == 0 || cycles == 0 {
+		t.Error("partial-scan simulation detected nothing")
+	}
+	r, err := limscan.NewRunnerWithPlan(c, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunProcedure2(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeProgramRoundTrip(t *testing.T) {
+	c, err := limscan.LoadBenchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := limscan.Config{LA: 2, LB: 4, N: 2, Seed: 1}
+	prog := &limscan.Program{Circuit: c.Name, NSV: c.NumSV(), NPI: c.NumPI()}
+	prog.Tests = limscan.GenerateTS0(c, cfg)
+	var buf bytes.Buffer
+	if err := limscan.WriteProgram(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	back, err := limscan.ParseProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tests) != len(prog.Tests) {
+		t.Error("round trip changed test count")
+	}
+}
+
+func TestFacadeTransitionFaults(t *testing.T) {
+	c, err := limscan.LoadBenchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := limscan.TransitionFaults(c)
+	// 4 PIs + 10 combinational gates, two polarities each.
+	if len(tf) != 28 {
+		t.Fatalf("transition universe = %d, want 28", len(tf))
+	}
+	cfg := limscan.Config{LA: 8, LB: 16, N: 16, Seed: 1}
+	fs := limscan.NewFaultSet(tf)
+	det, _, err := limscan.SimulateTests(c, limscan.GenerateTS0(c, cfg), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det == 0 {
+		t.Error("no transition faults detected by an at-speed session")
+	}
+}
+
+func TestFacadeClassifyAndWeights(t *testing.T) {
+	c, err := limscan.LoadBenchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := limscan.NewFaultSet(limscan.CollapsedFaults(c))
+	testable, untestable, aborted := limscan.ClassifyFaults(c, fs)
+	if testable+untestable+aborted != len(fs.Faults) {
+		t.Error("classification tally wrong")
+	}
+	w := limscan.ComputeWeights(c)
+	if len(w) != c.NumPI() {
+		t.Fatal("weights length wrong")
+	}
+	wts, err := limscan.GenerateWeightedTS0(c, limscan.Config{LA: 2, LB: 4, N: 2, Seed: 1}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wts) != 4 {
+		t.Error("weighted TS0 size wrong")
+	}
+}
+
+func TestFacadeTestability(t *testing.T) {
+	c, err := limscan.LoadBenchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := limscan.AnalyzeTestability(c, 64*16, 1)
+	for _, f := range limscan.CollapsedFaults(c) {
+		p := ta.DetectProb(f)
+		if p < 0 || p > 1 {
+			t.Fatalf("DetectProb out of range: %v", p)
+		}
+	}
+}
+
+func TestFacadeMISRAndGoodSim(t *testing.T) {
+	c, err := limscan.LoadBenchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := limscan.Config{LA: 4, LB: 8, N: 4, Seed: 2}
+	tests := limscan.GenerateTS0(c, cfg)
+	fs := limscan.NewFaultSet(limscan.CollapsedFaults(c))
+	det, _, err := limscan.SimulateTestsMISR(c, tests, fs, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det == 0 {
+		t.Error("MISR mode detected nothing")
+	}
+	steps, final, err := limscan.SimulateGood(c, limscan.MustVec("001"), tests[0].T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != tests[0].Len() || final.Len() != 3 {
+		t.Error("good simulation shape wrong")
+	}
+}
+
+func TestFacadeCurveAndTopOff(t *testing.T) {
+	c, err := limscan.LoadBenchmark("s208")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := limscan.NewRunner(c)
+	cfg := limscan.Config{LA: 2, LB: 4, N: 4, Seed: 1}
+	tests := limscan.GenerateTS0(c, cfg)
+	fs := limscan.NewFaultSet(limscan.CollapsedFaults(c))
+	curve, err := r.CoverageCurve(tests, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(tests) {
+		t.Error("curve length wrong")
+	}
+	top, err := r.TopOff(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Detected == 0 {
+		t.Error("top-off after a tiny session added nothing")
+	}
+}
+
+func TestFacadeD1OrdersAndCombos(t *testing.T) {
+	if len(limscan.AscendingD1()) != 10 || len(limscan.DescendingD1()) != 10 {
+		t.Error("D1 orders wrong")
+	}
+	if limscan.Combos(21)[0].Ncyc0 != 4245 {
+		t.Error("combo order wrong")
+	}
+}

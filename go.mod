@@ -1,0 +1,3 @@
+module limscan
+
+go 1.22

@@ -1,0 +1,705 @@
+// Package atpg implements a PODEM test generator over the scan view of a
+// full-scan circuit (primary inputs plus flip-flop outputs controllable,
+// primary outputs plus flip-flop inputs observable).
+//
+// Its role in the reproduction is to define "complete fault coverage"
+// rigorously: Procedure 2 of the paper stops at 100% coverage of the
+// detectable faults, and PODEM classifies every collapsed fault as
+// testable, untestable (proven redundant by exhausting the search space),
+// or aborted (backtrack limit hit; treated as possibly testable).
+// Generated tests are also reusable as a deterministic top-off vector set.
+package atpg
+
+import (
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/logic"
+)
+
+// Verdict classifies a fault after test generation.
+type Verdict int
+
+// The possible outcomes of Generate.
+const (
+	Testable Verdict = iota
+	Untestable
+	Aborted
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Testable:
+		return "testable"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	}
+	return "?"
+}
+
+// TestCube is a generated test in the scan view: a state to scan in and a
+// single primary input vector to apply. Unassigned positions are don't-
+// cares; Concretize fills them.
+type TestCube struct {
+	PI    []logic.V5 // per primary input: Zero, One or X
+	State []logic.V5 // per scan position: Zero, One or X
+}
+
+// Concretize returns the cube with don't-cares filled with the given bit.
+func (tc TestCube) Concretize(fill uint8) (pi, state logic.Vec) {
+	pi = logic.NewVec(len(tc.PI))
+	for i, v := range tc.PI {
+		pi.Set(i, v5bit(v, fill))
+	}
+	state = logic.NewVec(len(tc.State))
+	for i, v := range tc.State {
+		state.Set(i, v5bit(v, fill))
+	}
+	return pi, state
+}
+
+func v5bit(v logic.V5, fill uint8) uint8 {
+	switch v {
+	case logic.One:
+		return 1
+	case logic.Zero:
+		return 0
+	}
+	return fill
+}
+
+// Engine runs PODEM for one circuit. Not safe for concurrent use.
+type Engine struct {
+	c *circuit.Circuit
+	// BacktrackLimit bounds the search; when exhausted the verdict is
+	// Aborted. The default (0) means 10000 backtracks.
+	BacktrackLimit int
+
+	val      []logic.V5
+	assigned map[int]logic.V5 // source gate -> assigned value
+	srcSet   map[int]bool     // controllable sources
+	poSet    map[int]bool     // gates observed as POs
+	ppoOf    map[int]int      // driver gate -> DFF gate (PPO), for pin faults
+	cc0, cc1 []int            // SCOAP-like controllability costs
+	dffPos   map[int]int      // DFF gate -> scan position
+
+	f      fault.Fault
+	siteOK bool // fault can be pin-transformed at the site
+	// constraint, when set, requires an additional line justification
+	// alongside detection (used by the two-frame transition search: the
+	// launch value in the first frame).
+	constraint *lineConstraint
+}
+
+type lineConstraint struct {
+	line int
+	want logic.V5
+}
+
+// New returns an Engine for c.
+func New(c *circuit.Circuit) *Engine {
+	e := &Engine{
+		c:        c,
+		val:      make([]logic.V5, c.NumGates()),
+		assigned: make(map[int]logic.V5),
+		srcSet:   make(map[int]bool),
+		poSet:    make(map[int]bool),
+		ppoOf:    make(map[int]int),
+		dffPos:   make(map[int]int),
+	}
+	for _, id := range c.ScanSources() {
+		e.srcSet[id] = true
+	}
+	for _, id := range c.Outputs {
+		e.poSet[id] = true
+	}
+	for pos, id := range c.DFFs {
+		e.ppoOf[c.Gates[id].Fanin[0]] = id
+		e.dffPos[id] = pos
+	}
+	e.computeControllability()
+	return e
+}
+
+// computeControllability assigns SCOAP-style CC0/CC1 costs used to guide
+// backtrace towards the cheapest source assignments.
+func (e *Engine) computeControllability() {
+	n := e.c.NumGates()
+	e.cc0 = make([]int, n)
+	e.cc1 = make([]int, n)
+	for id := range e.c.Gates {
+		g := &e.c.Gates[id]
+		if g.Type == circuit.PI || g.Type == circuit.DFF {
+			e.cc0[id], e.cc1[id] = 1, 1
+		}
+	}
+	for _, id := range e.c.EvalOrder() {
+		g := &e.c.Gates[id]
+		sum0, sum1 := 0, 0
+		min0, min1 := 1<<30, 1<<30
+		for _, f := range g.Fanin {
+			sum0 += e.cc0[f]
+			sum1 += e.cc1[f]
+			if e.cc0[f] < min0 {
+				min0 = e.cc0[f]
+			}
+			if e.cc1[f] < min1 {
+				min1 = e.cc1[f]
+			}
+		}
+		switch g.Type {
+		case circuit.And:
+			e.cc1[id], e.cc0[id] = sum1+1, min0+1
+		case circuit.Nand:
+			e.cc0[id], e.cc1[id] = sum1+1, min0+1
+		case circuit.Or:
+			e.cc1[id], e.cc0[id] = min1+1, sum0+1
+		case circuit.Nor:
+			e.cc0[id], e.cc1[id] = min1+1, sum0+1
+		case circuit.Not:
+			e.cc0[id], e.cc1[id] = e.cc1[g.Fanin[0]]+1, e.cc0[g.Fanin[0]]+1
+		case circuit.Buf:
+			e.cc0[id], e.cc1[id] = e.cc0[g.Fanin[0]]+1, e.cc1[g.Fanin[0]]+1
+		case circuit.Xor, circuit.Xnor:
+			// Coarse: either polarity costs about the cheaper input pair.
+			e.cc0[id], e.cc1[id] = min0+min1+1, min0+min1+1
+		case circuit.Const0:
+			e.cc0[id], e.cc1[id] = 1, 1<<29
+		case circuit.Const1:
+			e.cc0[id], e.cc1[id] = 1<<29, 1
+		}
+	}
+}
+
+// Generate runs PODEM for fault f and returns the verdict and, when
+// testable, the generated cube. Only stuck-at faults are classifiable;
+// transition faults (which need two-pattern reasoning) return Aborted.
+func (e *Engine) Generate(f fault.Fault) (Verdict, TestCube) {
+	if f.Model != fault.StuckAt {
+		return Aborted, TestCube{}
+	}
+	e.f = f
+	e.constraint = nil
+	limit := e.BacktrackLimit
+	if limit <= 0 {
+		limit = 10000
+	}
+	for k := range e.assigned {
+		delete(e.assigned, k)
+	}
+
+	g := &e.c.Gates[f.Gate]
+	// A flip-flop output stem fault (position p, stuck at v) has a
+	// dedicated scan-out detection path: every observed bit that leaves
+	// from a position q <= p carries the stuck value in the faulty
+	// machine (it is either the stuck bit itself or passed through it),
+	// so the fault is detected whenever the good machine can capture the
+	// opposite value at any position q <= p. That is a pure line
+	// justification query; when it succeeds the returned cube is a
+	// guaranteed test. When it fails everywhere we fall through to the
+	// ordinary search, which covers propagation through the functional
+	// logic from the scanned-in state.
+	justAborted := false
+	if g.Type == circuit.DFF && f.Pin == fault.Stem {
+		want := logic.One
+		if f.Stuck == 1 {
+			want = logic.Zero
+		}
+		for q := 0; q <= e.dffPos[f.Gate]; q++ {
+			drv := e.c.Gates[e.c.DFFs[q]].Fanin[0]
+			switch ok, cube := e.justify(drv, want, limit); ok {
+			case justifyYes:
+				return Testable, cube
+			case justifyAborted:
+				justAborted = true
+			}
+		}
+		e.f = f // justify clobbered the engine's fault
+		for k := range e.assigned {
+			delete(e.assigned, k)
+		}
+	}
+
+	return e.search(limit, justAborted)
+}
+
+// search runs the PODEM decision loop for the engine's current fault
+// (and constraint, if any).
+func (e *Engine) search(limit int, inconclusive bool) (Verdict, TestCube) {
+	type decision struct {
+		src     int
+		flipped bool
+	}
+	var stack []decision
+	backtracks := 0
+
+	for {
+		e.imply()
+		if e.success() {
+			return Testable, e.cube()
+		}
+		obj, objVal, ok := e.objective()
+		if ok {
+			src, srcVal, found := e.backtrace(obj, objVal)
+			if found {
+				e.assigned[src] = srcVal
+				stack = append(stack, decision{src: src})
+				continue
+			}
+		}
+		// Dead end: flip or pop.
+		for {
+			if len(stack) == 0 {
+				if inconclusive {
+					// Part of the search was inconclusive, so an
+					// untestability proof is not available.
+					return Aborted, TestCube{}
+				}
+				return Untestable, TestCube{}
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				e.assigned[top.src] = logic.Not5(e.assigned[top.src])
+				backtracks++
+				if backtracks > limit {
+					return Aborted, TestCube{}
+				}
+				break
+			}
+			delete(e.assigned, top.src)
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+type justifyResult int
+
+const (
+	justifyNo justifyResult = iota
+	justifyYes
+	justifyAborted
+)
+
+// justify searches for source assignments that set the given line to the
+// given value in the fault-free circuit, using the same decision search
+// as Generate. It clobbers the engine's fault and assignments.
+func (e *Engine) justify(line int, want logic.V5, limit int) (justifyResult, TestCube) {
+	e.f = fault.Fault{Gate: -1, Pin: fault.Stem} // no injection
+	e.constraint = nil
+	for k := range e.assigned {
+		delete(e.assigned, k)
+	}
+	type decision struct {
+		src     int
+		flipped bool
+	}
+	var stack []decision
+	backtracks := 0
+	for {
+		e.imply()
+		v := e.val[line]
+		if v == want {
+			return justifyYes, e.cube()
+		}
+		if v == logic.X {
+			if src, srcVal, found := e.backtrace(line, want); found {
+				e.assigned[src] = srcVal
+				stack = append(stack, decision{src: src})
+				continue
+			}
+		}
+		for {
+			if len(stack) == 0 {
+				return justifyNo, TestCube{}
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				e.assigned[top.src] = logic.Not5(e.assigned[top.src])
+				backtracks++
+				if backtracks > limit {
+					return justifyAborted, TestCube{}
+				}
+				break
+			}
+			delete(e.assigned, top.src)
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// imply evaluates the whole scan view in five-valued logic under the
+// current source assignments and the engine's fault.
+func (e *Engine) imply() {
+	c := e.c
+	for id := range e.val {
+		e.val[id] = logic.X
+	}
+	for _, id := range c.ScanSources() {
+		v, ok := e.assigned[id]
+		if !ok {
+			v = logic.X
+		}
+		// Source stem fault (PI stuck; DFF output stem faults never get
+		// here — they are resolved before search starts).
+		if e.f.Gate == id && e.f.Pin == fault.Stem {
+			v = pinTransform(v, e.f.Stuck)
+		}
+		e.val[id] = v
+	}
+	for _, id := range c.EvalOrder() {
+		g := &c.Gates[id]
+		v := e.evalGate(id, g)
+		if e.f.Gate == id && e.f.Pin == fault.Stem {
+			v = pinTransform(v, e.f.Stuck)
+		}
+		e.val[id] = v
+	}
+}
+
+// pin returns the value gate id sees on pin, with the engine's branch
+// fault injected.
+func (e *Engine) pin(id, pinIdx int) logic.V5 {
+	v := e.val[e.c.Gates[id].Fanin[pinIdx]]
+	if e.f.Gate == id && e.f.Pin == pinIdx {
+		v = pinTransform(v, e.f.Stuck)
+	}
+	return v
+}
+
+// pinTransform applies a stuck-at fault to a value: the good component is
+// kept, the faulty component becomes the stuck value. An unknown good
+// component stays X.
+func pinTransform(v logic.V5, stuck uint8) logic.V5 {
+	switch v {
+	case logic.X:
+		return logic.X
+	case logic.Zero, logic.Dbar: // good 0
+		if stuck == 0 {
+			return logic.Zero
+		}
+		return logic.Dbar
+	default: // good 1 (One or D)
+		if stuck == 1 {
+			return logic.One
+		}
+		return logic.D
+	}
+}
+
+func (e *Engine) evalGate(id int, g *circuit.Gate) logic.V5 {
+	switch g.Type {
+	case circuit.And, circuit.Nand:
+		v := logic.One
+		for pinIdx := range g.Fanin {
+			v = logic.And5(v, e.pin(id, pinIdx))
+		}
+		if g.Type == circuit.Nand {
+			v = logic.Not5(v)
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := logic.Zero
+		for pinIdx := range g.Fanin {
+			v = logic.Or5(v, e.pin(id, pinIdx))
+		}
+		if g.Type == circuit.Nor {
+			v = logic.Not5(v)
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := logic.Zero
+		for pinIdx := range g.Fanin {
+			v = logic.Xor5(v, e.pin(id, pinIdx))
+		}
+		if g.Type == circuit.Xnor {
+			v = logic.Not5(v)
+		}
+		return v
+	case circuit.Not:
+		return logic.Not5(e.pin(id, 0))
+	case circuit.Buf:
+		return e.pin(id, 0)
+	case circuit.Const0:
+		return logic.Zero
+	case circuit.Const1:
+		return logic.One
+	}
+	return logic.X
+}
+
+// observedValue returns the five-valued value seen at an observation
+// point: a PO gate's value, or a PPO (DFF driver) value with the capture
+// fault injected when the engine's fault sits on that DFF input pin.
+func (e *Engine) observedValue(gate int) logic.V5 {
+	v := e.val[gate]
+	if dff, ok := e.ppoOf[gate]; ok {
+		if e.f.Gate == dff && e.f.Pin == 0 {
+			v = pinTransform(v, e.f.Stuck)
+		}
+	}
+	return v
+}
+
+// success reports whether a fault effect reaches an observation point
+// (and, when a constraint is active, whether it is satisfied).
+func (e *Engine) success() bool {
+	if e.constraint != nil && e.val[e.constraint.line] != e.constraint.want {
+		return false
+	}
+	for _, id := range e.c.Outputs {
+		if e.val[id].IsError() {
+			return true
+		}
+	}
+	for _, d := range e.c.DFFs {
+		drv := e.c.Gates[d].Fanin[0]
+		if e.observedValue(drv).IsError() {
+			return true
+		}
+	}
+	return false
+}
+
+// siteValue returns the five-valued value at the fault site (after fault
+// injection).
+func (e *Engine) siteValue() logic.V5 {
+	if e.f.Pin == fault.Stem {
+		return e.val[e.f.Gate]
+	}
+	if e.c.Gates[e.f.Gate].Type == circuit.DFF {
+		// Capture fault: the site is the DFF's observed input.
+		return e.observedValue(e.c.Gates[e.f.Gate].Fanin[0])
+	}
+	return e.pin(e.f.Gate, e.f.Pin)
+}
+
+// objective picks the next value objective: excite the fault if the site
+// is still X; otherwise advance the D-frontier. ok=false means a dead end
+// (fault unexcitable under current assignments, or no X-path).
+func (e *Engine) objective() (gate int, val logic.V5, ok bool) {
+	if c := e.constraint; c != nil {
+		switch e.val[c.line] {
+		case c.want:
+			// satisfied; continue with the fault objectives
+		case logic.X:
+			return c.line, c.want, true
+		default:
+			return 0, logic.X, false // constraint violated: dead end
+		}
+	}
+	site := e.siteValue()
+	if site == logic.X {
+		// Objective: set the fault line to the opposite of the stuck
+		// value (in the good machine).
+		want := logic.One
+		if e.f.Stuck == 1 {
+			want = logic.Zero
+		}
+		return e.activationLine(), want, true
+	}
+	if !site.IsError() {
+		return 0, logic.X, false // fault blocked: site pinned to stuck value
+	}
+	// D-frontier: a gate with an error on some input and X output.
+	frontier := e.dFrontier()
+	if len(frontier) == 0 {
+		return 0, logic.X, false
+	}
+	if !e.xPathExists(frontier) {
+		return 0, logic.X, false
+	}
+	gid := frontier[0]
+	g := &e.c.Gates[gid]
+	// Objective: set an X input to the gate's non-controlling value.
+	nc := nonControlling(g.Type)
+	for pinIdx, f := range g.Fanin {
+		if e.pin(gid, pinIdx) == logic.X {
+			return f, nc, true
+		}
+	}
+	return 0, logic.X, false
+}
+
+// activationLine returns the gate whose value must be driven to excite
+// the fault: the gate itself for stem faults, the pin's driver for branch
+// and capture faults.
+func (e *Engine) activationLine() int {
+	if e.f.Pin == fault.Stem {
+		return e.f.Gate
+	}
+	return e.c.Gates[e.f.Gate].Fanin[e.f.Pin]
+}
+
+// nonControlling returns the value to set side inputs for propagation.
+func nonControlling(t circuit.GateType) logic.V5 {
+	switch t {
+	case circuit.And, circuit.Nand:
+		return logic.One
+	case circuit.Or, circuit.Nor:
+		return logic.Zero
+	default: // XOR/XNOR/NOT/BUF: any defined value propagates; pick 0.
+		return logic.Zero
+	}
+}
+
+// dFrontier lists gates with an error input and an X output, in
+// evaluation order.
+func (e *Engine) dFrontier() []int {
+	var out []int
+	for _, id := range e.c.EvalOrder() {
+		if e.val[id] != logic.X {
+			continue
+		}
+		g := &e.c.Gates[id]
+		for pinIdx := range g.Fanin {
+			if e.pin(id, pinIdx).IsError() {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// xPathExists checks whether some D-frontier gate still has a path of
+// X-valued gates to an observation point.
+func (e *Engine) xPathExists(frontier []int) bool {
+	memo := make(map[int]bool)
+	var reach func(int) bool
+	reach = func(id int) bool {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		memo[id] = false // break cycles conservatively
+		if e.poSet[id] {
+			memo[id] = true
+			return true
+		}
+		for _, fo := range e.c.Gates[id].Fanout {
+			fg := &e.c.Gates[fo]
+			if fg.Type == circuit.DFF {
+				memo[id] = true // PPO reached
+				return true
+			}
+			if e.val[fo] == logic.X && reach(fo) {
+				memo[id] = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, id := range frontier {
+		// The frontier gate itself may be an observation point.
+		if e.poSet[id] {
+			return true
+		}
+		if _, ok := e.ppoOf[id]; ok {
+			return true
+		}
+		if reach(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// backtrace walks an objective back to an unassigned source, flipping the
+// target value through inversions and choosing the cheapest input by
+// SCOAP controllability.
+func (e *Engine) backtrace(gate int, want logic.V5) (src int, val logic.V5, ok bool) {
+	id := gate
+	v := want
+	for steps := 0; steps < e.c.NumGates()+1; steps++ {
+		if e.srcSet[id] {
+			if _, done := e.assigned[id]; done {
+				return 0, logic.X, false // already assigned; objective unreachable this way
+			}
+			return id, v, true
+		}
+		g := &e.c.Gates[id]
+		if g.Type.Inverting() {
+			v = logic.Not5(v)
+		}
+		// Choose an X input: cheapest to set to v (for XOR-ish gates any
+		// input works with the current v).
+		best, bestCost := -1, 1<<30
+		for pinIdx, f := range g.Fanin {
+			if e.pin(id, pinIdx) != logic.X {
+				continue
+			}
+			cost := e.cc1[f]
+			if v == logic.Zero {
+				cost = e.cc0[f]
+			}
+			if cost < bestCost {
+				best, bestCost = f, cost
+			}
+		}
+		if best < 0 {
+			return 0, logic.X, false
+		}
+		id = best
+	}
+	return 0, logic.X, false
+}
+
+// cube captures the current source assignments as a TestCube.
+func (e *Engine) cube() TestCube {
+	tc := TestCube{
+		PI:    make([]logic.V5, e.c.NumPI()),
+		State: make([]logic.V5, e.c.NumSV()),
+	}
+	for i := range tc.PI {
+		tc.PI[i] = logic.X
+	}
+	for i := range tc.State {
+		tc.State[i] = logic.X
+	}
+	for i, id := range e.c.Inputs {
+		if v, ok := e.assigned[id]; ok {
+			tc.PI[i] = v
+		}
+	}
+	for pos, id := range e.c.DFFs {
+		if v, ok := e.assigned[id]; ok {
+			tc.State[pos] = v
+		}
+	}
+	return tc
+}
+
+// Summary tallies verdicts over a fault list.
+type Summary struct {
+	Testable   int
+	Untestable int
+	Aborted    int
+}
+
+// Classify runs Generate on every fault and updates the Set's states for
+// untestable faults (Detected faults are left alone). It returns the
+// tally. Faults already marked Detected are counted as testable without
+// rerunning the search.
+func Classify(e *Engine, fs *fault.Set) Summary {
+	var sum Summary
+	for i, f := range fs.Faults {
+		if fs.State[i] == fault.Detected {
+			sum.Testable++
+			continue
+		}
+		v, _ := e.Generate(f)
+		switch v {
+		case Testable:
+			sum.Testable++
+		case Untestable:
+			sum.Untestable++
+			fs.State[i] = fault.Untestable
+		case Aborted:
+			sum.Aborted++
+			fs.State[i] = fault.Aborted
+		}
+	}
+	return sum
+}

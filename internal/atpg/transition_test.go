@@ -1,0 +1,105 @@
+package atpg
+
+import (
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+	"limscan/internal/logic"
+	"limscan/internal/scan"
+)
+
+func TestTransEngineCubesDetect(t *testing.T) {
+	// Every cube the two-frame engine emits, concretized into a
+	// two-vector scan test, must detect its transition fault in the
+	// fault simulator — the end-to-end soundness check.
+	for _, name := range []string{"s27", "s298"} {
+		c, err := bmark.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		te, err := NewTransEngine(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testable := 0
+		universe := fault.TransitionUniverse(c)
+		for _, f := range universe {
+			v, cube := te.Generate(f)
+			if v != Testable {
+				continue
+			}
+			testable++
+			state, v0, v1 := cube.Concretize(0)
+			tt := scan.Test{SI: state, T: []logic.Vec{v0, v1}}
+			if _, _, _, det := fsim.Trace(c, tt, f); !det {
+				t.Errorf("%s: fault %s cube does not detect (SI=%s V0=%s V1=%s)",
+					name, f.Pretty(c), state, v0, v1)
+			}
+		}
+		if testable < len(universe)/2 {
+			t.Errorf("%s: only %d/%d transition faults got cubes", name, testable, len(universe))
+		}
+		t.Logf("%s: %d/%d transition faults testable via two-frame PODEM",
+			name, testable, len(universe))
+	}
+}
+
+func TestTransEngineRejectsBadFaults(t *testing.T) {
+	c, err := bmark.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := NewTransEngine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stuck-at fault is not a transition fault.
+	if v, _ := te.Generate(fault.Fault{Gate: 0, Pin: fault.Stem, Stuck: 1}); v != Aborted {
+		t.Error("stuck-at fault accepted by the transition engine")
+	}
+	// A DFF line is outside the LOC transition universe.
+	d := c.DFFs[0]
+	if v, _ := te.Generate(fault.Fault{Gate: d, Pin: fault.Stem, Model: fault.SlowToRise}); v != Aborted {
+		t.Error("DFF transition fault accepted")
+	}
+}
+
+func TestTransEngineConstraintHonored(t *testing.T) {
+	// Z = BUF(A): the slow-to-rise cube must set A=0 in V0 and A=1 in V1.
+	b := newBufCircuit(t)
+	te, err := NewTransEngine(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aID := b.Inputs[0]
+	v, cube := te.Generate(fault.Fault{Gate: aID, Pin: fault.Stem, Model: fault.SlowToRise})
+	if v != Testable {
+		t.Fatalf("slow-to-rise on a buffered PI classified %v", v)
+	}
+	if cube.V0[0] != logic.Zero || cube.V1[0] != logic.One {
+		t.Errorf("cube V0[A]=%v V1[A]=%v, want 0 then 1", cube.V0[0], cube.V1[0])
+	}
+	v, cube = te.Generate(fault.Fault{Gate: aID, Pin: fault.Stem, Model: fault.SlowToFall})
+	if v != Testable {
+		t.Fatalf("slow-to-fall classified %v", v)
+	}
+	if cube.V0[0] != logic.One || cube.V1[0] != logic.Zero {
+		t.Errorf("cube V0[A]=%v V1[A]=%v, want 1 then 0", cube.V0[0], cube.V1[0])
+	}
+}
+
+func newBufCircuit(t *testing.T) *circuit.Circuit {
+	b := circuit.NewBuilder("buf")
+	b.AddInput("A")
+	b.AddGate("Q", circuit.DFF, "Z")
+	b.AddGate("Z", circuit.Buf, "A")
+	b.MarkOutput("Z")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/logic"
+)
+
+func load(t testing.TB, name string) *circuit.Circuit {
+	c, err := bmark.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newSet(c *circuit.Circuit) *fault.Set {
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	return fault.NewSet(reps)
+}
+
+func TestChainBalancing(t *testing.T) {
+	c := load(t, "s420") // 16 flip-flops
+	s := New(c, 10)
+	if s.Chains() != 2 {
+		t.Errorf("chains = %d, want 2", s.Chains())
+	}
+	if s.MaxChainLen() != 8 {
+		t.Errorf("max chain len = %d, want 8", s.MaxChainLen())
+	}
+	total := 0
+	for _, ch := range s.chains {
+		total += len(ch)
+	}
+	if total != 16 {
+		t.Errorf("chains cover %d positions, want 16", total)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	c := load(t, "s208")
+	fs := newSet(c)
+	res, err := Run(c, fs, Config{Budget: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > 5000 {
+		t.Errorf("cycles %d exceed budget 5000", res.Cycles)
+	}
+	if res.Tests == 0 {
+		t.Error("no tests fit in a 5000-cycle budget")
+	}
+	if res.Detected == 0 {
+		t.Error("baseline detected nothing")
+	}
+}
+
+func TestBaselineDeterministic(t *testing.T) {
+	c := load(t, "s208")
+	a, err := Run(c, newSet(c), Config{Budget: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, newSet(c), Config{Budget: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("baseline not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestBaselineCoverageGrowsWithBudget(t *testing.T) {
+	c := load(t, "s298")
+	small, err := Run(c, newSet(c), Config{Budget: 2000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(c, newSet(c), Config{Budget: 50000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Detected < small.Detected {
+		t.Errorf("coverage shrank with budget: %d -> %d", small.Detected, big.Detected)
+	}
+}
+
+func TestBaselineRejectsBadLengths(t *testing.T) {
+	c := load(t, "s27")
+	if _, err := Run(c, newSet(c), Config{LA: -1, LB: 16}); err == nil {
+		t.Error("negative LA accepted")
+	}
+}
+
+func TestScanInLoadsState(t *testing.T) {
+	// After a scan operation with a known SI and no faults, the state
+	// must equal SI across every chain (lane 0).
+	c := load(t, "s420")
+	s := New(c, 10)
+	si := make([]uint8, c.NumSV())
+	for i := range si {
+		si[i] = uint8((i * 7 % 3) & 1)
+	}
+	v := logic.NewVec(len(si))
+	for i, b := range si {
+		v.Set(i, b)
+	}
+	s.scanOp(v, false, func(logic.Word) {})
+	for pos := range s.state {
+		want := uint64(0)
+		if si[pos] == 1 {
+			want = ^uint64(0)
+		}
+		if s.state[pos] != want {
+			t.Fatalf("position %d = %x after scan-in, want %x", pos, s.state[pos], want)
+		}
+	}
+}
+
+func TestStuckFFDetectedByBaseline(t *testing.T) {
+	c := load(t, "s208")
+	var ffFaults []fault.Fault
+	for _, d := range c.DFFs {
+		ffFaults = append(ffFaults,
+			fault.Fault{Gate: d, Pin: fault.Stem, Stuck: 0},
+			fault.Fault{Gate: d, Pin: fault.Stem, Stuck: 1})
+	}
+	fs := fault.NewSet(ffFaults)
+	res, err := Run(c, fs, Config{Budget: 20000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected != len(ffFaults) {
+		t.Errorf("baseline detected %d/%d flip-flop stem faults", res.Detected, len(ffFaults))
+	}
+}
+
+func TestMultipleSeedSessions(t *testing.T) {
+	c := load(t, "s298")
+	single, err := Run(c, newSet(c), Config{Budget: 30000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(c, newSet(c), Config{Budget: 30000, Seed: 4, Sessions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Cycles > single.Cycles {
+		t.Errorf("multi-seed exceeded budget: %d vs %d", multi.Cycles, single.Cycles)
+	}
+	if multi.Detected == 0 {
+		t.Error("multi-seed detected nothing")
+	}
+	// Determinism across runs.
+	multi2, err := Run(c, newSet(c), Config{Budget: 30000, Seed: 4, Sessions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi != multi2 {
+		t.Error("multi-seed campaign not deterministic")
+	}
+	t.Logf("s298: single-seed %d, 3-seed %d detected", single.Detected, multi.Detected)
+}
+
+func TestSelectLengths(t *testing.T) {
+	c := load(t, "s298")
+	la, lb, err := SelectLengths(c, nil, 12000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la > lb || la < 1 {
+		t.Fatalf("SelectLengths returned (%d, %d)", la, lb)
+	}
+	// Deterministic.
+	la2, lb2, err := SelectLengths(c, nil, 12000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la != la2 || lb != lb2 {
+		t.Error("SelectLengths not deterministic")
+	}
+	// The selected lengths drive a campaign no worse than a default one
+	// on the same budget — not guaranteed in general, so log only.
+	sel, err := Run(c, newSet(c), Config{LA: la, LB: lb, Budget: 30000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Run(c, newSet(c), Config{Budget: 30000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("selected (%d,%d): %d detected; default (8,16): %d detected", la, lb, sel.Detected, def.Detected)
+}
+
+func TestSelectLengthsCustomCandidates(t *testing.T) {
+	c := load(t, "s208")
+	la, lb, err := SelectLengths(c, []int{4, 32}, 8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (la != 4 && la != 32) || (lb != 4 && lb != 32) {
+		t.Errorf("lengths (%d,%d) not from candidates", la, lb)
+	}
+}

@@ -1,0 +1,54 @@
+package baseline
+
+import (
+	"sort"
+
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/lfsr"
+)
+
+// SelectLengths implements the length-selection idea of [5]/[6]: longer
+// at-speed sequences raise the per-cycle detection yield of some faults,
+// so the two test lengths used by the budgeted campaign are chosen by
+// measurement rather than fiat. Each candidate length gets a short probe
+// campaign (an equal slice of probeBudget cycles) on a fresh fault set;
+// candidates are ranked by detections per clock cycle, and the two best
+// are returned with LA <= LB ([6] limits the scheme to two lengths to
+// keep the controller simple).
+func SelectLengths(c *circuit.Circuit, candidates []int, probeBudget int64, seed uint64) (la, lb int, err error) {
+	if len(candidates) == 0 {
+		candidates = []int{2, 4, 8, 16, 32, 64}
+	}
+	if probeBudget <= 0 {
+		probeBudget = 20000
+	}
+	per := probeBudget / int64(len(candidates))
+	type scored struct {
+		length int
+		yield  float64
+	}
+	var results []scored
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	for i, L := range candidates {
+		fs := fault.NewSet(reps)
+		res, err := Run(c, fs, Config{
+			LA: L, LB: L, Budget: per,
+			Seed: lfsr.DeriveSeed(seed, i),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		y := 0.0
+		if res.Cycles > 0 {
+			y = float64(res.Detected) / float64(res.Cycles)
+		}
+		results = append(results, scored{length: L, yield: y})
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].yield > results[j].yield })
+	la, lb = results[0].length, results[1].length
+	if la > lb {
+		la, lb = lb, la
+	}
+	return la, lb, nil
+}

@@ -1,0 +1,149 @@
+// Package bench reads and writes gate-level netlists in the ISCAS-89
+// ".bench" format, the distribution format of the ISCAS-89 and (gate-level
+// mapped) ITC-99 benchmark circuits the paper evaluates on.
+//
+// The grammar, per line:
+//
+//	# comment
+//	INPUT(name)
+//	OUTPUT(name)
+//	name = TYPE(fanin1, fanin2, ...)
+//
+// with TYPE one of AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF, DFF.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"limscan/internal/circuit"
+)
+
+var typeByName = map[string]circuit.GateType{
+	"AND": circuit.And, "NAND": circuit.Nand, "OR": circuit.Or,
+	"NOR": circuit.Nor, "XOR": circuit.Xor, "XNOR": circuit.Xnor,
+	"NOT": circuit.Not, "BUF": circuit.Buf, "BUFF": circuit.Buf,
+	"DFF": circuit.DFF, "CONST0": circuit.Const0, "CONST1": circuit.Const1,
+}
+
+// Parse reads a .bench netlist. The circuit is named name (the format
+// itself carries no name).
+func Parse(name string, r io.Reader) (*circuit.Circuit, error) {
+	b := circuit.NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := parseLine(b, line); err != nil {
+			return nil, fmt.Errorf("bench %s:%d: %w", name, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	return b.Finalize()
+}
+
+// ParseString is Parse over an in-memory netlist.
+func ParseString(name, text string) (*circuit.Circuit, error) {
+	return Parse(name, strings.NewReader(text))
+}
+
+func parseLine(b *circuit.Builder, line string) error {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if eq := strings.IndexByte(line, '='); eq >= 0 {
+		// name = TYPE(args)
+		name := strings.TrimSpace(line[:eq])
+		rest := strings.TrimSpace(line[eq+1:])
+		open = strings.IndexByte(rest, '(')
+		close = strings.LastIndexByte(rest, ')')
+		if open < 0 || close < open {
+			return fmt.Errorf("malformed gate definition %q", line)
+		}
+		typName := strings.ToUpper(strings.TrimSpace(rest[:open]))
+		typ, ok := typeByName[typName]
+		if !ok {
+			return fmt.Errorf("unknown gate type %q", typName)
+		}
+		var fanin []string
+		args := strings.TrimSpace(rest[open+1 : close])
+		if args != "" {
+			for _, a := range strings.Split(args, ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					return fmt.Errorf("empty fanin in %q", line)
+				}
+				fanin = append(fanin, a)
+			}
+		}
+		b.AddGate(name, typ, fanin...)
+		return nil
+	}
+	if open < 0 || close < open {
+		return fmt.Errorf("malformed line %q", line)
+	}
+	kw := strings.ToUpper(strings.TrimSpace(line[:open]))
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return fmt.Errorf("empty signal name in %q", line)
+	}
+	switch kw {
+	case "INPUT":
+		b.AddInput(arg)
+	case "OUTPUT":
+		b.MarkOutput(arg)
+	default:
+		return fmt.Errorf("unknown directive %q", kw)
+	}
+	return nil
+}
+
+// Write emits c in .bench format: inputs, outputs, DFFs (in scan order),
+// then combinational gates in evaluation order.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	s := c.Stats()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d D-type flipflops, %d gates\n",
+		s.PIs, s.POs, s.FFs, s.Gates)
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	fmt.Fprintln(bw)
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	fmt.Fprintln(bw)
+	emit := func(id int) {
+		g := &c.Gates[id]
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, typeName(g.Type), strings.Join(names, ", "))
+	}
+	for _, id := range c.DFFs {
+		emit(id)
+	}
+	for _, id := range c.EvalOrder() {
+		emit(id)
+	}
+	return bw.Flush()
+}
+
+func typeName(t circuit.GateType) string {
+	switch t {
+	case circuit.Buf:
+		return "BUFF"
+	default:
+		return t.String()
+	}
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"limscan/internal/circuit"
+)
+
+const s27Text = `
+# s27 benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func TestParseS27(t *testing.T) {
+	c, err := ParseString("s27", s27Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPI() != 4 || c.NumPO() != 1 || c.NumSV() != 3 {
+		t.Fatalf("interface: PI=%d PO=%d SV=%d", c.NumPI(), c.NumPO(), c.NumSV())
+	}
+	if c.Stats().Gates != 10 {
+		t.Errorf("gates = %d, want 10", c.Stats().Gates)
+	}
+	// DFF scan order follows declaration order.
+	want := []string{"G5", "G6", "G7"}
+	for i, id := range c.DFFs {
+		if c.Gates[id].Name != want[i] {
+			t.Errorf("scan position %d = %s, want %s", i, c.Gates[id].Name, want[i])
+		}
+	}
+}
+
+func TestParseWhitespaceAndCase(t *testing.T) {
+	text := "input( A )\n  output(Z)\nZ = nand( A , A )\n"
+	c, err := ParseString("t", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := c.GateByName("Z")
+	if !ok || c.Gates[id].Type != circuit.Nand {
+		t.Error("lower-case directives/types not accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text, want string }{
+		{"unknown type", "INPUT(A)\nOUTPUT(Z)\nZ = FROB(A)\n", "unknown gate type"},
+		{"unknown directive", "WIBBLE(A)\n", "unknown directive"},
+		{"malformed", "Z = AND A\n", "malformed"},
+		{"empty fanin", "INPUT(A)\nZ = AND(A,,A)\n", "empty fanin"},
+		{"empty name", "INPUT()\n", "empty signal"},
+		{"undefined", "INPUT(A)\nOUTPUT(Z)\nZ = AND(A, B)\n", "undefined signal"},
+	}
+	for _, c := range cases {
+		if _, err := ParseString("t", c.text); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c1, err := ParseString("s27", s27Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c1); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ParseString("s27", buf.String())
+	if err != nil {
+		t.Fatalf("reparsing emitted netlist: %v\n%s", err, buf.String())
+	}
+	if c1.NumPI() != c2.NumPI() || c1.NumPO() != c2.NumPO() || c1.NumSV() != c2.NumSV() {
+		t.Error("round trip changed interface")
+	}
+	if c1.Stats().Gates != c2.Stats().Gates {
+		t.Errorf("round trip changed gate count: %d vs %d", c1.Stats().Gates, c2.Stats().Gates)
+	}
+	// Same gate types per name.
+	for i := range c1.Gates {
+		g := &c1.Gates[i]
+		id2, ok := c2.GateByName(g.Name)
+		if !ok {
+			t.Fatalf("gate %s lost in round trip", g.Name)
+		}
+		if c2.Gates[id2].Type != g.Type {
+			t.Errorf("gate %s type changed: %s vs %s", g.Name, g.Type, c2.Gates[id2].Type)
+		}
+		if len(c2.Gates[id2].Fanin) != len(g.Fanin) {
+			t.Errorf("gate %s fanin count changed", g.Name)
+		}
+	}
+}
+
+func TestParseConstGate(t *testing.T) {
+	text := "INPUT(A)\nOUTPUT(Z)\nC = CONST1()\nZ = AND(A, C)\n"
+	c, err := ParseString("t", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := c.GateByName("C")
+	if c.Gates[id].Type != circuit.Const1 {
+		t.Error("CONST1 not parsed")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	text := "# header\n\n   \nINPUT(A)\n# mid comment\nOUTPUT(A)\n"
+	if _, err := ParseString("t", text); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package bmark
+
+import (
+	"fmt"
+	"sort"
+
+	"limscan/internal/bench"
+	"limscan/internal/circuit"
+)
+
+// S27Bench is the public-domain ISCAS-89 s27 netlist, embedded verbatim.
+// It is the one real circuit in the registry and the subject of the
+// paper's Section 2 example (Tables 1 and 2).
+const S27Bench = `# s27 (ISCAS-89)
+# 4 inputs, 1 output, 3 D-type flipflops, 10 gates
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+// seedBase mixes circuit names into generator seeds. Fixed forever so
+// that every build of the library produces bit-identical analogs.
+const seedBase = 0x5CA_11AB1E
+
+func nameSeed(name string) uint64 {
+	h := uint64(seedBase)
+	for _, r := range name {
+		h = h*1099511628211 + uint64(r) // FNV-style mix
+	}
+	return h
+}
+
+// specs lists the synthetic analogs with the published interface
+// statistics (PIs, POs, FFs) and approximate combinational gate counts of
+// the real ISCAS-89 / ITC-99 circuits in the paper's tables.
+var specs = map[string]Spec{
+	"s208":   {PIs: 10, POs: 1, FFs: 8, Gates: 96},
+	"s298":   {PIs: 3, POs: 6, FFs: 14, Gates: 119},
+	"s344":   {PIs: 9, POs: 11, FFs: 15, Gates: 160},
+	"s382":   {PIs: 3, POs: 6, FFs: 21, Gates: 158},
+	"s400":   {PIs: 3, POs: 6, FFs: 21, Gates: 162},
+	"s420":   {PIs: 18, POs: 1, FFs: 16, Gates: 196},
+	"s510":   {PIs: 19, POs: 7, FFs: 6, Gates: 211},
+	"s641":   {PIs: 35, POs: 24, FFs: 19, Gates: 379},
+	"s820":   {PIs: 18, POs: 19, FFs: 5, Gates: 289},
+	"s953":   {PIs: 16, POs: 23, FFs: 29, Gates: 395},
+	"s1196":  {PIs: 14, POs: 14, FFs: 18, Gates: 529},
+	"s1423":  {PIs: 17, POs: 5, FFs: 74, Gates: 657},
+	"s5378":  {PIs: 35, POs: 49, FFs: 179, Gates: 2779},
+	"s35932": {PIs: 35, POs: 320, FFs: 1728, Gates: 16065},
+	"b01":    {PIs: 2, POs: 2, FFs: 5, Gates: 45},
+	"b02":    {PIs: 1, POs: 1, FFs: 4, Gates: 26},
+	"b03":    {PIs: 4, POs: 4, FFs: 30, Gates: 150},
+	"b04":    {PIs: 11, POs: 8, FFs: 66, Gates: 650},
+	"b06":    {PIs: 2, POs: 6, FFs: 9, Gates: 56},
+	"b09":    {PIs: 1, POs: 1, FFs: 28, Gates: 160},
+	"b10":    {PIs: 11, POs: 6, FFs: 17, Gates: 190},
+	"b11":    {PIs: 7, POs: 6, FFs: 31, Gates: 700},
+}
+
+// Names returns every registry circuit name in deterministic order, real
+// s27 first, then ISCAS-89 analogs, then ITC-99 analogs, each by size.
+func Names() []string {
+	out := []string{"s27"}
+	var s89, b99 []string
+	for n := range specs {
+		if n[0] == 's' {
+			s89 = append(s89, n)
+		} else {
+			b99 = append(b99, n)
+		}
+	}
+	byGates := func(list []string) {
+		sort.Slice(list, func(i, j int) bool {
+			a, b := specs[list[i]], specs[list[j]]
+			if a.Gates != b.Gates {
+				return a.Gates < b.Gates
+			}
+			return list[i] < list[j]
+		})
+	}
+	byGates(s89)
+	byGates(b99)
+	out = append(out, s89...)
+	out = append(out, b99...)
+	return out
+}
+
+// Has reports whether name is in the registry.
+func Has(name string) bool {
+	if name == "s27" {
+		return true
+	}
+	_, ok := specs[name]
+	return ok
+}
+
+// Load returns the registry circuit: the real s27, or the deterministic
+// synthetic analog for any other known name.
+func Load(name string) (*circuit.Circuit, error) {
+	if name == "s27" {
+		return bench.ParseString("s27", S27Bench)
+	}
+	spec, ok := specs[name]
+	if !ok {
+		return nil, fmt.Errorf("bmark: unknown circuit %q", name)
+	}
+	spec.Name = name
+	spec.Seed = nameSeed(name)
+	return Generate(spec)
+}
+
+// Info returns the registry spec for a synthetic circuit (zero Spec and
+// false for s27 or unknown names).
+func Info(name string) (Spec, bool) {
+	s, ok := specs[name]
+	if ok {
+		s.Name = name
+		s.Seed = nameSeed(name)
+	}
+	return s, ok
+}

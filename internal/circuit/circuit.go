@@ -1,0 +1,385 @@
+// Package circuit defines the gate-level netlist model shared by the
+// simulators, the fault machinery and the ATPG engine: typed gates, a
+// levelized evaluation order, fanout bookkeeping, and the scan
+// (pseudo-combinational) view of a full-scan sequential circuit.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the supported gate functions. PI gates have no
+// fanin; DFF gates have exactly one fanin (the next-state function) and
+// their output is a state variable. Const0/Const1 model tied-off nets.
+type GateType int
+
+// The gate types of the ISCAS-89 .bench netlist format, plus constants.
+const (
+	PI GateType = iota
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	DFF
+	Const0
+	Const1
+)
+
+var gateTypeNames = [...]string{
+	PI: "INPUT", Buf: "BUFF", Not: "NOT", And: "AND", Nand: "NAND",
+	Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR", DFF: "DFF",
+	Const0: "CONST0", Const1: "CONST1",
+}
+
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", int(t))
+}
+
+// Inverting reports whether the gate's output is the complement of the
+// corresponding non-inverting function (NOT, NAND, NOR, XNOR).
+func (t GateType) Inverting() bool {
+	return t == Not || t == Nand || t == Nor || t == Xnor
+}
+
+// MinFanin returns the minimum legal fanin count for the type.
+func (t GateType) MinFanin() int {
+	switch t {
+	case PI, Const0, Const1:
+		return 0
+	case Buf, Not, DFF:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// MaxFanin returns the maximum legal fanin count (-1 = unbounded).
+func (t GateType) MaxFanin() int {
+	switch t {
+	case PI, Const0, Const1:
+		return 0
+	case Buf, Not, DFF:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Gate is one node of the netlist. Fanin lists driver gate IDs in pin
+// order; Fanout is derived by Finalize.
+type Gate struct {
+	ID     int
+	Name   string
+	Type   GateType
+	Fanin  []int
+	Fanout []int
+	// Level is the gate's combinational depth: 0 for PIs, DFF outputs
+	// and constants; 1 + max(fanin levels) otherwise. DFF gates take the
+	// level of their fanin (they are evaluated as pseudo-outputs).
+	Level int
+}
+
+// Circuit is an immutable (after Finalize) gate-level netlist with full
+// scan: every DFF is on the single scan chain, in the order of the DFFs
+// slice (position 0 is the leftmost state bit in the paper's notation,
+// the one that receives fresh bits during a scan shift).
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int // PI gate IDs, in declaration order
+	Outputs []int // IDs of gates observed as primary outputs
+	DFFs    []int // DFF gate IDs in scan-chain order
+
+	order  []int // topological order of non-PI, non-DFF gates
+	byName map[string]int
+}
+
+// NumPI, NumPO and NumSV report the interface dimensions. NumSV is the
+// paper's N_SV: the number of state variables / scanned flip-flops.
+func (c *Circuit) NumPI() int { return len(c.Inputs) }
+
+// NumPO reports the number of primary outputs.
+func (c *Circuit) NumPO() int { return len(c.Outputs) }
+
+// NumSV reports the number of state variables (scanned flip-flops).
+func (c *Circuit) NumSV() int { return len(c.DFFs) }
+
+// NumGates reports the total number of gates including PIs and DFFs.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// GateByName looks up a gate ID by its netlist name.
+func (c *Circuit) GateByName(name string) (int, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// EvalOrder returns the gate IDs of all combinational gates (everything
+// except PIs and DFFs, whose values are inputs to the combinational
+// core) in a topological order safe for single-pass evaluation.
+func (c *Circuit) EvalOrder() []int { return c.order }
+
+// Depth returns the maximum combinational level in the circuit.
+func (c *Circuit) Depth() int {
+	d := 0
+	for i := range c.Gates {
+		if c.Gates[i].Level > d {
+			d = c.Gates[i].Level
+		}
+	}
+	return d
+}
+
+// Stats summarizes the netlist for reports and the benchmark registry.
+type Stats struct {
+	Name  string
+	PIs   int
+	POs   int
+	FFs   int
+	Gates int // combinational gates (excluding PIs and DFFs)
+	Depth int
+	Lines int // fault sites: gate outputs plus fanout branches
+}
+
+// Stats computes summary statistics.
+func (c *Circuit) Stats() Stats {
+	comb := 0
+	lines := 0
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Type != PI && g.Type != DFF {
+			comb++
+		}
+		lines++ // output stem
+		if len(g.Fanout) > 1 {
+			lines += len(g.Fanout)
+		}
+	}
+	return Stats{
+		Name: c.Name, PIs: c.NumPI(), POs: c.NumPO(), FFs: c.NumSV(),
+		Gates: comb, Depth: c.Depth(), Lines: lines,
+	}
+}
+
+// Builder incrementally constructs a Circuit. Gates may be referenced by
+// name before they are defined (netlist formats list uses before defs);
+// Finalize resolves everything and validates the result.
+type Builder struct {
+	name    string
+	gates   []Gate
+	byName  map[string]int
+	inputs  []string
+	outputs []string
+	fanins  [][]string // per gate, fanin names to resolve at Finalize
+	errs    []error
+}
+
+// NewBuilder returns an empty Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]int)}
+}
+
+func (b *Builder) errf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// ensure returns the ID for name, creating a placeholder gate if needed.
+func (b *Builder) ensure(name string) int {
+	if id, ok := b.byName[name]; ok {
+		return id
+	}
+	id := len(b.gates)
+	b.gates = append(b.gates, Gate{ID: id, Name: name, Type: -1})
+	b.fanins = append(b.fanins, nil)
+	b.byName[name] = id
+	return id
+}
+
+// AddInput declares a primary input.
+func (b *Builder) AddInput(name string) {
+	id := b.ensure(name)
+	if b.gates[id].Type != -1 {
+		b.errf("circuit %s: signal %q defined twice", b.name, name)
+		return
+	}
+	b.gates[id].Type = PI
+	b.inputs = append(b.inputs, name)
+}
+
+// MarkOutput declares that the named signal is a primary output.
+func (b *Builder) MarkOutput(name string) {
+	b.ensure(name)
+	b.outputs = append(b.outputs, name)
+}
+
+// AddGate defines a gate computing the given function of the named fanin
+// signals. DFF gates are registered on the scan chain in call order.
+func (b *Builder) AddGate(name string, typ GateType, fanin ...string) {
+	id := b.ensure(name)
+	if b.gates[id].Type != -1 {
+		b.errf("circuit %s: signal %q defined twice", b.name, name)
+		return
+	}
+	if typ == PI {
+		b.errf("circuit %s: use AddInput for primary input %q", b.name, name)
+		return
+	}
+	min, max := typ.MinFanin(), typ.MaxFanin()
+	if len(fanin) < min || (max >= 0 && len(fanin) > max) {
+		b.errf("circuit %s: gate %q (%s) has %d fanins", b.name, name, typ, len(fanin))
+		return
+	}
+	b.gates[id].Type = typ
+	b.fanins[id] = append([]string(nil), fanin...)
+}
+
+// Finalize resolves names, levelizes the netlist, computes fanout lists
+// and validates structural invariants. The Builder must not be reused.
+func (b *Builder) Finalize() (*Circuit, error) {
+	c := &Circuit{Name: b.name, byName: b.byName}
+
+	for id := range b.gates {
+		g := b.gates[id]
+		if g.Type == GateType(-1) {
+			b.errf("circuit %s: signal %q used but never defined", b.name, g.Name)
+			continue
+		}
+		for _, fn := range b.fanins[id] {
+			fid, ok := b.byName[fn]
+			if !ok {
+				b.errf("circuit %s: gate %q references undefined signal %q", b.name, g.Name, fn)
+				continue
+			}
+			g.Fanin = append(g.Fanin, fid)
+		}
+		b.gates[id] = g
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	c.Gates = b.gates
+
+	for _, n := range b.inputs {
+		c.Inputs = append(c.Inputs, b.byName[n])
+	}
+	for _, n := range b.outputs {
+		c.Outputs = append(c.Outputs, b.byName[n])
+	}
+	for id := range c.Gates {
+		if c.Gates[id].Type == DFF {
+			c.DFFs = append(c.DFFs, id)
+		}
+	}
+
+	if err := c.levelize(); err != nil {
+		return nil, err
+	}
+	for id := range c.Gates {
+		for _, f := range c.Gates[id].Fanin {
+			c.Gates[f].Fanout = append(c.Gates[f].Fanout, id)
+		}
+	}
+	return c, nil
+}
+
+// levelize assigns combinational levels and builds the evaluation order.
+// DFF outputs and PIs are sources (level 0); DFF gates themselves are
+// consumers of their fanin cone and are not part of the eval order. A
+// combinational cycle is a structural error.
+func (c *Circuit) levelize() error {
+	const unset = -1
+	level := make([]int, len(c.Gates))
+	state := make([]uint8, len(c.Gates)) // 0 unvisited, 1 on stack, 2 done
+	for i := range level {
+		level[i] = unset
+	}
+
+	var visit func(id int) error
+	visit = func(id int) error {
+		g := &c.Gates[id]
+		if g.Type == PI || g.Type == Const0 || g.Type == Const1 {
+			level[id] = 0
+			state[id] = 2
+			return nil
+		}
+		if state[id] == 2 {
+			return nil
+		}
+		if state[id] == 1 {
+			return fmt.Errorf("circuit %s: combinational cycle through %q", c.Name, g.Name)
+		}
+		state[id] = 1
+		maxIn := 0
+		for _, f := range g.Fanin {
+			fg := &c.Gates[f]
+			// A DFF output is a source: do not descend through it when
+			// it appears as a fanin. Its own cone is visited separately.
+			if fg.Type == DFF {
+				if maxIn < 1 {
+					maxIn = 1
+				}
+				continue
+			}
+			if err := visit(f); err != nil {
+				return err
+			}
+			if level[f]+1 > maxIn {
+				maxIn = level[f] + 1
+			}
+		}
+		level[id] = maxIn
+		state[id] = 2
+		return nil
+	}
+
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		if g.Type == DFF {
+			// Visit the next-state cone.
+			if err := visit(g.Fanin[0]); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := visit(id); err != nil {
+			return err
+		}
+	}
+	// A DFF's recorded level is its fanin's level (it is a sink of the
+	// combinational core); its output acts as level 0 for consumers,
+	// which the visit function already encoded.
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		if g.Type == DFF {
+			level[id] = level[g.Fanin[0]]
+			if level[id] < 0 {
+				level[id] = 0
+			}
+		}
+		c.Gates[id].Level = level[id]
+	}
+
+	// Evaluation order: all combinational gates sorted by level, ties by
+	// ID for determinism.
+	for id := range c.Gates {
+		t := c.Gates[id].Type
+		if t != PI && t != DFF {
+			c.order = append(c.order, id)
+		}
+	}
+	sort.Slice(c.order, func(i, j int) bool {
+		a, b := c.order[i], c.order[j]
+		if c.Gates[a].Level != c.Gates[b].Level {
+			return c.Gates[a].Level < c.Gates[b].Level
+		}
+		return a < b
+	})
+	return nil
+}

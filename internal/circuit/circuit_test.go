@@ -1,0 +1,214 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildS27 constructs the standard ISCAS-89 s27 netlist programmatically.
+func buildS27(t testing.TB) *Circuit {
+	b := NewBuilder("s27")
+	for _, in := range []string{"G0", "G1", "G2", "G3"} {
+		b.AddInput(in)
+	}
+	b.MarkOutput("G17")
+	b.AddGate("G5", DFF, "G10")
+	b.AddGate("G6", DFF, "G11")
+	b.AddGate("G7", DFF, "G13")
+	b.AddGate("G14", Not, "G0")
+	b.AddGate("G17", Not, "G11")
+	b.AddGate("G8", And, "G14", "G6")
+	b.AddGate("G15", Or, "G12", "G8")
+	b.AddGate("G16", Or, "G3", "G8")
+	b.AddGate("G9", Nand, "G16", "G15")
+	b.AddGate("G10", Nor, "G14", "G11")
+	b.AddGate("G11", Nor, "G5", "G9")
+	b.AddGate("G12", Nor, "G1", "G7")
+	b.AddGate("G13", Nand, "G2", "G12")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatalf("building s27: %v", err)
+	}
+	return c
+}
+
+func TestS27Shape(t *testing.T) {
+	c := buildS27(t)
+	if c.NumPI() != 4 || c.NumPO() != 1 || c.NumSV() != 3 {
+		t.Fatalf("s27 interface: PI=%d PO=%d SV=%d", c.NumPI(), c.NumPO(), c.NumSV())
+	}
+	s := c.Stats()
+	if s.Gates != 10 {
+		t.Errorf("s27 combinational gates = %d, want 10", s.Gates)
+	}
+	if s.FFs != 3 {
+		t.Errorf("s27 FFs = %d, want 3", s.FFs)
+	}
+}
+
+func TestEvalOrderRespectsDependencies(t *testing.T) {
+	c := buildS27(t)
+	pos := make(map[int]int)
+	for i, id := range c.EvalOrder() {
+		pos[id] = i
+	}
+	for _, id := range c.EvalOrder() {
+		g := &c.Gates[id]
+		for _, f := range g.Fanin {
+			fg := &c.Gates[f]
+			if fg.Type == PI || fg.Type == DFF {
+				continue
+			}
+			if pos[f] >= pos[id] {
+				t.Errorf("gate %s evaluated before its fanin %s", g.Name, fg.Name)
+			}
+		}
+	}
+	// Every combinational gate appears exactly once.
+	if len(c.EvalOrder()) != 10 {
+		t.Errorf("eval order has %d gates, want 10", len(c.EvalOrder()))
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := buildS27(t)
+	for _, in := range c.Inputs {
+		if c.Gates[in].Level != 0 {
+			t.Errorf("PI %s at level %d", c.Gates[in].Name, c.Gates[in].Level)
+		}
+	}
+	id, _ := c.GateByName("G14")
+	if c.Gates[id].Level != 1 {
+		t.Errorf("G14 level = %d, want 1", c.Gates[id].Level)
+	}
+	id, _ = c.GateByName("G8")
+	if c.Gates[id].Level != 2 {
+		t.Errorf("G8 level = %d, want 2", c.Gates[id].Level)
+	}
+	if c.Depth() < 2 {
+		t.Errorf("depth = %d, want >= 2", c.Depth())
+	}
+}
+
+func TestFanout(t *testing.T) {
+	c := buildS27(t)
+	id, _ := c.GateByName("G8")
+	if len(c.Gates[id].Fanout) != 2 {
+		t.Errorf("G8 fanout = %d, want 2 (G15 and G16)", len(c.Gates[id].Fanout))
+	}
+	id, _ = c.GateByName("G11")
+	// G11 drives G17, G10 and DFF G6.
+	if len(c.Gates[id].Fanout) != 3 {
+		t.Errorf("G11 fanout = %d, want 3", len(c.Gates[id].Fanout))
+	}
+}
+
+func TestScanView(t *testing.T) {
+	c := buildS27(t)
+	src := c.ScanSources()
+	if len(src) != 7 {
+		t.Fatalf("scan sources = %d, want 7 (4 PI + 3 PPI)", len(src))
+	}
+	obs := c.ScanObserved()
+	if len(obs) != 4 {
+		t.Fatalf("scan observed = %d, want 4 (1 PO + 3 PPO)", len(obs))
+	}
+	// The PPOs are the DFF drivers G10, G11, G13 in scan order.
+	wantPPO := []string{"G10", "G11", "G13"}
+	for i, name := range wantPPO {
+		if got := c.Gates[obs[1+i]].Name; got != name {
+			t.Errorf("PPO %d = %s, want %s", i, got, name)
+		}
+	}
+}
+
+func TestUndefinedSignal(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("A")
+	b.AddGate("Z", And, "A", "GHOST")
+	b.MarkOutput("Z")
+	if _, err := b.Finalize(); err == nil || !strings.Contains(err.Error(), "GHOST") {
+		t.Errorf("expected undefined-signal error, got %v", err)
+	}
+}
+
+func TestDoubleDefinition(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("A")
+	b.AddGate("A", Not, "A")
+	if _, err := b.Finalize(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("expected double-definition error, got %v", err)
+	}
+}
+
+func TestCombinationalCycle(t *testing.T) {
+	b := NewBuilder("cyc")
+	b.AddInput("A")
+	b.AddGate("X", And, "A", "Y")
+	b.AddGate("Y", And, "A", "X")
+	b.MarkOutput("Y")
+	if _, err := b.Finalize(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("expected cycle error, got %v", err)
+	}
+}
+
+func TestSequentialLoopIsFine(t *testing.T) {
+	// A loop through a DFF is not a combinational cycle.
+	b := NewBuilder("loop")
+	b.AddInput("A")
+	b.AddGate("Q", DFF, "D")
+	b.AddGate("D", Xor, "A", "Q")
+	b.MarkOutput("D")
+	if _, err := b.Finalize(); err != nil {
+		t.Errorf("sequential loop rejected: %v", err)
+	}
+}
+
+func TestBadFaninCount(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddInput("A")
+	b.AddGate("N", Not, "A", "A")
+	if _, err := b.Finalize(); err == nil {
+		t.Error("expected fanin-count error for 2-input NOT")
+	}
+}
+
+func TestGateTypeStrings(t *testing.T) {
+	if And.String() != "AND" || DFF.String() != "DFF" || PI.String() != "INPUT" {
+		t.Error("gate type names wrong")
+	}
+	if !Nand.Inverting() || And.Inverting() {
+		t.Error("Inverting wrong")
+	}
+}
+
+func TestConstGates(t *testing.T) {
+	b := NewBuilder("consts")
+	b.AddInput("A")
+	b.AddGate("ZERO", Const0)
+	b.AddGate("Z", Or, "A", "ZERO")
+	b.MarkOutput("Z")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 3 {
+		t.Errorf("gates = %d, want 3", c.NumGates())
+	}
+}
+
+func TestStatsLines(t *testing.T) {
+	c := buildS27(t)
+	s := c.Stats()
+	// 17 gates total; stems = 17. Gates with fanout > 1 contribute their
+	// branch count: count them directly for the expected value.
+	want := 17
+	for i := range c.Gates {
+		if len(c.Gates[i].Fanout) > 1 {
+			want += len(c.Gates[i].Fanout)
+		}
+	}
+	if s.Lines != want {
+		t.Errorf("Lines = %d, want %d", s.Lines, want)
+	}
+}

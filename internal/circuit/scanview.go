@@ -1,0 +1,30 @@
+package circuit
+
+// The scan view of a full-scan circuit treats every flip-flop output as a
+// pseudo primary input (PPI, fully controllable through a complete scan-in)
+// and every flip-flop's next-state line as a pseudo primary output (PPO,
+// fully observable through a complete scan-out). Under this view the
+// combinational core is an ordinary combinational circuit, which is the
+// model used by the PODEM engine to classify fault detectability.
+
+// ScanSources returns the controllable sources of the scan view: all
+// primary inputs followed by all DFF gates (whose outputs are the PPIs),
+// in scan-chain order.
+func (c *Circuit) ScanSources() []int {
+	out := make([]int, 0, len(c.Inputs)+len(c.DFFs))
+	out = append(out, c.Inputs...)
+	out = append(out, c.DFFs...)
+	return out
+}
+
+// ScanObserved returns the observable sinks of the scan view: the primary
+// output gates followed by the gates driving each DFF (the PPOs), in
+// scan-chain order.
+func (c *Circuit) ScanObserved() []int {
+	out := make([]int, 0, len(c.Outputs)+len(c.DFFs))
+	out = append(out, c.Outputs...)
+	for _, d := range c.DFFs {
+		out = append(out, c.Gates[d].Fanin[0])
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+
+	"limscan/internal/scan"
+)
+
+// Combo is one (L_A, L_B, N) parameter combination with its TS0 cost.
+type Combo struct {
+	LA, LB, N int
+	Ncyc0     int64
+}
+
+// Paper parameter grids (Section 3): L_A in {8..256}, L_B in {16..256},
+// N in {64,128,256}, with L_A < L_B.
+var (
+	paperLA = []int{8, 16, 32, 64, 128, 256}
+	paperLB = []int{16, 32, 64, 128, 256}
+	paperN  = []int{64, 128, 256}
+)
+
+// Combos enumerates the paper's (L_A, L_B, N) grid for a scan chain of
+// nsv flip-flops, sorted by increasing N_cyc0 (the Table 5 order), ties
+// broken by (N, L_B, L_A) for determinism.
+func Combos(nsv int) []Combo {
+	m := scan.CostModel{NSV: nsv}
+	var out []Combo
+	for _, n := range paperN {
+		for _, la := range paperLA {
+			for _, lb := range paperLB {
+				if la >= lb {
+					continue
+				}
+				out = append(out, Combo{LA: la, LB: lb, N: n, Ncyc0: m.Ncyc0(la, lb, n)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Ncyc0 != b.Ncyc0 {
+			return a.Ncyc0 < b.Ncyc0
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		if a.LB != b.LB {
+			return a.LB < b.LB
+		}
+		return a.LA < b.LA
+	})
+	return out
+}
+
+// CampaignResult is the Table 6 style outcome for one circuit: the result
+// of the first combination (in N_cyc0 order) that achieves complete
+// coverage of the detectable faults, plus everything tried before it.
+type CampaignResult struct {
+	Circuit string
+	// Chosen is the first complete result (nil if no combination within
+	// MaxCombos achieved completeness; then Best is the closest).
+	Chosen *Result
+	// Best is the result with the highest coverage seen (equal to Chosen
+	// when a complete combination exists).
+	Best *Result
+	// Tried counts the combinations evaluated.
+	Tried int
+}
+
+// CampaignOptions tunes FirstComplete.
+type CampaignOptions struct {
+	// Base configures everything except LA/LB/N (seed, D1 order, limits).
+	Base Config
+	// MaxCombos caps how many combinations are tried, in N_cyc0 order.
+	// Zero means 12.
+	MaxCombos int
+}
+
+// FirstComplete implements the paper's parameter selection: walk the
+// (L_A, L_B, N) combinations by increasing N_cyc0 and return the first
+// that reaches complete fault coverage (Section 3 / Table 6).
+func (r *Runner) FirstComplete(opts CampaignOptions) (*CampaignResult, error) {
+	maxCombos := opts.MaxCombos
+	if maxCombos == 0 {
+		maxCombos = 12
+	}
+	out := &CampaignResult{Circuit: r.c.Name}
+	for _, combo := range Combos(r.plan.Len()) {
+		if out.Tried >= maxCombos {
+			break
+		}
+		cfg := opts.Base
+		cfg.LA, cfg.LB, cfg.N = combo.LA, combo.LB, combo.N
+		res, err := r.RunProcedure2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Tried++
+		if out.Best == nil || res.Coverage() > out.Best.Coverage() {
+			out.Best = res
+		}
+		if res.Complete {
+			out.Chosen = res
+			return out, nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/circuit"
+	"limscan/internal/scan"
+)
+
+func load(t testing.TB, name string) *circuit.Circuit {
+	c, err := bmark.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateTS0Shape(t *testing.T) {
+	c := load(t, "s27")
+	cfg := Config{LA: 8, LB: 16, N: 64, Seed: 1}
+	ts := GenerateTS0(c, cfg)
+	if len(ts) != 128 {
+		t.Fatalf("tests = %d, want 2N = 128", len(ts))
+	}
+	for i, tt := range ts {
+		want := cfg.LA
+		if i >= cfg.N {
+			want = cfg.LB
+		}
+		if tt.Len() != want {
+			t.Fatalf("test %d length %d, want %d", i, tt.Len(), want)
+		}
+		if err := tt.Validate(c.NumPI(), c.NumSV()); err != nil {
+			t.Fatal(err)
+		}
+		if tt.Shift != nil {
+			t.Fatal("TS0 must not contain limited scans")
+		}
+	}
+}
+
+func TestGenerateTS0Reproducible(t *testing.T) {
+	c := load(t, "s27")
+	cfg := Config{LA: 4, LB: 8, N: 8, Seed: 7}
+	a := GenerateTS0(c, cfg)
+	b := GenerateTS0(c, cfg)
+	for i := range a {
+		if !a[i].SI.Equal(b[i].SI) {
+			t.Fatalf("test %d SI differs", i)
+		}
+		for u := range a[i].T {
+			if !a[i].T[u].Equal(b[i].T[u]) {
+				t.Fatalf("test %d vector %d differs", i, u)
+			}
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c2 := GenerateTS0(c, cfg2)
+	same := true
+	for i := range a {
+		if !a[i].SI.Equal(c2[i].SI) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical TS0 scan-in states")
+	}
+}
+
+func TestInsertLimitedScansDeterministic(t *testing.T) {
+	c := load(t, "s27")
+	cfg := Config{LA: 8, LB: 16, N: 8, Seed: 3}
+	ts0 := GenerateTS0(c, cfg)
+	a := InsertLimitedScans(c, ts0, 2, 3, cfg)
+	b := InsertLimitedScans(c, ts0, 2, 3, cfg)
+	for i := range a {
+		for u := range a[i].Shift {
+			if a[i].Shift[u] != b[i].Shift[u] {
+				t.Fatalf("schedule not deterministic at test %d unit %d", i, u)
+			}
+		}
+	}
+	// Different iterations give different schedules.
+	d := InsertLimitedScans(c, ts0, 3, 3, cfg)
+	diff := false
+	for i := range a {
+		for u := range a[i].Shift {
+			if a[i].Shift[u] != d[i].Shift[u] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("iterations 2 and 3 share the same schedule")
+	}
+}
+
+func TestInsertLimitedScansInvariants(t *testing.T) {
+	c := load(t, "s208")
+	cfg := Config{LA: 8, LB: 16, N: 16, Seed: 5}
+	ts0 := GenerateTS0(c, cfg)
+	for _, d1 := range []int{1, 2, 5, 10} {
+		ts := InsertLimitedScans(c, ts0, 1, d1, cfg)
+		for i := range ts {
+			if err := ts[i].Validate(c.NumPI(), c.NumSV()); err != nil {
+				t.Fatalf("D1=%d test %d: %v", d1, i, err)
+			}
+			if ts[i].Shift[0] != 0 {
+				t.Fatalf("D1=%d: shift at time unit 0", d1)
+			}
+		}
+	}
+}
+
+func TestInsertionProbabilityTracksD1(t *testing.T) {
+	// The fraction of time units with a limited scan must be ~1/D1
+	// (exactly 1 for D1=1, since r mod 1 == 0 always).
+	c := load(t, "s208")
+	cfg := Config{LA: 64, LB: 128, N: 16, Seed: 11, ReseedPerTest: false}
+	ts0 := GenerateTS0(c, cfg)
+	for _, d1 := range []int{1, 2, 4, 10} {
+		ts := InsertLimitedScans(c, ts0, 1, d1, cfg)
+		units, hits := 0, 0
+		for i := range ts {
+			for u := 1; u < ts[i].Len(); u++ {
+				units++
+				if ts[i].Shift[u] > 0 {
+					hits++
+				}
+			}
+		}
+		// shift can also be 0 when r2 mod D2 == 0, so the hit rate is
+		// (1/d1)·(D2-1)/D2.
+		d2 := c.NumSV() + 1
+		want := float64(units) / float64(d1) * float64(d2-1) / float64(d2)
+		if d1 == 1 {
+			if float64(hits) < want*0.9 {
+				t.Errorf("D1=1: hits %d, want about %.0f", hits, want)
+			}
+			continue
+		}
+		if float64(hits) < want*0.6 || float64(hits) > want*1.4 {
+			t.Errorf("D1=%d: %d limited-scan units of %d, want about %.0f", d1, hits, units, want)
+		}
+	}
+}
+
+func TestReseedPerTestSharesSchedules(t *testing.T) {
+	c := load(t, "s27")
+	cfg := Config{LA: 8, LB: 16, N: 4, Seed: 9, ReseedPerTest: true}
+	ts0 := GenerateTS0(c, cfg)
+	ts := InsertLimitedScans(c, ts0, 1, 2, cfg)
+	// Tests 0..N-1 all have length LA: identical schedules under the
+	// paper's per-test reseed.
+	for i := 1; i < cfg.N; i++ {
+		for u := range ts[0].Shift {
+			if ts[i].Shift[u] != ts[0].Shift[u] {
+				t.Fatalf("per-test reseed: test %d schedule differs at unit %d", i, u)
+			}
+		}
+	}
+	// Without reseed the schedules should differ somewhere.
+	cfg.ReseedPerTest = false
+	ts2 := InsertLimitedScans(c, ts0, 1, 2, cfg)
+	diff := false
+	for i := 1; i < cfg.N && !diff; i++ {
+		for u := range ts2[0].Shift {
+			if ts2[i].Shift[u] != ts2[0].Shift[u] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Error("continuous stream still produced identical schedules")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{LA: 0, LB: 16, N: 64}).Validate(); err == nil {
+		t.Error("LA=0 accepted")
+	}
+	if err := (Config{LA: 8, LB: 16, N: 64, D1Order: []int{0}}).Validate(); err == nil {
+		t.Error("D1=0 accepted")
+	}
+	if err := (Config{LA: 8, LB: 16, N: 64}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestD1Orders(t *testing.T) {
+	asc, desc := AscendingD1(), DescendingD1()
+	if len(asc) != 10 || len(desc) != 10 {
+		t.Fatal("D1 orders must have 10 entries")
+	}
+	for i := 0; i < 10; i++ {
+		if asc[i] != i+1 || desc[i] != 10-i {
+			t.Fatal("D1 order values wrong")
+		}
+	}
+}
+
+func TestProcedure2S27(t *testing.T) {
+	c := load(t, "s27")
+	r := NewRunner(c)
+	cfg := Config{LA: 4, LB: 8, N: 8, Seed: 1}
+	res, err := r.RunProcedure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Errorf("s27 did not reach complete coverage: %d/%d detected, %d untestable",
+			res.Detected, res.TotalFaults, res.Untestable)
+	}
+	// Cycle bookkeeping.
+	m := scan.CostModel{NSV: c.NumSV()}
+	if res.InitialCycles != m.Ncyc0(cfg.LA, cfg.LB, cfg.N) {
+		t.Errorf("InitialCycles = %d, want %d", res.InitialCycles, m.Ncyc0(cfg.LA, cfg.LB, cfg.N))
+	}
+	sum := res.InitialCycles
+	for _, p := range res.Pairs {
+		if p.Detected <= 0 {
+			t.Error("selected pair with no detections")
+		}
+		if p.Cycles < res.InitialCycles {
+			t.Error("pair cycles below Ncyc0 (shifts are non-negative)")
+		}
+		sum += p.Cycles
+	}
+	if res.TotalCycles != sum {
+		t.Errorf("TotalCycles = %d, want %d", res.TotalCycles, sum)
+	}
+	if res.Coverage() != 1 {
+		t.Errorf("coverage = %v, want 1", res.Coverage())
+	}
+}
+
+func TestProcedure2Reproducible(t *testing.T) {
+	c := load(t, "s27")
+	cfg := Config{LA: 4, LB: 8, N: 8, Seed: 2}
+	a, err := NewRunner(c).RunProcedure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner(c).RunProcedure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Detected != b.Detected || a.TotalCycles != b.TotalCycles || len(a.Pairs) != len(b.Pairs) {
+		t.Error("Procedure 2 is not reproducible")
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			t.Errorf("pair %d differs: %+v vs %+v", i, a.Pairs[i], b.Pairs[i])
+		}
+	}
+}
+
+func TestProcedure2LimitedScanHelps(t *testing.T) {
+	// On the s208 analog with a deliberately small TS0, limited scan
+	// pairs must add detections beyond TS0 (the paper's core claim).
+	c := load(t, "s208")
+	r := NewRunner(c)
+	cfg := Config{LA: 4, LB: 8, N: 8, Seed: 1}
+	res, err := r.RunProcedure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected <= res.InitialDetected {
+		t.Errorf("limited scan added nothing: initial %d, final %d (pairs %d)",
+			res.InitialDetected, res.Detected, len(res.Pairs))
+	}
+	if len(res.Pairs) == 0 {
+		t.Error("no pairs selected despite incomplete initial coverage")
+	}
+	if res.AvgLS <= 0 || res.AvgLS > 1 {
+		t.Errorf("AvgLS = %v out of (0,1]", res.AvgLS)
+	}
+	t.Logf("s208 analog: initial %d/%d, final %d/%d (untestable %d), %d pairs, %.2f ls, complete=%v",
+		res.InitialDetected, res.TotalFaults, res.Detected, res.TotalFaults,
+		res.Untestable, len(res.Pairs), res.AvgLS, res.Complete)
+}
+
+func TestCombosOrderMatchesTable5(t *testing.T) {
+	// Table 5 of the paper, N_SV = 21 column: the first 10 combinations
+	// by increasing N_cyc0.
+	want21 := []Combo{
+		{8, 16, 64, 4245}, {8, 32, 64, 5269}, {16, 32, 64, 5781},
+		{8, 64, 64, 7317}, {16, 64, 64, 7829}, {8, 16, 128, 8469},
+		{32, 64, 64, 8853}, {8, 32, 128, 10517}, {8, 128, 64, 11413},
+		{16, 32, 128, 11541},
+	}
+	got := Combos(21)
+	for i, w := range want21 {
+		if got[i] != w {
+			t.Errorf("N_SV=21 combo %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+	// N_SV = 74 column.
+	want74 := []Combo{
+		{8, 16, 64, 11082}, {8, 32, 64, 12106}, {16, 32, 64, 12618},
+		{8, 64, 64, 14154}, {16, 64, 64, 14666}, {32, 64, 64, 15690},
+		{8, 128, 64, 18250}, {16, 128, 64, 18762}, {32, 128, 64, 19786},
+		{64, 128, 64, 21834},
+	}
+	got = Combos(74)
+	for i, w := range want74 {
+		if got[i] != w {
+			t.Errorf("N_SV=74 combo %d = %+v, want %+v", i, got[i], w)
+		}
+	}
+}
+
+func TestCombosComplete(t *testing.T) {
+	got := Combos(8)
+	// 6 LA x 5 LB with LA<LB: LA=8 gives 5, 16->4, 32->3, 64->2, 128->1,
+	// 256->0: 15 per N, 45 total.
+	if len(got) != 45 {
+		t.Fatalf("combos = %d, want 45", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Ncyc0 < got[i-1].Ncyc0 {
+			t.Fatal("combos not sorted by Ncyc0")
+		}
+	}
+}
+
+func TestFirstCompleteS27(t *testing.T) {
+	c := load(t, "s27")
+	r := NewRunner(c)
+	out, err := r.FirstComplete(CampaignOptions{Base: Config{Seed: 1}, MaxCombos: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Chosen == nil {
+		t.Fatalf("s27 found no complete combination in %d tries (best %.4f)",
+			out.Tried, out.Best.Coverage())
+	}
+	if out.Chosen != out.Best {
+		t.Error("Chosen must be Best when complete")
+	}
+	if out.Chosen.Config.LA != 8 || out.Chosen.Config.LB != 16 || out.Chosen.Config.N != 64 {
+		t.Logf("s27 needed combo %+v", out.Chosen.Config)
+	}
+}
+
+func TestLFSRSourceMode(t *testing.T) {
+	c := load(t, "s27")
+	cfg := Config{LA: 4, LB: 8, N: 8, Seed: 1, UseLFSR: true}
+	a := GenerateTS0(c, cfg)
+	b := GenerateTS0(c, cfg)
+	for i := range a {
+		if !a[i].SI.Equal(b[i].SI) {
+			t.Fatal("LFSR mode not reproducible")
+		}
+	}
+	// The LFSR stream differs from the SplitMix stream.
+	sw := GenerateTS0(c, Config{LA: 4, LB: 8, N: 8, Seed: 1})
+	same := true
+	for i := range a {
+		if !a[i].SI.Equal(sw[i].SI) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("LFSR and SplitMix modes produced identical scan-in states")
+	}
+	// Campaigns run to completion under the hardware source too.
+	r := NewRunner(c)
+	res, err := r.RunProcedure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Errorf("s27 incomplete under LFSR source: %d/%d", res.Detected, res.TotalFaults)
+	}
+}
+
+func TestLFSRSourceValidate(t *testing.T) {
+	if err := (Config{LA: 4, LB: 8, N: 8, UseLFSR: true, LFSRDegree: 2}).Validate(); err == nil {
+		t.Error("invalid LFSR degree accepted")
+	}
+	if err := (Config{LA: 4, LB: 8, N: 8, UseLFSR: true, LFSRDegree: 24}).Validate(); err != nil {
+		t.Errorf("valid LFSR degree rejected: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+	"limscan/internal/scan"
+)
+
+func TestCoverageCurveMonotone(t *testing.T) {
+	c := load(t, "s298")
+	r := NewRunner(c)
+	cfg := Config{LA: 4, LB: 8, N: 8, Seed: 3}
+	tests := GenerateTS0(c, cfg)
+	fs := r.NewFaultSet()
+	curve, err := r.CoverageCurve(tests, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != len(tests) {
+		t.Fatalf("curve has %d points for %d tests", len(curve), len(tests))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Detected < curve[i-1].Detected {
+			t.Fatal("coverage decreased")
+		}
+		if curve[i].Cycles <= curve[i-1].Cycles {
+			t.Fatal("cycles not increasing")
+		}
+	}
+	if curve[len(curve)-1].Detected == 0 {
+		t.Error("nothing detected")
+	}
+}
+
+// TestCoverageCurveMatchesSessionRun pins the equivalence claim in the
+// doc comment: the curve's final detection count equals a single session
+// run over the same tests.
+func TestCoverageCurveMatchesSessionRun(t *testing.T) {
+	c := load(t, "s298")
+	cfg := Config{LA: 4, LB: 8, N: 8, Seed: 3}
+	tests := GenerateTS0(c, cfg)
+
+	r := NewRunner(c)
+	fsCurve := r.NewFaultSet()
+	curve, err := r.CoverageCurve(tests, fsCurve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsRun := r.NewFaultSet()
+	s := fsim.New(c)
+	st, err := s.Run(tests, fsRun, fsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := curve[len(curve)-1]
+	if last.Detected != st.Detected {
+		t.Errorf("curve final %d != session %d", last.Detected, st.Detected)
+	}
+	if last.Cycles != st.Cycles {
+		t.Errorf("curve cycles %d != session cycles %d", last.Cycles, st.Cycles)
+	}
+	for i := range fsCurve.State {
+		if fsCurve.State[i] != fsRun.State[i] {
+			t.Fatalf("fault %s differs between curve and session run",
+				fsCurve.Faults[i].Pretty(c))
+		}
+	}
+	// Session cost model sanity on the first point.
+	m := scan.CostModel{NSV: c.NumSV()}
+	if curve[0].Cycles != m.SessionCycles(tests[:1]) {
+		t.Error("first point cycle cost wrong")
+	}
+	if fsCurve.Count(fault.Detected) != last.Detected {
+		t.Error("set state and curve disagree")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+	"limscan/internal/scan"
+)
+
+func TestTopOffCompletesShortCampaign(t *testing.T) {
+	// A deliberately tiny random campaign leaves faults undetected; the
+	// deterministic top-off must close the gap to every PODEM-testable
+	// fault.
+	c := load(t, "s420")
+	r := NewRunner(c)
+	fs := r.NewFaultSet()
+	cfg := Config{LA: 2, LB: 4, N: 2, Seed: 1}
+	tests := GenerateTS0(c, cfg)
+	s := fsim.New(c)
+	if _, err := s.Run(tests, fs, fsim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Count(fault.Detected)
+	res, err := r.TopOff(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := fs.Count(fault.Detected)
+	if after <= before {
+		t.Fatalf("top-off added nothing: %d -> %d", before, after)
+	}
+	if len(fs.Remaining()) != fs.Count(fault.Aborted) {
+		t.Errorf("faults remain undetected after top-off: %d remaining, %d aborted",
+			len(fs.Remaining()), fs.Count(fault.Aborted))
+	}
+	if res.Detected != after-before {
+		t.Errorf("res.Detected = %d, want %d", res.Detected, after-before)
+	}
+	if len(res.Tests) == 0 || res.Cycles <= 0 {
+		t.Error("top-off produced no tests or no cycle cost")
+	}
+	t.Logf("s420 top-off: %d tests, +%d faults, %d proven untestable, %d cycles",
+		len(res.Tests), res.Detected, res.Proven, res.Cycles)
+}
+
+func TestTopOffCyclesAreSessionCost(t *testing.T) {
+	c := load(t, "s208")
+	r := NewRunner(c)
+	fs := r.NewFaultSet()
+	res, err := r.TopOff(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := scan.CostModel{NSV: c.NumSV()}
+	if res.Cycles != m.SessionCycles(res.Tests) {
+		t.Errorf("cycles %d != session cost %d", res.Cycles, m.SessionCycles(res.Tests))
+	}
+}
+
+func TestTopOffRejectsPartialScan(t *testing.T) {
+	c := load(t, "s298")
+	plan, err := scan.PartialScan(c.NumSV(), []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunnerWithPlan(c, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.TopOff(r.NewFaultSet()); err == nil {
+		t.Error("top-off accepted a partial-scan runner")
+	}
+}
+
+func TestTopOffIdempotent(t *testing.T) {
+	c := load(t, "s208")
+	r := NewRunner(c)
+	fs := r.NewFaultSet()
+	if _, err := r.TopOff(fs); err != nil {
+		t.Fatal(err)
+	}
+	again, err := r.TopOff(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Detected != 0 || len(again.Tests) != 0 {
+		t.Errorf("second top-off did work: %d tests, %d detected", len(again.Tests), again.Detected)
+	}
+}
+
+func TestTopOffTransitions(t *testing.T) {
+	// A short random session leaves transition faults undetected; the
+	// two-frame top-off closes most of the gap with 2-vector tests.
+	c := load(t, "s298")
+	r := NewRunner(c)
+	universe := fault.TransitionUniverse(c)
+	fs := fault.NewSet(universe)
+	cfg := Config{LA: 2, LB: 4, N: 4, Seed: 1}
+	s := fsim.New(c)
+	if _, err := s.Run(GenerateTS0(c, cfg), fs, fsim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Count(fault.Detected)
+	res, err := r.TopOffTransitions(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := fs.Count(fault.Detected)
+	if after <= before {
+		t.Fatalf("transition top-off added nothing: %d -> %d", before, after)
+	}
+	for i := range res.Tests {
+		if res.Tests[i].Len() != 2 {
+			t.Fatal("transition top-off tests must be launch/capture pairs")
+		}
+	}
+	t.Logf("s298 transition top-off: %d -> %d of %d (%d tests, %d cycles)",
+		before, after, len(universe), len(res.Tests), res.Cycles)
+	if float64(after) < float64(len(universe))*0.9 {
+		t.Errorf("transition coverage after top-off only %d/%d", after, len(universe))
+	}
+}

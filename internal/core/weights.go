@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"limscan/internal/circuit"
+	"limscan/internal/lfsr"
+	"limscan/internal/logic"
+	"limscan/internal/scan"
+)
+
+// Weights holds per-primary-input one-probabilities for weighted random
+// pattern generation, quantized to sixteenths (the usual 3-4 bit
+// weighting hardware). Weights[i]/16 is the probability that PI i is 1.
+//
+// Weighted random patterns are the classic alternative the paper's
+// introduction lists for improving random-pattern coverage; this
+// implementation provides the comparison point.
+type Weights []int
+
+// Validate checks quantization range.
+func (w Weights) Validate() error {
+	for i, v := range w {
+		if v < 1 || v > 15 {
+			return fmt.Errorf("core: weight %d/16 for input %d out of range [1,15]", v, i)
+		}
+	}
+	return nil
+}
+
+// ComputeWeights derives input weights from netlist structure: each
+// primary input is biased towards the non-controlling value demanded by
+// the gates it feeds (through buffers and inverters), weighted by gate
+// width — wide AND-like gates want 1s on their inputs, wide OR-like
+// gates want 0s. Inputs with no preference stay at 8/16.
+func ComputeWeights(c *circuit.Circuit) Weights {
+	w := make(Weights, c.NumPI())
+	for i, pi := range c.Inputs {
+		demand := 0 // positive: wants 1, negative: wants 0
+		var walk func(sig int, inverted bool)
+		walk = func(sig int, inverted bool) {
+			for _, consumer := range c.Gates[sig].Fanout {
+				g := &c.Gates[consumer]
+				// A gate's pull counts more the wider it is: the joint
+				// non-controlling assignment is what random patterns
+				// struggle to produce.
+				pull := len(g.Fanin) - 1
+				if pull < 1 {
+					pull = 1
+				}
+				switch g.Type {
+				case circuit.And, circuit.Nand:
+					if inverted {
+						demand -= pull
+					} else {
+						demand += pull
+					}
+				case circuit.Or, circuit.Nor:
+					if inverted {
+						demand += pull
+					} else {
+						demand -= pull
+					}
+				case circuit.Not:
+					walk(consumer, !inverted)
+				case circuit.Buf:
+					walk(consumer, inverted)
+				}
+			}
+		}
+		walk(pi, false)
+		switch {
+		case demand > 6:
+			w[i] = 13
+		case demand > 2:
+			w[i] = 11
+		case demand < -6:
+			w[i] = 3
+		case demand < -2:
+			w[i] = 5
+		default:
+			w[i] = 8
+		}
+	}
+	return w
+}
+
+// GenerateWeightedTS0 is GenerateTS0 with weighted primary input bits:
+// bit i of every vector is 1 with probability weights[i]/16. Scan-in
+// states stay uniformly random (state weighting needs per-flip-flop
+// hardware the classic schemes do not assume).
+func GenerateWeightedTS0(c *circuit.Circuit, cfg Config, weights Weights) ([]scan.Test, error) {
+	if len(weights) != c.NumPI() {
+		return nil, fmt.Errorf("core: %d weights for %d inputs", len(weights), c.NumPI())
+	}
+	if err := weights.Validate(); err != nil {
+		return nil, err
+	}
+	src := lfsr.NewSplitMix(cfg.Seed)
+	weightedBit := func(i int) uint8 {
+		if src.Intn(16) < weights[i] {
+			return 1
+		}
+		return 0
+	}
+	tests := make([]scan.Test, 0, 2*cfg.N)
+	gen := func(length int) scan.Test {
+		t := scan.Test{SI: logic.NewVec(c.NumSV())}
+		for b := 0; b < c.NumSV(); b++ {
+			t.SI.Set(b, src.Bit())
+		}
+		for u := 0; u < length; u++ {
+			v := logic.NewVec(c.NumPI())
+			for b := 0; b < c.NumPI(); b++ {
+				v.Set(b, weightedBit(b))
+			}
+			t.T = append(t.T, v)
+		}
+		return t
+	}
+	for i := 0; i < cfg.N; i++ {
+		tests = append(tests, gen(cfg.LA))
+	}
+	for i := 0; i < cfg.N; i++ {
+		tests = append(tests, gen(cfg.LB))
+	}
+	return tests, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+)
+
+func TestComputeWeightsRange(t *testing.T) {
+	for _, name := range []string{"s27", "s208", "s420", "b10"} {
+		c := load(t, name)
+		w := ComputeWeights(c)
+		if len(w) != c.NumPI() {
+			t.Fatalf("%s: %d weights for %d inputs", name, len(w), c.NumPI())
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestComputeWeightsBias(t *testing.T) {
+	// A PI feeding only a wide AND must be biased towards 1; one feeding
+	// a wide OR towards 0; through an inverter the bias flips.
+	b := circuit.NewBuilder("bias")
+	for _, in := range []string{"A", "B", "C", "D", "E", "F", "G", "H"} {
+		b.AddInput(in)
+	}
+	b.AddGate("wideand", circuit.And, "A", "B", "C", "D", "E")
+	b.AddGate("notf", circuit.Not, "F")
+	b.AddGate("wideor", circuit.Or, "notf", "G", "H", "wideand")
+	b.MarkOutput("wideor")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ComputeWeights(c)
+	aIdx, _ := 0, 0 // A is input 0
+	if w[aIdx] <= 8 {
+		t.Errorf("A weight = %d/16, want > 8 (feeds wide AND)", w[aIdx])
+	}
+	// G (index 6) feeds only the wide OR: wants 0.
+	if w[6] >= 8 {
+		t.Errorf("G weight = %d/16, want < 8 (feeds wide OR)", w[6])
+	}
+	// F feeds the wide OR through an inverter: the OR wants 0, so F
+	// wants 1.
+	if w[5] <= 8 {
+		t.Errorf("F weight = %d/16, want > 8 (inverted into wide OR)", w[5])
+	}
+}
+
+func TestGenerateWeightedTS0(t *testing.T) {
+	c := load(t, "s420")
+	cfg := Config{LA: 16, LB: 32, N: 32, Seed: 5}
+	w := make(Weights, c.NumPI())
+	for i := range w {
+		w[i] = 12 // 75% ones
+	}
+	ts, err := GenerateWeightedTS0(c, cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 64 {
+		t.Fatalf("tests = %d", len(ts))
+	}
+	ones, bits := 0, 0
+	for i := range ts {
+		for _, v := range ts[i].T {
+			ones += v.OnesCount()
+			bits += v.Len()
+		}
+	}
+	frac := float64(ones) / float64(bits)
+	if frac < 0.70 || frac > 0.80 {
+		t.Errorf("ones fraction %.3f, want about 0.75", frac)
+	}
+	// Reproducible.
+	ts2, err := GenerateWeightedTS0(c, cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if !ts[i].SI.Equal(ts2[i].SI) {
+			t.Fatal("weighted TS0 not reproducible")
+		}
+	}
+}
+
+func TestGenerateWeightedTS0Errors(t *testing.T) {
+	c := load(t, "s27")
+	if _, err := GenerateWeightedTS0(c, Config{LA: 2, LB: 4, N: 2}, Weights{8}); err == nil {
+		t.Error("wrong weight count accepted")
+	}
+	if _, err := GenerateWeightedTS0(c, Config{LA: 2, LB: 4, N: 2}, Weights{8, 8, 8, 16}); err == nil {
+		t.Error("out-of-range weight accepted")
+	}
+}
+
+func TestWeightedImprovesWideGateCoverage(t *testing.T) {
+	// On an analog with wide gates, structure-derived weights must not
+	// hurt initial coverage, and usually help the wide-gate faults. We
+	// assert non-catastrophe (within a small delta) rather than strict
+	// improvement, since weighting also starves OR-type excitation.
+	c := load(t, "s420")
+	cfg := Config{LA: 8, LB: 16, N: 32, Seed: 7}
+	r := NewRunner(c)
+
+	plainTests := GenerateTS0(c, cfg)
+	fsPlain := r.NewFaultSet()
+	s := fsim.New(c)
+	if _, err := s.Run(plainTests, fsPlain, fsim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	w := ComputeWeights(c)
+	weightedTests, err := GenerateWeightedTS0(c, cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsW := r.NewFaultSet()
+	if _, err := s.Run(weightedTests, fsW, fsim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	plain := fsPlain.Count(fault.Detected)
+	weighted := fsW.Count(fault.Detected)
+	t.Logf("s420 initial coverage: plain %d, weighted %d of %d", plain, weighted, len(fsPlain.Faults))
+	if weighted < plain*9/10 {
+		t.Errorf("weighting collapsed coverage: %d vs %d", weighted, plain)
+	}
+}

@@ -1,0 +1,313 @@
+// Package fault defines the single stuck-at fault model over gate-level
+// netlists: the fault universe (stem faults on every gate output, branch
+// faults on every fanout branch), structural equivalence collapsing, and
+// the bookkeeping used by fault simulation with dropping.
+package fault
+
+import (
+	"fmt"
+
+	"limscan/internal/circuit"
+)
+
+// Model selects the fault model of a Fault.
+type Model uint8
+
+// The supported fault models. StuckAt is the paper's model and the zero
+// value. SlowToRise / SlowToFall are gross-delay transition faults for
+// at-speed sequences: a rising (falling) edge on the line arrives one
+// functional clock late, so the line shows its previous value for the
+// cycle of the transition. Transition faults are launched only by
+// consecutive at-speed vectors (launch-on-capture); scan shifts do not
+// launch.
+const (
+	StuckAt Model = iota
+	SlowToRise
+	SlowToFall
+)
+
+func (m Model) String() string {
+	switch m {
+	case StuckAt:
+		return "stuck-at"
+	case SlowToRise:
+		return "slow-to-rise"
+	case SlowToFall:
+		return "slow-to-fall"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Fault is a single fault. Pin == Stem (-1) places the fault on the
+// output stem of Gate; otherwise the fault is on input pin Pin of Gate
+// (a fanout branch of the driving line). For the StuckAt model, Stuck is
+// the stuck value, 0 or 1; transition faults are stem-only and ignore
+// Stuck.
+type Fault struct {
+	Gate  int
+	Pin   int
+	Stuck uint8
+	Model Model
+}
+
+// Stem is the Pin value of an output-stem fault.
+const Stem = -1
+
+// String renders the fault in the conventional form, e.g. "G8 s-a-1" for
+// a stem fault or "G15/in0 s-a-0" for a branch fault. It needs the
+// circuit for gate names; see Pretty.
+func (f Fault) String() string {
+	if f.Model != StuckAt {
+		return fmt.Sprintf("gate%d %s", f.Gate, f.Model)
+	}
+	if f.Pin == Stem {
+		return fmt.Sprintf("gate%d s-a-%d", f.Gate, f.Stuck)
+	}
+	return fmt.Sprintf("gate%d/in%d s-a-%d", f.Gate, f.Pin, f.Stuck)
+}
+
+// Pretty renders the fault with netlist names.
+func (f Fault) Pretty(c *circuit.Circuit) string {
+	g := &c.Gates[f.Gate]
+	if f.Model != StuckAt {
+		return fmt.Sprintf("%s %s", g.Name, f.Model)
+	}
+	if f.Pin == Stem {
+		return fmt.Sprintf("%s s-a-%d", g.Name, f.Stuck)
+	}
+	drv := &c.Gates[g.Fanin[f.Pin]]
+	return fmt.Sprintf("%s->%s s-a-%d", drv.Name, g.Name, f.Stuck)
+}
+
+// TransitionUniverse returns the transition-fault list: one slow-to-rise
+// and one slow-to-fall fault on every primary input and combinational
+// gate output. Flip-flop outputs are excluded — their at-speed
+// transitions interleave with scan-mode shifting, which launch-on-capture
+// testing deliberately ignores.
+func TransitionUniverse(c *circuit.Circuit) []Fault {
+	var out []Fault
+	for id := range c.Gates {
+		if c.Gates[id].Type == circuit.DFF {
+			continue
+		}
+		out = append(out,
+			Fault{Gate: id, Pin: Stem, Model: SlowToRise},
+			Fault{Gate: id, Pin: Stem, Model: SlowToFall})
+	}
+	return out
+}
+
+// Universe returns the full (uncollapsed) single stuck-at fault list of c:
+// two faults on every gate output stem, plus two faults on every input
+// pin whose driving line has fanout greater than one (fanout branches).
+// Pins on fanout-free lines are electrically the same line as the driver
+// stem and are not listed separately.
+func Universe(c *circuit.Circuit) []Fault {
+	var out []Fault
+	for id := range c.Gates {
+		for _, v := range []uint8{0, 1} {
+			out = append(out, Fault{Gate: id, Pin: Stem, Stuck: v})
+		}
+	}
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		for pin, drv := range g.Fanin {
+			if len(c.Gates[drv].Fanout) > 1 {
+				for _, v := range []uint8{0, 1} {
+					out = append(out, Fault{Gate: id, Pin: pin, Stuck: v})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Collapse performs structural equivalence collapsing on the fault list
+// and returns one representative per equivalence class, in deterministic
+// order, together with the class sizes (aligned with the representatives).
+//
+// The classical gate-local equivalences are used:
+//
+//	AND : every input s-a-0  == output s-a-0
+//	NAND: every input s-a-0  == output s-a-1
+//	OR  : every input s-a-1  == output s-a-1
+//	NOR : every input s-a-1  == output s-a-0
+//	NOT : input s-a-v        == output s-a-(1-v)
+//	BUF : input s-a-v        == output s-a-v
+//
+// For a fanout-free connection the consumer's input fault is the driver's
+// stem fault, which chains the equivalences across gates. Faults across a
+// DFF boundary are never merged: a flip-flop's output fault interacts with
+// the scan chain (it corrupts shifted bits) while its input fault only
+// corrupts functional captures, and the paper's scan-out detections make
+// the two distinguishable.
+func Collapse(c *circuit.Circuit, universe []Fault) (reps []Fault, classSize []int) {
+	idx := make(map[Fault]int, len(universe))
+	for i, f := range universe {
+		idx[f] = i
+	}
+	parent := make([]int, len(universe))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	// isDFFStem guards the DFF boundary: a flip-flop's output fault
+	// interacts with the scan chain (it corrupts shifted bits), so it is
+	// never merged with faults in the surrounding combinational logic.
+	isDFFStem := func(c *circuit.Circuit, f Fault) bool {
+		return f.Pin == Stem && c.Gates[f.Gate].Type == circuit.DFF
+	}
+	// inputFault resolves "input pin (g,pin) stuck at v" to the fault in
+	// the universe that represents it: the branch fault if the driver has
+	// fanout > 1, else the driver's stem fault.
+	inputFault := func(g, pin int, v uint8) (Fault, bool) {
+		drv := c.Gates[g].Fanin[pin]
+		var f Fault
+		if len(c.Gates[drv].Fanout) > 1 {
+			f = Fault{Gate: g, Pin: pin, Stuck: v}
+		} else {
+			f = Fault{Gate: drv, Pin: Stem, Stuck: v}
+		}
+		_, ok := idx[f]
+		return f, ok
+	}
+
+	for id := range c.Gates {
+		g := &c.Gates[id]
+		var inVal, outVal uint8
+		switch g.Type {
+		case circuit.And:
+			inVal, outVal = 0, 0
+		case circuit.Nand:
+			inVal, outVal = 0, 1
+		case circuit.Or:
+			inVal, outVal = 1, 1
+		case circuit.Nor:
+			inVal, outVal = 1, 0
+		case circuit.Not:
+			// Both polarities collapse through an inverter.
+			for _, v := range []uint8{0, 1} {
+				if inF, ok := inputFault(id, 0, v); ok && !isDFFStem(c, inF) {
+					union(idx[Fault{Gate: id, Pin: Stem, Stuck: 1 - v}], idx[inF])
+				}
+			}
+			continue
+		case circuit.Buf:
+			for _, v := range []uint8{0, 1} {
+				if inF, ok := inputFault(id, 0, v); ok && !isDFFStem(c, inF) {
+					union(idx[Fault{Gate: id, Pin: Stem, Stuck: v}], idx[inF])
+				}
+			}
+			continue
+		default:
+			continue // PI, DFF, XOR, XNOR, constants: no local equivalence
+		}
+		out := idx[Fault{Gate: id, Pin: Stem, Stuck: outVal}]
+		for pin := range g.Fanin {
+			if inF, ok := inputFault(id, pin, inVal); ok && !isDFFStem(c, inF) {
+				union(out, idx[inF])
+			}
+		}
+	}
+
+	sizes := make(map[int]int)
+	for i := range universe {
+		sizes[find(i)]++
+	}
+	for i, f := range universe {
+		if find(i) == i {
+			reps = append(reps, f)
+			classSize = append(classSize, sizes[i])
+		}
+	}
+	return reps, classSize
+}
+
+// Status tracks detection state per fault during a campaign.
+type Status uint8
+
+// Detection states of a fault during a test generation campaign.
+const (
+	Undetected Status = iota
+	Detected
+	Untestable // proven redundant by ATPG
+	Aborted    // ATPG gave up; treated as possibly-testable
+)
+
+func (s Status) String() string {
+	switch s {
+	case Undetected:
+		return "undetected"
+	case Detected:
+		return "detected"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Set is a fault list with per-fault status, supporting the fault-dropping
+// discipline of Procedure 2: Remaining yields the faults still worth
+// simulating.
+type Set struct {
+	Faults []Fault
+	State  []Status
+}
+
+// NewSet returns a Set over the given faults, all initially undetected.
+func NewSet(faults []Fault) *Set {
+	return &Set{Faults: faults, State: make([]Status, len(faults))}
+}
+
+// Remaining returns the indices of faults that are neither detected nor
+// proven untestable.
+func (s *Set) Remaining() []int {
+	var out []int
+	for i, st := range s.State {
+		if st == Undetected || st == Aborted {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Count tallies faults by status.
+func (s *Set) Count(st Status) int {
+	n := 0
+	for _, x := range s.State {
+		if x == st {
+			n++
+		}
+	}
+	return n
+}
+
+// Coverage returns detected / (total - untestable), the fault coverage
+// over detectable faults, in [0,1]. A set with no detectable faults has
+// coverage 1.
+func (s *Set) Coverage() float64 {
+	den := len(s.Faults) - s.Count(Untestable)
+	if den == 0 {
+		return 1
+	}
+	return float64(s.Count(Detected)) / float64(den)
+}

@@ -1,0 +1,387 @@
+// Package fsim is a bit-parallel stuck-at fault simulator for scan
+// circuits under the paper's test form: complete scan-in, primary input
+// vectors applied at speed with optional limited scan operations between
+// them, and a complete scan-out that overlaps the next test's scan-in.
+//
+// Faults are packed 63 per machine word with the good machine in lane 0.
+// A fault is detected when an observed value — a primary output at any
+// functional time unit, or a bit shifted out of the scan chain during a
+// limited or complete scan operation — differs from the good machine's.
+//
+// The scan chain is modeled as a ring buffer over word-valued flip-flop
+// slots, so a complete scan operation costs O(N_SV) word operations
+// rather than O(N_SV^2). Partial scan (the paper's concluding remark) is
+// supported through scan.Plan: unscanned flip-flops hold their values
+// during scan operations.
+package fsim
+
+import (
+	"fmt"
+
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/logic"
+	"limscan/internal/misr"
+	"limscan/internal/scan"
+	"limscan/internal/sim"
+)
+
+// LanesPerWord is the number of faults simulated concurrently per batch
+// (lane 0 carries the good machine).
+const LanesPerWord = 63
+
+// Options tunes a simulation run.
+type Options struct {
+	// FaultsPerPass caps the number of faults packed into one batch.
+	// Zero means LanesPerWord. Smaller values are only useful for the
+	// packing-width ablation benchmarks.
+	FaultsPerPass int
+	// NoEarlyExit disables stopping a batch once every fault in it has
+	// been detected (for ablation benchmarks).
+	NoEarlyExit bool
+	// MISRDegree switches detection from exact stream comparison to
+	// hardware-faithful signature compaction: every observed value is
+	// fed into a multiple-input signature register of this degree, and a
+	// fault counts as detected only if its final signature differs from
+	// the good machine's. Zero keeps exact comparison. Compaction can
+	// alias (probability about 2^-degree per fault), which is the point
+	// of exposing it.
+	MISRDegree int
+}
+
+// RunStats reports the outcome of simulating one BIST session.
+type RunStats struct {
+	// Detected is the number of faults newly detected in this run.
+	Detected int
+	// Cycles is the session's clock-cycle cost per the paper's model
+	// (it depends only on the tests, not on the faults).
+	Cycles int64
+}
+
+// Simulator simulates test sessions for one circuit. It is not safe for
+// concurrent use; create one per goroutine.
+type Simulator struct {
+	c    *circuit.Circuit
+	ev   *sim.Evaluator
+	plan scan.Plan
+	cost scan.CostModel
+
+	// ring holds the scanned flip-flop values: chain element k lives in
+	// ring[(head+k) % len(ring)]. hold carries unscanned positions.
+	ring     []logic.Word
+	head     int
+	hold     []logic.Word
+	chainIdx []int // position -> chain index, -1 if unscanned
+
+	forces *sim.Forces
+	// stateStuck pins a scan position to a stuck value in given lanes
+	// (flip-flop output faults); captureStuck forces the value captured
+	// by a flip-flop at functional clocks (flip-flop input faults).
+	stateStuck   []laneForce
+	captureStuck []laneForce
+}
+
+type laneForce struct {
+	pos  int
+	mask logic.Word
+	val  logic.Word
+}
+
+// New returns a full-scan Simulator for c.
+func New(c *circuit.Circuit) *Simulator {
+	s, err := NewWithPlan(c, scan.FullScan(c.NumSV()))
+	if err != nil {
+		panic(err) // full scan over the circuit's own N_SV cannot fail
+	}
+	return s
+}
+
+// NewWithPlan returns a Simulator using the given scan plan (full or
+// partial).
+func NewWithPlan(c *circuit.Circuit, plan scan.Plan) (*Simulator, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.Total != c.NumSV() {
+		return nil, fmt.Errorf("fsim: plan covers %d state variables, circuit has %d", plan.Total, c.NumSV())
+	}
+	s := &Simulator{
+		c:        c,
+		ev:       sim.NewEvaluator(c),
+		plan:     plan,
+		cost:     scan.CostModel{NSV: plan.Len()},
+		ring:     make([]logic.Word, plan.Len()),
+		hold:     make([]logic.Word, c.NumSV()),
+		chainIdx: make([]int, c.NumSV()),
+		forces:   sim.NewForces(c),
+	}
+	for i := range s.chainIdx {
+		s.chainIdx[i] = -1
+	}
+	for k, pos := range plan.Chain {
+		s.chainIdx[pos] = k
+	}
+	return s, nil
+}
+
+// Circuit returns the simulated netlist.
+func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
+
+// Plan returns the scan plan in use.
+func (s *Simulator) Plan() scan.Plan { return s.plan }
+
+// Run simulates one BIST session applying tests in order against the
+// remaining faults of fs, marks newly detected faults in fs (fault
+// dropping), and returns the session statistics. Faults already Detected
+// or Untestable are skipped.
+func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStats, error) {
+	per := opts.FaultsPerPass
+	if per <= 0 || per > LanesPerWord {
+		per = LanesPerWord
+	}
+	for i := range tests {
+		if err := tests[i].Validate(s.c.NumPI(), s.plan.Len()); err != nil {
+			return RunStats{}, fmt.Errorf("fsim: test %d: %w", i, err)
+		}
+	}
+	stats := RunStats{Cycles: s.cost.SessionCycles(tests)}
+	rem := fs.Remaining()
+	for start := 0; start < len(rem); start += per {
+		end := start + per
+		if end > len(rem) {
+			end = len(rem)
+		}
+		batch := rem[start:end]
+		det := s.runBatch(tests, fs.Faults, batch, opts)
+		for j, fi := range batch {
+			if det&logic.Lane(j+1) != 0 {
+				fs.State[fi] = fault.Detected
+				stats.Detected++
+			}
+		}
+	}
+	return stats, nil
+}
+
+// getState and setState access a flip-flop position regardless of
+// whether it sits on the scan chain.
+func (s *Simulator) getState(pos int) logic.Word {
+	if k := s.chainIdx[pos]; k >= 0 {
+		return s.ring[s.slot(k)]
+	}
+	return s.hold[pos]
+}
+
+func (s *Simulator) setState(pos int, w logic.Word) {
+	if k := s.chainIdx[pos]; k >= 0 {
+		s.ring[s.slot(k)] = w
+		return
+	}
+	s.hold[pos] = w
+}
+
+// slot maps a chain index to its ring slot.
+func (s *Simulator) slot(k int) int {
+	n := len(s.ring)
+	i := s.head + k
+	if i >= n {
+		i -= n
+	}
+	return i
+}
+
+// applyStateStuck re-pins flip-flop output faults after any operation
+// that rewrote state values.
+func (s *Simulator) applyStateStuck() {
+	for _, f := range s.stateStuck {
+		s.setState(f.pos, logic.Force(s.getState(f.pos), f.mask, f.val))
+	}
+}
+
+// shiftOne performs one scan shift: every chain element moves right, fill
+// enters at chain position 0 (identically in all lanes), and the word
+// leaving the last chain element is returned for observation. Unscanned
+// flip-flops hold. Flip-flop output faults are re-applied so stuck bits
+// corrupt values passing through.
+func (s *Simulator) shiftOne(fill uint8) logic.Word {
+	n := len(s.ring)
+	if n == 0 {
+		return 0
+	}
+	// Chain element n-1 is slot (head+n-1) mod n == (head-1) mod n.
+	outSlot := s.head - 1
+	if outSlot < 0 {
+		outSlot += n
+	}
+	out := s.ring[outSlot]
+	// Rotating the head left makes every old element k appear at k+1;
+	// the vacated slot becomes element 0.
+	s.head = outSlot
+	s.ring[s.head] = logic.Spread(fill)
+	s.applyStateStuck()
+	// Scan activity breaks launch-on-capture pairs: the next functional
+	// cycle cannot launch a transition from the pre-scan cycle.
+	s.forces.UnprimeTransitions()
+	return out
+}
+
+// reset zeroes all machine state (the power-up configuration: every lane
+// agrees, so no detections can arise from it).
+func (s *Simulator) reset() {
+	for i := range s.ring {
+		s.ring[i] = 0
+	}
+	for i := range s.hold {
+		s.hold[i] = 0
+	}
+	s.head = 0
+	s.applyStateStuck()
+}
+
+// runBatch simulates the whole session for one batch of faults and
+// returns the detection mask (lane j+1 set when batch[j] was detected).
+func (s *Simulator) runBatch(tests []scan.Test, faults []fault.Fault, batch []int, opts Options) logic.Word {
+	batchMask := s.installFaults(faults, batch)
+	s.reset()
+
+	var detected logic.Word
+	var compactor *misr.MISR
+	var observe func(logic.Word)
+	if opts.MISRDegree > 0 {
+		compactor = misr.MustNew(opts.MISRDegree)
+		observe = compactor.Feed
+	} else {
+		observe = func(w logic.Word) {
+			good := logic.Spread(logic.Bit(w, 0))
+			detected |= (w ^ good) & batchMask
+		}
+	}
+	done := func() bool {
+		// Under compaction the verdict exists only once the whole
+		// session has been absorbed.
+		return compactor == nil && !opts.NoEarlyExit && detected&batchMask == batchMask
+	}
+
+	m := s.plan.Len()
+	for ti := range tests {
+		t := &tests[ti]
+		// Complete scan: scan in t.SI while scanning out the previous
+		// test's final state (observed, except before the first test).
+		// Bits enter at chain position 0 and end at increasing
+		// positions, so the last SI bit to enter is SI[0]: feed SI back
+		// to front.
+		for k := m - 1; k >= 0; k-- {
+			out := s.shiftOne(t.SI.Get(k))
+			if ti > 0 {
+				observe(out)
+			}
+		}
+		if done() {
+			return detected
+		}
+		for u := 0; u < len(t.T); u++ {
+			if t.Shift != nil && t.Shift[u] > 0 {
+				for k := 0; k < t.Shift[u]; k++ {
+					observe(s.shiftOne(t.Fill[u][k]))
+				}
+				if done() {
+					return detected
+				}
+			}
+			s.step(t.T[u])
+			for i := 0; i < s.c.NumPO(); i++ {
+				observe(s.ev.PO(i))
+			}
+			if done() {
+				return detected
+			}
+		}
+	}
+	// Final complete scan-out (fill value irrelevant to detection).
+	for k := 0; k < m; k++ {
+		observe(s.shiftOne(0))
+		if done() {
+			return detected
+		}
+	}
+	if compactor != nil {
+		detected = compactor.DiffMask() & batchMask
+	}
+	return detected
+}
+
+// installFaults resets injection state and wires one batch of faults
+// into forces and the per-position stuck lists. It returns the batch's
+// lane mask.
+func (s *Simulator) installFaults(faults []fault.Fault, batch []int) logic.Word {
+	s.forces.Reset()
+	s.stateStuck = s.stateStuck[:0]
+	s.captureStuck = s.captureStuck[:0]
+
+	var batchMask logic.Word
+	for j, fi := range batch {
+		lane := j + 1
+		batchMask |= logic.Lane(lane)
+		s.installFault(faults[fi], lane)
+	}
+	return batchMask
+}
+
+func (s *Simulator) installFault(f fault.Fault, lane int) {
+	g := &s.c.Gates[f.Gate]
+	if f.Model != fault.StuckAt {
+		// Transition faults are stem-only on non-DFF lines (see
+		// fault.TransitionUniverse); anything else is a modeling error.
+		if f.Pin != fault.Stem || g.Type == circuit.DFF {
+			panic(fmt.Sprintf("fsim: unsupported transition fault %v", f))
+		}
+		s.forces.ForceTransition(f.Gate, lane, f.Model == fault.SlowToRise)
+		return
+	}
+	switch {
+	case g.Type == circuit.DFF && f.Pin == fault.Stem:
+		s.stateStuck = append(s.stateStuck, mkLaneForce(s.dffPos(f.Gate), lane, f.Stuck))
+	case g.Type == circuit.DFF:
+		s.captureStuck = append(s.captureStuck, mkLaneForce(s.dffPos(f.Gate), lane, f.Stuck))
+	case f.Pin == fault.Stem:
+		s.forces.ForceOut(f.Gate, lane, f.Stuck)
+	default:
+		s.forces.ForcePin(f.Gate, f.Pin, lane, f.Stuck)
+	}
+}
+
+func (s *Simulator) dffPos(gate int) int {
+	for pos, id := range s.c.DFFs {
+		if id == gate {
+			return pos
+		}
+	}
+	return -1
+}
+
+// step applies one primary input vector at speed: evaluate the
+// combinational core from the current state and capture the next state.
+func (s *Simulator) step(vec logic.Vec) {
+	for i := 0; i < s.c.NumPI(); i++ {
+		s.ev.SetPI(i, logic.Spread(vec.Get(i)))
+	}
+	for pos := 0; pos < s.c.NumSV(); pos++ {
+		s.ev.SetState(pos, s.getState(pos))
+	}
+	s.ev.Eval(s.forces)
+	for pos := 0; pos < s.c.NumSV(); pos++ {
+		s.setState(pos, s.ev.NextState(pos))
+	}
+	for _, f := range s.captureStuck {
+		s.setState(f.pos, logic.Force(s.getState(f.pos), f.mask, f.val))
+	}
+	s.applyStateStuck()
+}
+
+func mkLaneForce(pos, lane int, stuck uint8) laneForce {
+	f := laneForce{pos: pos, mask: logic.Lane(lane)}
+	if stuck != 0 {
+		f.val = f.mask
+	}
+	return f
+}

@@ -1,0 +1,92 @@
+package fsim
+
+import (
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/fault"
+)
+
+// TestFuzzDifferential cross-checks the bit-parallel simulator against
+// the scalar oracle on a population of freshly generated random circuits
+// — different interface shapes, gate mixes and scan-chain lengths — with
+// and without limited scan operations. This is the repository's main
+// guard against simulator regressions.
+func TestFuzzDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz differential skipped in -short mode")
+	}
+	specs := []bmark.Spec{
+		{Name: "fz1", PIs: 3, POs: 2, FFs: 4, Gates: 30, Seed: 101},
+		{Name: "fz2", PIs: 6, POs: 1, FFs: 9, Gates: 60, Seed: 202},
+		{Name: "fz3", PIs: 2, POs: 5, FFs: 12, Gates: 80, Seed: 303},
+		{Name: "fz4", PIs: 10, POs: 3, FFs: 6, Gates: 50, Seed: 404},
+		{Name: "fz5", PIs: 4, POs: 4, FFs: 20, Gates: 100, Seed: 505},
+	}
+	for _, spec := range specs {
+		c, err := bmark.Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		reps, _ := fault.Collapse(c, fault.Universe(c))
+		for _, withScans := range []bool{false, true} {
+			tests := randomTests(c, 3, 5, withScans, spec.Seed^0xABCD)
+			fs := fault.NewSet(reps)
+			s := New(c)
+			if _, err := s.Run(tests, fs, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			mismatches := 0
+			for i, f := range reps {
+				want := refDetects(c, tests, f)
+				got := fs.State[i] == fault.Detected
+				if got != want {
+					mismatches++
+					if mismatches <= 3 {
+						t.Errorf("%s scans=%v fault %s: parallel=%v reference=%v",
+							spec.Name, withScans, f.Pretty(c), got, want)
+					}
+				}
+			}
+			if mismatches > 3 {
+				t.Errorf("%s scans=%v: %d total mismatches", spec.Name, withScans, mismatches)
+			}
+		}
+	}
+}
+
+// TestFuzzTransitionDifferential repeats the fuzz cross-check for the
+// transition fault model.
+func TestFuzzTransitionDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz differential skipped in -short mode")
+	}
+	specs := []bmark.Spec{
+		{Name: "tf1", PIs: 3, POs: 2, FFs: 4, Gates: 30, Seed: 111},
+		{Name: "tf2", PIs: 6, POs: 1, FFs: 9, Gates: 60, Seed: 222},
+		{Name: "tf3", PIs: 2, POs: 5, FFs: 12, Gates: 80, Seed: 333},
+	}
+	for _, spec := range specs {
+		c, err := bmark.Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		universe := fault.TransitionUniverse(c)
+		for _, withScans := range []bool{false, true} {
+			tests := randomTests(c, 3, 6, withScans, spec.Seed^0x5A5A)
+			fs := fault.NewSet(universe)
+			s := New(c)
+			if _, err := s.Run(tests, fs, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range universe {
+				want := refDetectsTransition(c, tests, f)
+				got := fs.State[i] == fault.Detected
+				if got != want {
+					t.Errorf("%s scans=%v fault %s: parallel=%v reference=%v",
+						spec.Name, withScans, f.Pretty(c), got, want)
+				}
+			}
+		}
+	}
+}

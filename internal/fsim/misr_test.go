@@ -1,0 +1,84 @@
+package fsim
+
+import (
+	"testing"
+
+	"limscan/internal/fault"
+)
+
+// TestMISRDetectionSubset verifies the compaction backend: a fault the
+// MISR flags must also be flagged by exact comparison (compaction only
+// loses information), and with a 24-bit register the loss (aliasing)
+// over a few hundred faults should be zero or nearly so.
+func TestMISRDetectionSubset(t *testing.T) {
+	c := s27(t)
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	tests := randomTests(c, 6, 8, true, 3)
+	s := New(c)
+
+	exact := fault.NewSet(reps)
+	if _, err := s.Run(tests, exact, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	compacted := fault.NewSet(reps)
+	if _, err := s.Run(tests, compacted, Options{MISRDegree: 24}); err != nil {
+		t.Fatal(err)
+	}
+	aliased := 0
+	for i := range reps {
+		e := exact.State[i] == fault.Detected
+		m := compacted.State[i] == fault.Detected
+		if m && !e {
+			t.Errorf("fault %s detected only under compaction (impossible)", reps[i].Pretty(c))
+		}
+		if e && !m {
+			aliased++
+		}
+	}
+	if aliased > 1 {
+		t.Errorf("%d of %d detections aliased with a 24-bit MISR", aliased, exact.Count(fault.Detected))
+	}
+}
+
+func TestMISRModeDeterministic(t *testing.T) {
+	c := s27(t)
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	tests := randomTests(c, 4, 6, false, 9)
+	s := New(c)
+	a := fault.NewSet(reps)
+	b := fault.NewSet(reps)
+	if _, err := s.Run(tests, a, Options{MISRDegree: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(tests, b, Options{MISRDegree: 16}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range reps {
+		if a.State[i] != b.State[i] {
+			t.Fatal("MISR mode not deterministic")
+		}
+	}
+}
+
+func TestMISRWithTransitionFaults(t *testing.T) {
+	// Compaction must also be subset-correct for the transition model.
+	c := s27(t)
+	universe := fault.TransitionUniverse(c)
+	tests := randomTests(c, 5, 8, true, 11)
+	s := New(c)
+	exact := fault.NewSet(universe)
+	if _, err := s.Run(tests, exact, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	compacted := fault.NewSet(universe)
+	if _, err := s.Run(tests, compacted, Options{MISRDegree: 24}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range universe {
+		e := exact.State[i] == fault.Detected
+		m := compacted.State[i] == fault.Detected
+		if m && !e {
+			t.Errorf("transition fault %s detected only under compaction", universe[i].Pretty(c))
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package fsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"limscan/internal/fault"
+	"limscan/internal/logic"
+	"limscan/internal/scan"
+)
+
+// RunCounts simulates one session against the given faults — without
+// dropping or early exit — and returns each fault's detection count: the
+// number of observed values (primary outputs and scanned-out bits) at
+// which the faulty machine differs from the good one. The n-detect
+// profile is the standard proxy for unmodeled-defect screening: a fault
+// observed many times is covered robustly, one observed once hangs by a
+// thread. Limited scan operations raise the profile because every shift
+// adds an observation point.
+func (s *Simulator) RunCounts(tests []scan.Test, faults []fault.Fault) ([]int, error) {
+	for i := range tests {
+		if err := tests[i].Validate(s.c.NumPI(), s.plan.Len()); err != nil {
+			return nil, fmt.Errorf("fsim: test %d: %w", i, err)
+		}
+	}
+	counts := make([]int, len(faults))
+	for start := 0; start < len(faults); start += LanesPerWord {
+		end := start + LanesPerWord
+		if end > len(faults) {
+			end = len(faults)
+		}
+		idx := make([]int, end-start)
+		for j := range idx {
+			idx[j] = start + j
+		}
+		s.runBatchCounts(tests, faults, idx, counts)
+	}
+	return counts, nil
+}
+
+func (s *Simulator) runBatchCounts(tests []scan.Test, faults []fault.Fault, batch []int, counts []int) {
+	batchMask := s.installFaults(faults, batch)
+	s.reset()
+
+	observe := func(w logic.Word) {
+		good := logic.Spread(logic.Bit(w, 0))
+		diff := (w ^ good) & batchMask
+		for diff != 0 {
+			lane := bits.TrailingZeros64(diff)
+			counts[batch[lane-1]]++
+			diff &= diff - 1
+		}
+	}
+	m := s.plan.Len()
+	for ti := range tests {
+		t := &tests[ti]
+		for k := m - 1; k >= 0; k-- {
+			out := s.shiftOne(t.SI.Get(k))
+			if ti > 0 {
+				observe(out)
+			}
+		}
+		for u := 0; u < len(t.T); u++ {
+			if t.Shift != nil && t.Shift[u] > 0 {
+				for k := 0; k < t.Shift[u]; k++ {
+					observe(s.shiftOne(t.Fill[u][k]))
+				}
+			}
+			s.step(t.T[u])
+			for i := 0; i < s.c.NumPO(); i++ {
+				observe(s.ev.PO(i))
+			}
+		}
+	}
+	for k := 0; k < m; k++ {
+		observe(s.shiftOne(0))
+	}
+}

@@ -1,0 +1,74 @@
+package fsim
+
+import (
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/fault"
+	"limscan/internal/logic"
+)
+
+func TestRunCountsConsistentWithRun(t *testing.T) {
+	// A fault has a positive detection count exactly when Run detects it.
+	c := s27(t)
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	tests := randomTests(c, 5, 8, true, 4)
+	s := New(c)
+	counts, err := s.RunCounts(tests, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fault.NewSet(reps)
+	if _, err := s.Run(tests, fs, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range reps {
+		det := fs.State[i] == fault.Detected
+		if det != (counts[i] > 0) {
+			t.Errorf("fault %s: detected=%v but count=%d", reps[i].Pretty(c), det, counts[i])
+		}
+	}
+}
+
+func TestRunCountsValidates(t *testing.T) {
+	c := s27(t)
+	s := New(c)
+	tests := randomTests(c, 1, 2, false, 1)
+	tests[0].SI = logic.MustVec("01") // wrong width
+	if _, err := s.RunCounts(tests, nil); err == nil {
+		t.Error("invalid test accepted")
+	}
+}
+
+// TestLimitedScanRaisesDetectionCounts is the n-detect version of the
+// paper's argument: every limited scan shift is an extra observation
+// point, so detection counts rise when the schedule is added — even for
+// faults both sessions detect.
+func TestLimitedScanRaisesDetectionCounts(t *testing.T) {
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	s := New(c)
+	plain := randomTests(c, 8, 12, false, 9)
+	scans := randomTests(c, 8, 12, true, 9) // same SI/vectors, plus shifts
+	pc, err := s.RunCounts(plain, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.RunCounts(scans, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumPlain, sumScan int
+	for i := range reps {
+		sumPlain += pc[i]
+		sumScan += sc[i]
+	}
+	t.Logf("total detections: plain %d, with limited scans %d", sumPlain, sumScan)
+	if sumScan <= sumPlain {
+		t.Errorf("limited scans did not raise the detection-count profile: %d vs %d",
+			sumScan, sumPlain)
+	}
+}

@@ -1,0 +1,195 @@
+package fsim
+
+import (
+	"testing"
+
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/logic"
+	"limscan/internal/scan"
+)
+
+// refDetectsPartial mirrors refDetects with a scan plan: only chain
+// positions shift during scan operations; the rest hold.
+func refDetectsPartial(plan scan.Plan, tests []scan.Test, c *circuit.Circuit, f fault.Fault) bool {
+	good := newRefMachine(c, nil)
+	bad := newRefMachine(c, &f)
+	bad.forceStuckFFs()
+	shift := func(m *refMachine, fill uint8) uint8 {
+		// Shift along the chain only.
+		last := plan.Chain[len(plan.Chain)-1]
+		out := m.state.Get(last)
+		for i := len(plan.Chain) - 1; i > 0; i-- {
+			m.state.Set(plan.Chain[i], m.state.Get(plan.Chain[i-1]))
+		}
+		m.state.Set(plan.Chain[0], fill)
+		m.forceStuckFFs()
+		return out
+	}
+	mLen := plan.Len()
+	for ti := range tests {
+		tt := &tests[ti]
+		for k := mLen - 1; k >= 0; k-- {
+			og := shift(good, tt.SI.Get(k))
+			ob := shift(bad, tt.SI.Get(k))
+			if ti > 0 && og != ob {
+				return true
+			}
+		}
+		for u := 0; u < len(tt.T); u++ {
+			if tt.Shift != nil {
+				for k := 0; k < tt.Shift[u]; k++ {
+					if shift(good, tt.Fill[u][k]) != shift(bad, tt.Fill[u][k]) {
+						return true
+					}
+				}
+			}
+			pg := good.step(tt.T[u])
+			pb := bad.step(tt.T[u])
+			if !pg.Equal(pb) {
+				return true
+			}
+		}
+	}
+	for k := 0; k < mLen; k++ {
+		if shift(good, 0) != shift(bad, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// randomTestsPlan builds a deterministic random session sized to a plan.
+func randomTestsPlan(c *circuit.Circuit, plan scan.Plan, n, length int, withScans bool, seed uint64) []scan.Test {
+	rng := seed
+	next := func() uint64 {
+		rng += 0x9E3779B97F4A7C15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	bit := func() uint8 { return uint8(next() & 1) }
+	var tests []scan.Test
+	for i := 0; i < n; i++ {
+		t := scan.Test{SI: logic.NewVec(plan.Len())}
+		for b := 0; b < plan.Len(); b++ {
+			t.SI.Set(b, bit())
+		}
+		for u := 0; u < length; u++ {
+			v := logic.NewVec(c.NumPI())
+			for b := 0; b < c.NumPI(); b++ {
+				v.Set(b, bit())
+			}
+			t.T = append(t.T, v)
+		}
+		if withScans {
+			t.Shift = make([]int, length)
+			t.Fill = make([][]uint8, length)
+			for u := 1; u < length; u++ {
+				if next()%3 == 0 {
+					sh := int(next() % uint64(plan.Len()+1))
+					t.Shift[u] = sh
+					t.Fill[u] = make([]uint8, sh)
+					for k := range t.Fill[u] {
+						t.Fill[u][k] = bit()
+					}
+				}
+			}
+		}
+		tests = append(tests, t)
+	}
+	return tests
+}
+
+func TestPartialScanDifferential(t *testing.T) {
+	c := s27(t)
+	// Scan only positions 0 and 2; position 1 (G6) holds through scan
+	// operations.
+	plan, err := scan.PartialScan(c.NumSV(), []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := fault.Universe(c)
+	for _, withScans := range []bool{false, true} {
+		for _, seed := range []uint64{1, 2} {
+			tests := randomTestsPlan(c, plan, 5, 6, withScans, seed)
+			fs := fault.NewSet(u)
+			s, err := NewWithPlan(c, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Run(tests, fs, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range u {
+				want := refDetectsPartial(plan, tests, c, f)
+				got := fs.State[i] == fault.Detected
+				if got != want {
+					t.Errorf("scans=%v seed=%d fault %s: parallel=%v reference=%v",
+						withScans, seed, f.Pretty(c), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPartialScanHoldSemantics(t *testing.T) {
+	// With position 1 unscanned, a scan operation must not move its
+	// value.
+	c := s27(t)
+	plan, err := scan.PartialScan(c.NumSV(), []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithPlan(c, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.reset()
+	s.setState(1, logic.AllOnes)
+	s.shiftOne(0)
+	s.shiftOne(1)
+	if s.getState(1) != logic.AllOnes {
+		t.Error("unscanned position changed during scan shifts")
+	}
+	// The chain contents equal the scanned-in bits: fills 0 then 1 leave
+	// chain element 0 = 1 (last in) and element 1 = 0.
+	if logic.Bit(s.getState(0), 0) != 1 || logic.Bit(s.getState(2), 0) != 0 {
+		t.Errorf("chain contents wrong: pos0=%d pos2=%d",
+			logic.Bit(s.getState(0), 0), logic.Bit(s.getState(2), 0))
+	}
+}
+
+func TestPartialScanPlanValidation(t *testing.T) {
+	c := s27(t)
+	if _, err := NewWithPlan(c, scan.Plan{Total: 5, Chain: []int{0}}); err == nil {
+		t.Error("plan with wrong Total accepted")
+	}
+	if _, err := scan.PartialScan(3, []int{0, 0}); err == nil {
+		t.Error("duplicate chain position accepted")
+	}
+	if _, err := scan.PartialScan(3, []int{5}); err == nil {
+		t.Error("out-of-range chain position accepted")
+	}
+}
+
+func TestPartialScanCostModel(t *testing.T) {
+	// A session's scan cost must use the chain length, not N_SV.
+	c := s27(t)
+	plan, _ := scan.PartialScan(c.NumSV(), []int{1})
+	s, err := NewWithPlan(c, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := scan.Test{SI: logic.MustVec("0"), T: []logic.Vec{logic.MustVec("0000")}}
+	fs := fault.NewSet(nil)
+	st, err := s.Run([]scan.Test{tt}, fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 scans x 1 position + 1 vector = 3 cycles.
+	if st.Cycles != 3 {
+		t.Errorf("cycles = %d, want 3", st.Cycles)
+	}
+}

@@ -1,0 +1,102 @@
+package fsim
+
+import (
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/logic"
+	"limscan/internal/scan"
+)
+
+// TraceStep is one time unit of a two-machine (fault-free / faulty)
+// trace, in the format of Table 1 of the paper.
+type TraceStep struct {
+	U           int       // time unit
+	Shift       int       // scan shifts performed before the vector
+	ScanOutGood []uint8   // bits shifted out, fault-free machine
+	ScanOutBad  []uint8   // bits shifted out, faulty machine
+	In          logic.Vec // T(u)
+	StateGood   logic.Vec // S(u) fault-free, after shifting
+	StateBad    logic.Vec // S(u) faulty, after shifting
+	OutGood     logic.Vec // Z(u) fault-free
+	OutBad      logic.Vec // Z(u) faulty
+}
+
+// Trace simulates a single test against a single fault under full scan
+// and returns the per-time-unit trace plus the final states and a
+// detection flag. See TraceWithPlan for partial scan.
+func Trace(c *circuit.Circuit, t scan.Test, f fault.Fault) (steps []TraceStep, finalGood, finalBad logic.Vec, detected bool) {
+	return TraceWithPlan(c, scan.FullScan(c.NumSV()), t, f)
+}
+
+// TraceWithPlan simulates a single test against a single fault under the
+// given scan plan. The trace's StateGood/StateBad at index u are the full
+// circuit states after the limited scan operation of time unit u (the
+// paper's Table 1(b) convention). Detection is checked at primary
+// outputs, at bits shifted out during limited scans, and at the final
+// complete scan-out.
+func TraceWithPlan(c *circuit.Circuit, plan scan.Plan, t scan.Test, f fault.Fault) (steps []TraceStep, finalGood, finalBad logic.Vec, detected bool) {
+	s, err := NewWithPlan(c, plan)
+	if err != nil {
+		panic(err)
+	}
+	const lane = 1
+	s.installFaults([]fault.Fault{f}, []int{0})
+	s.reset()
+
+	// Complete scan-in of SI (unobserved, like the first scan-in of a
+	// session). Shifting the bits through the chain matters: a stuck
+	// flip-flop output corrupts every bit that passes through it, so the
+	// faulty machine's S(0) can already differ from SI.
+	for k := plan.Len() - 1; k >= 0; k-- {
+		s.shiftOne(t.SI.Get(k))
+	}
+
+	readState := func(laneIdx int) logic.Vec {
+		v := logic.NewVec(c.NumSV())
+		for pos := 0; pos < c.NumSV(); pos++ {
+			v.Set(pos, logic.Bit(s.getState(pos), laneIdx))
+		}
+		return v
+	}
+
+	for u := 0; u < len(t.T); u++ {
+		st := TraceStep{U: u, In: t.T[u].Clone()}
+		if t.Shift != nil && t.Shift[u] > 0 {
+			st.Shift = t.Shift[u]
+			for k := 0; k < t.Shift[u]; k++ {
+				out := s.shiftOne(t.Fill[u][k])
+				og, ob := logic.Bit(out, 0), logic.Bit(out, lane)
+				st.ScanOutGood = append(st.ScanOutGood, og)
+				st.ScanOutBad = append(st.ScanOutBad, ob)
+				if og != ob {
+					detected = true
+				}
+			}
+		}
+		st.StateGood = readState(0)
+		st.StateBad = readState(lane)
+		s.step(t.T[u])
+		st.OutGood = logic.NewVec(c.NumPO())
+		st.OutBad = logic.NewVec(c.NumPO())
+		for i := 0; i < c.NumPO(); i++ {
+			og, ob := logic.Bit(s.ev.PO(i), 0), logic.Bit(s.ev.PO(i), lane)
+			st.OutGood.Set(i, og)
+			st.OutBad.Set(i, ob)
+			if og != ob {
+				detected = true
+			}
+		}
+		steps = append(steps, st)
+	}
+	finalGood, finalBad = readState(0), readState(lane)
+	// Simulate the complete scan-out: bits passing through a stuck
+	// flip-flop are corrupted on their way out, so observing the shifted
+	// bits is not the same as comparing the resting final states.
+	for k := 0; k < plan.Len(); k++ {
+		out := s.shiftOne(0)
+		if logic.Bit(out, 0) != logic.Bit(out, lane) {
+			detected = true
+		}
+	}
+	return steps, finalGood, finalBad, detected
+}

@@ -1,0 +1,254 @@
+package fsim
+
+import (
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/logic"
+	"limscan/internal/scan"
+)
+
+// refTransMachine extends the scalar oracle with gross-delay transition
+// semantics on a single line: the line shows its previous functional
+// value on the cycle of a delayed edge, and scan activity breaks pairs.
+type refTransMachine struct {
+	*refMachine
+	gate   int
+	rise   bool
+	prev   uint8
+	primed bool
+}
+
+func (m *refTransMachine) shiftT(fill uint8) uint8 {
+	out := m.shift(fill)
+	m.primed = false
+	return out
+}
+
+func (m *refTransMachine) stepT(vec logic.Vec) logic.Vec {
+	// Recompute like refMachine.step but intercept the faulted gate.
+	c := m.c
+	for i, id := range c.Inputs {
+		m.val[id] = vec.Get(i)
+		m.injectTrans(id)
+	}
+	for pos, id := range c.DFFs {
+		m.val[id] = m.state.Get(pos)
+	}
+	for _, id := range c.EvalOrder() {
+		g := &c.Gates[id]
+		var v uint8
+		switch g.Type {
+		case circuit.And, circuit.Nand:
+			v = 1
+			for pin := range g.Fanin {
+				v &= m.in(id, pin)
+			}
+			if g.Type == circuit.Nand {
+				v ^= 1
+			}
+		case circuit.Or, circuit.Nor:
+			for pin := range g.Fanin {
+				v |= m.in(id, pin)
+			}
+			if g.Type == circuit.Nor {
+				v ^= 1
+			}
+		case circuit.Xor, circuit.Xnor:
+			for pin := range g.Fanin {
+				v ^= m.in(id, pin)
+			}
+			if g.Type == circuit.Xnor {
+				v ^= 1
+			}
+		case circuit.Not:
+			v = m.in(id, 0) ^ 1
+		case circuit.Buf:
+			v = m.in(id, 0)
+		case circuit.Const1:
+			v = 1
+		}
+		m.val[id] = v
+		m.injectTrans(id)
+	}
+	po := logic.NewVec(c.NumPO())
+	for i, id := range c.Outputs {
+		po.Set(i, m.val[id])
+	}
+	next := logic.NewVec(c.NumSV())
+	for pos, id := range c.DFFs {
+		next.Set(pos, m.val[c.Gates[id].Fanin[0]])
+	}
+	m.state = next
+	return po
+}
+
+func (m *refTransMachine) injectTrans(id int) {
+	if id != m.gate {
+		return
+	}
+	natural := m.val[id]
+	if m.primed {
+		if m.rise {
+			m.val[id] = natural & m.prev
+		} else {
+			m.val[id] = natural | m.prev
+		}
+	}
+	m.prev = natural
+	m.primed = true
+}
+
+func refDetectsTransition(c *circuit.Circuit, tests []scan.Test, f fault.Fault) bool {
+	good := newRefMachine(c, nil)
+	bad := &refTransMachine{
+		refMachine: newRefMachine(c, nil),
+		gate:       f.Gate,
+		rise:       f.Model == fault.SlowToRise,
+	}
+	nsv := c.NumSV()
+	for ti := range tests {
+		t := &tests[ti]
+		for k := nsv - 1; k >= 0; k-- {
+			og := good.shift(t.SI.Get(k))
+			ob := bad.shiftT(t.SI.Get(k))
+			if ti > 0 && og != ob {
+				return true
+			}
+		}
+		for u := 0; u < len(t.T); u++ {
+			if t.Shift != nil {
+				for k := 0; k < t.Shift[u]; k++ {
+					if good.shift(t.Fill[u][k]) != bad.shiftT(t.Fill[u][k]) {
+						return true
+					}
+				}
+			}
+			pg := good.step(t.T[u])
+			pb := bad.stepT(t.T[u])
+			if !pg.Equal(pb) {
+				return true
+			}
+		}
+	}
+	for k := 0; k < nsv; k++ {
+		if good.shift(0) != bad.shiftT(0) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTransitionDifferential(t *testing.T) {
+	c := s27(t)
+	universe := fault.TransitionUniverse(c)
+	for _, withScans := range []bool{false, true} {
+		for _, seed := range []uint64{1, 2, 3} {
+			tests := randomTests(c, 4, 6, withScans, seed)
+			fs := fault.NewSet(universe)
+			s := New(c)
+			if _, err := s.Run(tests, fs, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range universe {
+				want := refDetectsTransition(c, tests, f)
+				got := fs.State[i] == fault.Detected
+				if got != want {
+					t.Errorf("scans=%v seed=%d fault %s: parallel=%v reference=%v",
+						withScans, seed, f.Pretty(c), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTransitionNeedsLaunchPair(t *testing.T) {
+	// Z = BUF(A), one flip-flop to make it a legal scan circuit. A
+	// slow-to-rise on A is detected only by a 0 -> 1 pair of consecutive
+	// at-speed vectors.
+	b := circuit.NewBuilder("tdf")
+	b.AddInput("A")
+	b.AddGate("Q", circuit.DFF, "A")
+	b.AddGate("Z", circuit.Buf, "A")
+	b.MarkOutput("Z")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aID := c.Inputs[0]
+	str := fault.Fault{Gate: aID, Pin: fault.Stem, Model: fault.SlowToRise}
+
+	mk := func(vals ...string) scan.Test {
+		tt := scan.Test{SI: logic.MustVec("0")}
+		for _, v := range vals {
+			tt.T = append(tt.T, logic.MustVec(v))
+		}
+		return tt
+	}
+	run := func(tt scan.Test) bool {
+		fs := fault.NewSet([]fault.Fault{str})
+		if _, err := New(c).Run([]scan.Test{tt}, fs, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return fs.State[0] == fault.Detected
+	}
+	if run(mk("1")) {
+		t.Error("single vector cannot launch a transition")
+	}
+	if run(mk("1", "1")) {
+		t.Error("constant 1 has no rising edge")
+	}
+	if run(mk("0", "0")) {
+		t.Error("constant 0 has no rising edge")
+	}
+	if !run(mk("0", "1")) {
+		t.Error("0->1 pair must detect slow-to-rise at the PO")
+	}
+	// A scan operation between the two vectors breaks the pair.
+	broken := mk("0", "1")
+	broken.Shift = []int{0, 1}
+	broken.Fill = [][]uint8{nil, {0}}
+	if run(broken) {
+		t.Error("a limited scan between launch and capture must break the pair")
+	}
+	// Slow-to-fall mirrors it.
+	stf := fault.Fault{Gate: aID, Pin: fault.Stem, Model: fault.SlowToFall}
+	fs := fault.NewSet([]fault.Fault{stf})
+	if _, err := New(c).Run([]scan.Test{mk("1", "0")}, fs, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if fs.State[0] != fault.Detected {
+		t.Error("1->0 pair must detect slow-to-fall")
+	}
+}
+
+func TestTransitionCoverageGrowsWithRunLength(t *testing.T) {
+	// The at-speed argument: longer functional runs between scan
+	// operations offer more launch-on-capture pairs, so transition
+	// coverage under tests of length 8 must beat length 1 on the same
+	// vector budget.
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := fault.TransitionUniverse(c)
+	cov := func(length, n int) int {
+		tests := randomTests(c, n, length, false, 7)
+		fs := fault.NewSet(universe)
+		if _, err := New(c).Run(tests, fs, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return fs.Count(fault.Detected)
+	}
+	short := cov(1, 64) // 64 single-vector tests: zero launch pairs in-run
+	long := cov(8, 8)   // same 64 vectors in 8-vector runs
+	t.Logf("transition coverage: length-1 tests %d, length-8 tests %d of %d", short, long, len(universe))
+	if long <= short {
+		t.Errorf("longer at-speed runs did not improve transition coverage: %d vs %d", long, short)
+	}
+	if short != 0 {
+		t.Errorf("single-vector tests detected %d transition faults (no launch pairs exist)", short)
+	}
+}

@@ -1,0 +1,17 @@
+// Package lfsr implements the linear feedback shift registers that serve
+// as the pseudo-random pattern generators of the reproduced BIST scheme,
+// plus the software random sources used by the test generation procedures.
+//
+// The paper requires that every random draw be repeatable: the initial
+// test set TS0 is always generated from the same seed, and each iteration
+// I of the limited-scan insertion procedure reseeds its generator with
+// seed(I) so the test set TS(I,D1) is a pure function of (I, D1). The
+// Source interface and its implementations here give exactly that
+// property: equal seeds produce equal streams forever.
+//
+// Two LFSR stepping styles are provided. The Fibonacci (external XOR)
+// form mirrors the textbook BIST PRPG; the Galois (internal XOR) form is
+// the faster software implementation. Both traverse the same maximal
+// 2^k - 1 cycle when configured with a primitive characteristic
+// polynomial, for which a table covering degrees 3..64 is included.
+package lfsr

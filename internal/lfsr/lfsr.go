@@ -1,0 +1,136 @@
+package lfsr
+
+import "fmt"
+
+// Style selects the feedback structure of an LFSR.
+type Style int
+
+const (
+	// Galois is the internal-XOR form: on each step the register shifts
+	// right and the polynomial mask is XORed in when the output bit is 1.
+	// It is the fast software form and the package default.
+	Galois Style = iota
+	// Fibonacci is the external-XOR (textbook PRPG) form: the feedback
+	// bit is the parity of the tapped stages and enters at the top.
+	Fibonacci
+)
+
+func (s Style) String() string {
+	switch s {
+	case Galois:
+		return "galois"
+	case Fibonacci:
+		return "fibonacci"
+	}
+	return fmt.Sprintf("Style(%d)", int(s))
+}
+
+// LFSR is a linear feedback shift register of degree <= 64 with a
+// primitive characteristic polynomial, stepping through all 2^k - 1
+// nonzero states. The zero state is a fixed point and is never entered
+// from a nonzero seed; Seed maps 0 to 1 to keep the register live.
+type LFSR struct {
+	state  uint64
+	poly   uint64 // coefficient mask, x^degree implicit, bit 0 set
+	degree int
+	style  Style
+	mask   uint64 // degree low bits set
+}
+
+// New returns an LFSR of the given degree (3..64) and style, seeded with
+// the given seed (reduced into the register width; a zero reduction is
+// bumped to 1).
+func New(degree int, style Style, seed uint64) (*LFSR, error) {
+	poly, actual, err := PrimitivePoly(degree)
+	if err != nil {
+		return nil, err
+	}
+	var mask uint64
+	if actual == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1) << uint(actual)) - 1
+	}
+	l := &LFSR{poly: poly, degree: actual, style: style, mask: mask}
+	l.Seed(seed)
+	return l, nil
+}
+
+// MustNew is New for known-good arguments; it panics on error.
+func MustNew(degree int, style Style, seed uint64) *LFSR {
+	l, err := New(degree, style, seed)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Degree reports the register's actual degree (which may exceed the
+// requested one when the requested degree was not tabulated).
+func (l *LFSR) Degree() int { return l.degree }
+
+// State returns the current register contents.
+func (l *LFSR) State() uint64 { return l.state }
+
+// Seed loads the register with seed reduced modulo the register width.
+// A zero reduction becomes 1 (the all-zero state is a dead fixed point).
+func (l *LFSR) Seed(seed uint64) {
+	l.state = seed & l.mask
+	if l.state == 0 {
+		l.state = 1
+	}
+}
+
+// Step advances the register one clock and returns the output bit.
+func (l *LFSR) Step() uint8 {
+	switch l.style {
+	case Galois:
+		out := uint8(l.state & 1)
+		l.state >>= 1
+		if out == 1 {
+			// Fold the polynomial back in. The implicit x^degree term
+			// corresponds to the top stage of the register.
+			l.state ^= (l.poly >> 1) | (1 << uint(l.degree-1))
+		}
+		return out
+	default: // Fibonacci
+		out := uint8(l.state & 1)
+		// Feedback parity over the tapped stages. Stage i of the
+		// register holds the coefficient of x^i in the running
+		// polynomial-division view, so the taps are the polynomial
+		// coefficients including the constant term.
+		fb := parity(l.state & l.poly)
+		l.state >>= 1
+		l.state |= uint64(fb) << uint(l.degree-1)
+		return out
+	}
+}
+
+func parity(x uint64) uint8 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return uint8(x & 1)
+}
+
+// Bits returns the next n output bits, most recent last.
+func (l *LFSR) Bits(n int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = l.Step()
+	}
+	return out
+}
+
+// Uint64 assembles the next 64 output bits into a word, first bit in the
+// least significant position.
+func (l *LFSR) Uint64() uint64 {
+	var w uint64
+	for i := 0; i < 64; i++ {
+		w |= uint64(l.Step()) << uint(i)
+	}
+	return w
+}

@@ -1,0 +1,150 @@
+package lfsr
+
+import (
+	"testing"
+)
+
+func TestPrimitivePolyRange(t *testing.T) {
+	for _, d := range []int{2, 65, -1, 0} {
+		if _, _, err := PrimitivePoly(d); err == nil {
+			t.Errorf("PrimitivePoly(%d) succeeded, want error", d)
+		}
+	}
+	for d := 3; d <= 64; d++ {
+		mask, actual, err := PrimitivePoly(d)
+		if err != nil {
+			t.Fatalf("PrimitivePoly(%d): %v", d, err)
+		}
+		if actual < d {
+			t.Errorf("PrimitivePoly(%d) returned smaller degree %d", d, actual)
+		}
+		if mask&1 == 0 {
+			t.Errorf("PrimitivePoly(%d) missing constant term", d)
+		}
+		if actual < 64 && mask>>uint(actual) != 0 {
+			t.Errorf("PrimitivePoly(%d) mask has bits at/above degree %d", d, actual)
+		}
+	}
+}
+
+// TestMaximalPeriod verifies that every tabulated polynomial up to degree
+// 20 really is primitive by walking the full cycle: a maximal-length LFSR
+// of degree k returns to its seed after exactly 2^k - 1 steps and never
+// earlier.
+func TestMaximalPeriod(t *testing.T) {
+	for d := 3; d <= 20; d++ {
+		if _, ok := primitiveTaps[d]; !ok {
+			continue
+		}
+		for _, style := range []Style{Galois, Fibonacci} {
+			l := MustNew(d, style, 1)
+			seed := l.State()
+			period := 0
+			for {
+				l.Step()
+				period++
+				if l.State() == seed {
+					break
+				}
+				if period > 1<<uint(d) {
+					t.Fatalf("degree %d %s: period exceeds 2^%d", d, style, d)
+				}
+			}
+			want := 1<<uint(d) - 1
+			if period != want {
+				t.Errorf("degree %d %s: period %d, want %d (polynomial not primitive)", d, style, period, want)
+			}
+		}
+	}
+}
+
+func TestZeroSeedBumped(t *testing.T) {
+	l := MustNew(8, Galois, 0)
+	if l.State() == 0 {
+		t.Fatal("zero seed left register in dead state")
+	}
+	l.Step()
+	if l.State() == 0 {
+		t.Fatal("register fell into the zero state")
+	}
+}
+
+func TestNeverZeroState(t *testing.T) {
+	for _, style := range []Style{Galois, Fibonacci} {
+		l := MustNew(10, style, 0xDEADBEEF)
+		for i := 0; i < 5000; i++ {
+			l.Step()
+			if l.State() == 0 {
+				t.Fatalf("%s LFSR hit the zero state at step %d", style, i)
+			}
+		}
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	a := MustNew(16, Galois, 42)
+	b := MustNew(16, Galois, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Step() != b.Step() {
+			t.Fatalf("identically seeded LFSRs diverged at step %d", i)
+		}
+	}
+}
+
+func TestReseedRepeats(t *testing.T) {
+	l := MustNew(16, Galois, 7)
+	first := l.Bits(64)
+	l.Seed(7)
+	second := l.Bits(64)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reseeded stream diverged at bit %d", i)
+		}
+	}
+}
+
+func TestBitsBalance(t *testing.T) {
+	// A maximal-length LFSR output is balanced to within one bit per
+	// period; over many steps the ones fraction must be near 1/2.
+	l := MustNew(20, Galois, 99)
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		ones += int(l.Step())
+	}
+	if ones < n*45/100 || ones > n*55/100 {
+		t.Errorf("ones fraction %d/%d far from 1/2", ones, n)
+	}
+}
+
+func TestUint64(t *testing.T) {
+	l := MustNew(32, Galois, 5)
+	m := MustNew(32, Galois, 5)
+	w := l.Uint64()
+	for i := 0; i < 64; i++ {
+		if uint8(w>>uint(i))&1 != m.Step() {
+			t.Fatalf("Uint64 bit %d disagrees with Step stream", i)
+		}
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	if Galois.String() != "galois" || Fibonacci.String() != "fibonacci" {
+		t.Error("style names wrong")
+	}
+	if Style(9).String() == "" {
+		t.Error("unknown style produced empty string")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(2, Galois, 1); err == nil {
+		t.Error("New(2) succeeded, want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(2) did not panic")
+		}
+	}()
+	MustNew(2, Galois, 1)
+}

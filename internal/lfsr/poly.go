@@ -1,0 +1,80 @@
+package lfsr
+
+import "fmt"
+
+// primitiveTaps lists, per degree k, the exponents of a primitive
+// polynomial of degree k over GF(2), excluding the leading x^k term and
+// the constant term (both always present). The entries are standard
+// minimum-weight primitive polynomials from the usual LFSR tap tables.
+// Degrees without an entry are served by the next larger tabulated degree.
+var primitiveTaps = map[int][]int{
+	3:  {1},
+	4:  {1},
+	5:  {2},
+	6:  {1},
+	7:  {1},
+	8:  {4, 3, 2},
+	9:  {4},
+	10: {3},
+	11: {2},
+	12: {6, 4, 1},
+	13: {4, 3, 1},
+	14: {10, 6, 1},
+	15: {1},
+	16: {12, 3, 1},
+	17: {3},
+	18: {7},
+	19: {5, 2, 1},
+	20: {3},
+	21: {2},
+	22: {1},
+	23: {5},
+	24: {7, 2, 1},
+	25: {3},
+	26: {6, 2, 1},
+	27: {5, 2, 1},
+	28: {3},
+	29: {2},
+	30: {6, 4, 1},
+	31: {3},
+	32: {22, 2, 1},
+	33: {13},
+	35: {2},
+	36: {11},
+	39: {4},
+	41: {3},
+	47: {5},
+	49: {9},
+	52: {3},
+	55: {24},
+	57: {7},
+	58: {19},
+	60: {1},
+	63: {1},
+	64: {4, 3, 1},
+}
+
+// PrimitivePoly returns the coefficient mask of a primitive polynomial of
+// the requested degree: bit i of the mask is the coefficient of x^i, the
+// leading x^k term is implicit, and the constant term (bit 0) is always
+// set. When the exact degree is not tabulated, the nearest larger
+// tabulated degree is used — the resulting register still has a maximal
+// period of at least 2^degree - 1 — and the degree actually used is
+// returned. An error is returned only outside the supported range [3,64].
+func PrimitivePoly(degree int) (mask uint64, actualDegree int, err error) {
+	if degree < 3 || degree > 64 {
+		return 0, 0, fmt.Errorf("lfsr: no primitive polynomial for degree %d (supported range 3..64)", degree)
+	}
+	for k := degree; k <= 64; k++ {
+		taps, ok := primitiveTaps[k]
+		if !ok {
+			continue
+		}
+		mask = 1 // constant term
+		for _, e := range taps {
+			mask |= 1 << uint(e)
+		}
+		return mask, k, nil
+	}
+	return 0, 0, fmt.Errorf("lfsr: no primitive polynomial at or above degree %d", degree)
+}

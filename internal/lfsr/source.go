@@ -1,0 +1,129 @@
+package lfsr
+
+// Source is a reproducible stream of random values. Equal implementations
+// seeded identically produce identical streams forever, which is the
+// property the paper relies on to re-apply TS0 and to regenerate TS(I,D1)
+// from the stored pair (I, D1) alone.
+type Source interface {
+	// Bit returns the next pseudo-random bit.
+	Bit() uint8
+	// Uint64 returns the next 64 pseudo-random bits as a word.
+	Uint64() uint64
+	// Intn returns a pseudo-random integer in [0, n). It panics if n <= 0.
+	Intn(n int) int
+}
+
+// lfsrSource adapts an LFSR to the Source interface.
+type lfsrSource struct {
+	reg *LFSR
+}
+
+// NewSource returns an LFSR-backed Source of the given degree. It is the
+// hardware-faithful source: the bit stream is exactly the serial output
+// of a maximal-length LFSR.
+func NewSource(degree int, seed uint64) (Source, error) {
+	reg, err := New(degree, Galois, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &lfsrSource{reg: reg}, nil
+}
+
+func (s *lfsrSource) Bit() uint8     { return s.reg.Step() }
+func (s *lfsrSource) Uint64() uint64 { return s.reg.Uint64() }
+
+func (s *lfsrSource) Intn(n int) int {
+	if n <= 0 {
+		panic("lfsr: Intn with non-positive bound")
+	}
+	// Draw ceil(log2(n)) bits and reject out-of-range values so the
+	// distribution over [0,n) is uniform.
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	for {
+		v := 0
+		for i := 0; i < bits; i++ {
+			v = v<<1 | int(s.reg.Step())
+		}
+		if v < n {
+			return v
+		}
+	}
+}
+
+// splitMix is a SplitMix64 generator: tiny state, excellent distribution,
+// and cheap. It is the software source used where hardware fidelity is
+// not required (synthetic circuit generation, workload construction).
+type splitMix struct {
+	state uint64
+	buf   uint64
+	nbits int
+}
+
+// NewSplitMix returns a SplitMix64-backed Source.
+func NewSplitMix(seed uint64) Source { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) Bit() uint8 {
+	if s.nbits == 0 {
+		s.buf = s.next()
+		s.nbits = 64
+	}
+	b := uint8(s.buf & 1)
+	s.buf >>= 1
+	s.nbits--
+	return b
+}
+
+func (s *splitMix) Uint64() uint64 { return s.next() }
+
+func (s *splitMix) Intn(n int) int {
+	if n <= 0 {
+		panic("lfsr: Intn with non-positive bound")
+	}
+	// Rejection sampling over the largest multiple of n below 2^64.
+	limit := ^uint64(0) - ^uint64(0)%uint64(n)
+	for {
+		v := s.next()
+		if v < limit {
+			return int(v % uint64(n))
+		}
+	}
+}
+
+// DeriveSeed maps an iteration number I (and a campaign base seed) to the
+// generator seed the paper writes as seed(I). Any injective, well-mixed
+// map works; SplitMix64's finalizer keeps nearby iterations decorrelated.
+func DeriveSeed(base uint64, iteration int) uint64 {
+	z := base + 0x9E3779B97F4A7C15*uint64(iteration+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Draw implements the paper's randomized decision scheme: a draw r in
+// [0, R], R >> D, reduced modulo D. DrawZero reports the event
+// "r mod D == 0", which occurs with probability 1/D; DrawMod returns
+// r mod D itself, uniform over [0, D). Both consume one value from src.
+func DrawZero(src Source, d int) bool { return DrawMod(src, d) == 0 }
+
+// DrawMod returns a uniform value in [0, d) using one draw from src.
+func DrawMod(src Source, d int) int {
+	if d <= 0 {
+		panic("lfsr: DrawMod with non-positive modulus")
+	}
+	return src.Intn(d)
+}

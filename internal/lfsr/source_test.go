@@ -1,0 +1,149 @@
+package lfsr
+
+import (
+	"testing"
+)
+
+func TestSourcesReproducible(t *testing.T) {
+	mk := map[string]func(seed uint64) Source{
+		"splitmix": NewSplitMix,
+		"lfsr": func(seed uint64) Source {
+			s, err := NewSource(32, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	for name, f := range mk {
+		a, b := f(123), f(123)
+		for i := 0; i < 500; i++ {
+			if a.Bit() != b.Bit() {
+				t.Fatalf("%s: bit streams diverged at %d", name, i)
+			}
+		}
+		a, b = f(123), f(123)
+		for i := 0; i < 100; i++ {
+			if a.Intn(17) != b.Intn(17) {
+				t.Fatalf("%s: Intn streams diverged at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := NewSplitMix(1), NewSplitMix(2)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Bit() != b.Bit() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-bit prefixes")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	srcs := []Source{NewSplitMix(9)}
+	if s, err := NewSource(24, 9); err == nil {
+		srcs = append(srcs, s)
+	} else {
+		t.Fatal(err)
+	}
+	for _, src := range srcs {
+		for _, n := range []int{1, 2, 3, 7, 10, 64, 1000} {
+			for i := 0; i < 200; i++ {
+				v := src.Intn(n)
+				if v < 0 || v >= n {
+					t.Fatalf("Intn(%d) = %d out of range", n, v)
+				}
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnBadBound(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		func(n int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			NewSplitMix(1).Intn(n)
+		}(n)
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	src := NewSplitMix(77)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[src.Intn(n)]++
+	}
+	for v, c := range counts {
+		if c < draws/n*8/10 || c > draws/n*12/10 {
+			t.Errorf("value %d drawn %d times, expected about %d", v, c, draws/n)
+		}
+	}
+}
+
+func TestDrawZeroProbability(t *testing.T) {
+	// DrawZero(src, D) must fire with probability about 1/D — the knob
+	// the paper uses to set the limited-scan insertion rate.
+	for _, d := range []int{1, 2, 5, 10} {
+		src := NewSplitMix(uint64(d) * 31)
+		const draws = 50000
+		hits := 0
+		for i := 0; i < draws; i++ {
+			if DrawZero(src, d) {
+				hits++
+			}
+		}
+		want := draws / d
+		if hits < want*8/10 || hits > want*12/10 {
+			t.Errorf("D=%d: %d hits in %d draws, expected about %d", d, hits, draws, want)
+		}
+	}
+}
+
+func TestDrawModPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DrawMod(0) did not panic")
+		}
+	}()
+	DrawMod(NewSplitMix(1), 0)
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, i)
+		if s == 0 {
+			t.Fatalf("DeriveSeed produced zero at iteration %d", i)
+		}
+		if prev, ok := seen[s]; ok {
+			t.Fatalf("DeriveSeed collision between iterations %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	if DeriveSeed(1, 5) == DeriveSeed(2, 5) {
+		t.Error("different base seeds produced equal derived seeds")
+	}
+}
+
+func TestSourceBitBalance(t *testing.T) {
+	src := NewSplitMix(5)
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		ones += int(src.Bit())
+	}
+	if ones < n*48/100 || ones > n*52/100 {
+		t.Errorf("splitmix bit balance %d/%d", ones, n)
+	}
+}

@@ -1,0 +1,10 @@
+// Package logic provides the low-level value representations used by the
+// simulators and the ATPG engine: 64-wide bit-parallel machine words,
+// packed bit vectors of arbitrary length, and the five-valued D-calculus
+// used for deterministic test generation.
+//
+// Throughout the library the 64 lanes of a machine word carry independent
+// simulation machines (the good machine plus up to 63 faulty machines, or
+// 64 independent test patterns), so every gate evaluation processes 64
+// machines at once with ordinary word-wide boolean operators.
+package logic

@@ -1,0 +1,101 @@
+package logic
+
+import "testing"
+
+var all5 = []V5{Zero, One, D, Dbar, X}
+
+func TestV5Strings(t *testing.T) {
+	want := map[V5]string{Zero: "0", One: "1", D: "D", Dbar: "D'", X: "X"}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+	if V5(9).String() != "?" {
+		t.Errorf("invalid value String = %q", V5(9).String())
+	}
+}
+
+func TestAnd5Table(t *testing.T) {
+	cases := []struct{ a, b, want V5 }{
+		{Zero, Zero, Zero}, {Zero, One, Zero}, {Zero, D, Zero}, {Zero, Dbar, Zero}, {Zero, X, Zero},
+		{One, One, One}, {One, D, D}, {One, Dbar, Dbar}, {One, X, X},
+		{D, D, D}, {D, Dbar, Zero}, {D, X, X},
+		{Dbar, Dbar, Dbar}, {Dbar, X, X},
+		{X, X, X},
+	}
+	for _, c := range cases {
+		if got := And5(c.a, c.b); got != c.want {
+			t.Errorf("And5(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+		if got := And5(c.b, c.a); got != c.want {
+			t.Errorf("And5(%s,%s) = %s, want %s (commuted)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestOr5Table(t *testing.T) {
+	cases := []struct{ a, b, want V5 }{
+		{One, Zero, One}, {One, D, One}, {One, X, One},
+		{Zero, Zero, Zero}, {Zero, D, D}, {Zero, Dbar, Dbar}, {Zero, X, X},
+		{D, D, D}, {D, Dbar, One}, {D, X, X},
+		{Dbar, Dbar, Dbar},
+		{X, X, X},
+	}
+	for _, c := range cases {
+		if got := Or5(c.a, c.b); got != c.want {
+			t.Errorf("Or5(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+		if got := Or5(c.b, c.a); got != c.want {
+			t.Errorf("Or5(%s,%s) = %s, want %s (commuted)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestNot5(t *testing.T) {
+	want := map[V5]V5{Zero: One, One: Zero, D: Dbar, Dbar: D, X: X}
+	for in, out := range want {
+		if got := Not5(in); got != out {
+			t.Errorf("Not5(%s) = %s, want %s", in, got, out)
+		}
+		if got := in.Invert(); got != out {
+			t.Errorf("%s.Invert() = %s, want %s", in, got, out)
+		}
+	}
+}
+
+func TestXor5(t *testing.T) {
+	cases := []struct{ a, b, want V5 }{
+		{Zero, Zero, Zero}, {Zero, One, One}, {One, One, Zero},
+		{D, Zero, D}, {D, One, Dbar}, {D, D, Zero}, {D, Dbar, One},
+		{Dbar, Dbar, Zero}, {X, Zero, X}, {X, D, X},
+	}
+	for _, c := range cases {
+		if got := Xor5(c.a, c.b); got != c.want {
+			t.Errorf("Xor5(%s,%s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDeMorgan5(t *testing.T) {
+	for _, a := range all5 {
+		for _, b := range all5 {
+			lhs := Not5(And5(a, b))
+			rhs := Or5(Not5(a), Not5(b))
+			if lhs != rhs {
+				t.Errorf("De Morgan fails for (%s,%s): %s vs %s", a, b, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestV5Predicates(t *testing.T) {
+	for _, v := range all5 {
+		if v.IsError() != (v == D || v == Dbar) {
+			t.Errorf("IsError(%s) wrong", v)
+		}
+		if v.Known() != (v != X) {
+			t.Errorf("Known(%s) wrong", v)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package logic
+
+import "math/bits"
+
+// Word is a 64-lane bit-parallel simulation word. Lane i (bit i) carries
+// the value of one signal in machine i.
+type Word = uint64
+
+// AllOnes has every lane set.
+const AllOnes Word = ^Word(0)
+
+// Lane returns a word with only lane i set. Lane panics implicitly (shift
+// out of range is well defined in Go, so callers must pass 0 <= i < 64;
+// values outside that range wrap, which is never intended).
+func Lane(i int) Word { return Word(1) << uint(i&63) }
+
+// Spread returns AllOnes if b is 1 and 0 if b is 0, replicating a scalar
+// bit across all 64 lanes.
+func Spread(b uint8) Word {
+	if b != 0 {
+		return AllOnes
+	}
+	return 0
+}
+
+// Bit extracts lane i of w as 0 or 1.
+func Bit(w Word, i int) uint8 { return uint8((w >> uint(i&63)) & 1) }
+
+// PopCount reports the number of set lanes in w.
+func PopCount(w Word) int { return bits.OnesCount64(w) }
+
+// Mux selects, per lane, a where sel is 0 and b where sel is 1.
+func Mux(sel, a, b Word) Word { return (a &^ sel) | (b & sel) }
+
+// Force overrides the lanes selected by mask with the corresponding lanes
+// of val, leaving all other lanes of w untouched. It is the primitive used
+// for bit-parallel fault injection: mask selects the faulty machines and
+// val carries the stuck value replicated across them.
+func Force(w, mask, val Word) Word { return (w &^ mask) | (val & mask) }

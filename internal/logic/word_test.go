@@ -1,0 +1,82 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLane(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		w := Lane(i)
+		if PopCount(w) != 1 {
+			t.Fatalf("Lane(%d) has %d bits set", i, PopCount(w))
+		}
+		if Bit(w, i) != 1 {
+			t.Fatalf("Lane(%d): bit %d not set", i, i)
+		}
+	}
+}
+
+func TestSpread(t *testing.T) {
+	if Spread(0) != 0 {
+		t.Errorf("Spread(0) = %x, want 0", Spread(0))
+	}
+	if Spread(1) != AllOnes {
+		t.Errorf("Spread(1) = %x, want all ones", Spread(1))
+	}
+	if Spread(7) != AllOnes {
+		t.Errorf("Spread(7) = %x, want all ones (nonzero spreads)", Spread(7))
+	}
+}
+
+func TestMux(t *testing.T) {
+	a := Word(0xAAAA_AAAA_AAAA_AAAA)
+	b := Word(0x5555_5555_5555_5555)
+	if got := Mux(0, a, b); got != a {
+		t.Errorf("Mux(sel=0) = %x, want a", got)
+	}
+	if got := Mux(AllOnes, a, b); got != b {
+		t.Errorf("Mux(sel=1) = %x, want b", got)
+	}
+	sel := Word(0x00FF)
+	got := Mux(sel, a, b)
+	if got != (a&^sel)|(b&sel) {
+		t.Errorf("Mux partial = %x", got)
+	}
+}
+
+func TestForceProperties(t *testing.T) {
+	// Lanes outside the mask are untouched; lanes inside carry val.
+	f := func(w, mask, val Word) bool {
+		got := Force(w, mask, val)
+		return got&^mask == w&^mask && got&mask == val&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForceIdempotent(t *testing.T) {
+	f := func(w, mask, val Word) bool {
+		once := Force(w, mask, val)
+		return Force(once, mask, val) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitRoundTrip(t *testing.T) {
+	f := func(w Word) bool {
+		var rebuilt Word
+		for i := 0; i < 64; i++ {
+			if Bit(w, i) == 1 {
+				rebuilt |= Lane(i)
+			}
+		}
+		return rebuilt == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package misr implements a multiple-input signature register, the
+// response compactor of a classical LFSR-based BIST architecture like
+// the one the paper assumes. Instead of comparing every observed value
+// against the good machine, a hardware BIST compacts the observation
+// stream into a k-bit signature; a fault is detected when its signature
+// differs from the fault-free one. Compaction can alias (a faulty stream
+// may produce the fault-free signature, probability about 2^-k), which
+// this package makes measurable: the register is maintained bit-parallel
+// across 64 machine lanes, so one pass yields 64 signatures.
+package misr
+
+import (
+	"fmt"
+
+	"limscan/internal/lfsr"
+	"limscan/internal/logic"
+)
+
+// MISR is a bit-parallel multiple-input signature register of degree k:
+// lane j of the register words carries machine j's signature state. The
+// feedback polynomial is primitive, taken from the lfsr package tables.
+type MISR struct {
+	state  []logic.Word // one word per register bit; index 0 is the input end
+	taps   []int        // register bits XORed into the feedback
+	degree int
+	fed    int // inputs absorbed so far
+}
+
+// New returns a MISR of the given degree (3..64).
+func New(degree int) (*MISR, error) {
+	poly, actual, err := lfsr.PrimitivePoly(degree)
+	if err != nil {
+		return nil, err
+	}
+	m := &MISR{state: make([]logic.Word, actual), degree: actual}
+	// Bit i of poly is the coefficient of x^i; the constant term is the
+	// feedback into stage 0 (always present).
+	for i := 0; i < actual; i++ {
+		if poly&(1<<uint(i)) != 0 {
+			m.taps = append(m.taps, i)
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New for known-good degrees.
+func MustNew(degree int) *MISR {
+	m, err := New(degree)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Degree reports the register width.
+func (m *MISR) Degree() int { return m.degree }
+
+// Reset clears the register.
+func (m *MISR) Reset() {
+	for i := range m.state {
+		m.state[i] = 0
+	}
+	m.fed = 0
+}
+
+// Feed absorbs one observation word: the register shifts one position
+// with primitive-polynomial feedback, and w is XORed into stage 0. All
+// 64 lanes advance independently (the same linear map applies lanewise).
+func (m *MISR) Feed(w logic.Word) {
+	// Feedback is the top stage (coefficient of x^degree, implicit).
+	fb := m.state[m.degree-1]
+	// Shift towards higher indices.
+	copy(m.state[1:], m.state[:m.degree-1])
+	m.state[0] = 0
+	// Fold the feedback into the tapped stages (including stage 0).
+	for _, t := range m.taps {
+		m.state[t] ^= fb
+	}
+	m.state[0] ^= w
+	m.fed++
+}
+
+// Fed reports how many words have been absorbed since the last Reset.
+func (m *MISR) Fed() int { return m.fed }
+
+// Signature returns lane j's k-bit signature.
+func (m *MISR) Signature(lane int) uint64 {
+	var sig uint64
+	for i, w := range m.state {
+		sig |= uint64(logic.Bit(w, lane)) << uint(i)
+	}
+	return sig
+}
+
+// DiffMask returns a word with lane j set when lane j's signature
+// differs from lane 0's (the good machine): the BIST pass/fail verdict
+// for every simulated fault at once.
+func (m *MISR) DiffMask() logic.Word {
+	var diff logic.Word
+	for _, w := range m.state {
+		good := logic.Spread(logic.Bit(w, 0))
+		diff |= w ^ good
+	}
+	return diff &^ logic.Lane(0)
+}
+
+// String renders the good-machine signature for logs.
+func (m *MISR) String() string {
+	return fmt.Sprintf("misr{deg=%d sig=%#x fed=%d}", m.degree, m.Signature(0), m.fed)
+}

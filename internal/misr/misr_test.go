@@ -1,0 +1,142 @@
+package misr
+
+import (
+	"testing"
+
+	"limscan/internal/logic"
+)
+
+func TestZeroStreamZeroSignature(t *testing.T) {
+	m := MustNew(16)
+	for i := 0; i < 100; i++ {
+		m.Feed(0)
+	}
+	if m.Signature(0) != 0 {
+		t.Errorf("zero stream produced signature %#x", m.Signature(0))
+	}
+	if m.DiffMask() != 0 {
+		t.Error("identical lanes reported different")
+	}
+}
+
+func TestSingleBitChangesSignature(t *testing.T) {
+	// A single differing observation must change the signature (MISRs
+	// never alias on a single-bit error within the first k inputs, and
+	// generally a single injected error survives the linear map).
+	m := MustNew(16)
+	for i := 0; i < 50; i++ {
+		w := logic.Word(0)
+		if i == 20 {
+			w = logic.Lane(5) // lane 5 sees a different bit at step 20
+		}
+		m.Feed(w)
+	}
+	if m.Signature(5) == m.Signature(0) {
+		t.Error("single-bit error aliased")
+	}
+	if m.DiffMask() != logic.Lane(5) {
+		t.Errorf("DiffMask = %x, want lane 5 only", m.DiffMask())
+	}
+}
+
+func TestLanesIndependent(t *testing.T) {
+	// Feeding per-lane streams must equal feeding each lane separately.
+	streams := [][]uint8{
+		{1, 0, 1, 1, 0, 0, 1, 0},
+		{0, 0, 0, 1, 1, 1, 0, 1},
+		{1, 1, 1, 1, 1, 1, 1, 1},
+	}
+	par := MustNew(8)
+	for step := 0; step < len(streams[0]); step++ {
+		var w logic.Word
+		for lane, s := range streams {
+			if s[step] == 1 {
+				w |= logic.Lane(lane)
+			}
+		}
+		par.Feed(w)
+	}
+	for lane, s := range streams {
+		ser := MustNew(8)
+		for _, b := range s {
+			ser.Feed(logic.Spread(b) & 1) // lane 0 carries the serial stream
+		}
+		if par.Signature(lane) != ser.Signature(0) {
+			t.Errorf("lane %d: parallel %#x vs serial %#x", lane, par.Signature(lane), ser.Signature(0))
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// MISR compaction is linear over GF(2): sig(a xor b) == sig(a) xor
+	// sig(b) when fed the same number of inputs.
+	a := []logic.Word{0x5, 0x3, 0x9, 0xF, 0x1}
+	b := []logic.Word{0x2, 0x8, 0x4, 0x6, 0xA}
+	ma, mb, mab := MustNew(12), MustNew(12), MustNew(12)
+	for i := range a {
+		ma.Feed(a[i])
+		mb.Feed(b[i])
+		mab.Feed(a[i] ^ b[i])
+	}
+	for lane := 0; lane < 4; lane++ {
+		if mab.Signature(lane) != ma.Signature(lane)^mb.Signature(lane) {
+			t.Errorf("lane %d: linearity violated", lane)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := MustNew(8)
+	m.Feed(logic.AllOnes)
+	m.Reset()
+	if m.Signature(0) != 0 || m.Fed() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestBadDegree(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("degree 2 accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(2) did not panic")
+		}
+	}()
+	MustNew(2)
+}
+
+func TestAliasingRateIsSmall(t *testing.T) {
+	// Random error streams alias with probability about 2^-k. For k=16
+	// and 2000 random error lanes, expect about 0.03 aliases; assert
+	// only a small count so the test is robust.
+	const trials = 2000
+	aliases := 0
+	rng := uint64(7)
+	next := func() uint64 {
+		rng += 0x9E3779B97F4A7C15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for trial := 0; trial < trials; trial++ {
+		m := MustNew(16)
+		for step := 0; step < 40; step++ {
+			// Lane 1 carries a random error pattern relative to lane 0.
+			w := logic.Word(0)
+			if next()&1 == 1 {
+				w |= logic.Lane(1)
+			}
+			m.Feed(w)
+		}
+		if m.Signature(1) == m.Signature(0) {
+			// All-equal streams are not errors; only count real ones.
+			// (The probability that all 40 draws were zero is ~1e-12.)
+			aliases++
+		}
+	}
+	if aliases > 5 {
+		t.Errorf("aliasing rate too high: %d/%d", aliases, trials)
+	}
+}

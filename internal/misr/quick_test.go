@@ -1,0 +1,59 @@
+package misr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"limscan/internal/logic"
+)
+
+// TestLinearityProperty: signature(a xor b) == signature(a) xor
+// signature(b) for arbitrary equal-length streams — the defining property
+// of linear compaction, checked with testing/quick.
+func TestLinearityProperty(t *testing.T) {
+	f := func(a, b []uint64, degRaw uint8) bool {
+		deg := int(degRaw%30) + 3
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		ma, mb, mab := MustNew(deg), MustNew(deg), MustNew(deg)
+		for i := 0; i < n; i++ {
+			ma.Feed(a[i])
+			mb.Feed(b[i])
+			mab.Feed(a[i] ^ b[i])
+		}
+		for lane := 0; lane < 64; lane += 7 {
+			if mab.Signature(lane) != ma.Signature(lane)^mb.Signature(lane) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiffMaskProperty: DiffMask flags exactly the lanes whose signature
+// differs from lane 0's.
+func TestDiffMaskProperty(t *testing.T) {
+	f := func(stream []uint64) bool {
+		m := MustNew(16)
+		for _, w := range stream {
+			m.Feed(logic.Word(w))
+		}
+		diff := m.DiffMask()
+		for lane := 1; lane < 64; lane++ {
+			flagged := diff&logic.Lane(lane) != 0
+			differs := m.Signature(lane) != m.Signature(0)
+			if flagged != differs {
+				return false
+			}
+		}
+		return diff&logic.Lane(0) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

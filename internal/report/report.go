@@ -1,0 +1,173 @@
+// Package report renders the paper-style result tables: aligned
+// fixed-width text with the paper's K/M humanization of clock-cycle
+// counts (2.6K, 316K, 2.4M, ...), plus CSV output for downstream tooling.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Cycles humanizes a clock-cycle count the way the paper's tables do:
+// plain digits below 10000, xx.yK to three significant digits up to a
+// million, then xx.yM.
+func Cycles(n int64) string {
+	switch {
+	case n < 10000:
+		return fmt.Sprintf("%d", n)
+	case n < 100000:
+		return fmt.Sprintf("%.1fK", float64(n)/1000)
+	case n < 1000000:
+		return fmt.Sprintf("%.0fK", float64(n)/1000)
+	case n < 10000000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	default:
+		return fmt.Sprintf("%.0fM", float64(n)/1e6)
+	}
+}
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (no quoting needed for our cells,
+// which never contain commas; commas in input are rejected).
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\n\"") {
+				return fmt.Errorf("report: CSV cell %q needs quoting", c)
+			}
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+		return nil
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Grid renders the Tables 3/4 style layout: a matrix indexed by (N, L_A)
+// rows and L_B columns, one block per N.
+type Grid struct {
+	Title string
+	LAs   []int
+	LBs   []int
+	Ns    []int
+	cells map[[3]int]string // (N, LA, LB) -> cell
+}
+
+// NewGrid returns an empty grid over the given axes.
+func NewGrid(title string, las, lbs, ns []int) *Grid {
+	return &Grid{Title: title, LAs: las, LBs: lbs, Ns: ns, cells: make(map[[3]int]string)}
+}
+
+// Set fills one cell.
+func (g *Grid) Set(n, la, lb int, value string) {
+	g.cells[[3]int{n, la, lb}] = value
+}
+
+// Render writes the grid in the paper's layout. Empty cells (L_A >= L_B)
+// stay blank; missing values render as a dash, matching the paper's
+// convention for combinations that did not reach complete coverage.
+func (g *Grid) Render(w io.Writer) error {
+	t := NewTable(g.Title)
+	t.headers = append([]string{"N", "LA"}, func() []string {
+		var hs []string
+		for _, lb := range g.LBs {
+			hs = append(hs, fmt.Sprintf("LB=%d", lb))
+		}
+		return hs
+	}()...)
+	for _, n := range g.Ns {
+		for _, la := range g.LAs {
+			row := []string{fmt.Sprintf("N=%d", n), fmt.Sprintf("%d", la)}
+			anyCell := false
+			for _, lb := range g.LBs {
+				if la >= lb {
+					row = append(row, "")
+					continue
+				}
+				anyCell = true
+				v, ok := g.cells[[3]int{n, la, lb}]
+				if !ok {
+					v = "-"
+				}
+				row = append(row, v)
+			}
+			if anyCell {
+				t.rows = append(t.rows, row)
+			}
+		}
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCyclesHumanization(t *testing.T) {
+	cases := map[int64]string{
+		0:        "0",
+		2568:     "2568",
+		9999:     "9999",
+		10248:    "10.2K",
+		25450:    "25.4K",
+		87500:    "87.5K",
+		316000:   "316K",
+		870000:   "870K",
+		1400000:  "1.4M",
+		2400000:  "2.4M",
+		10200000: "10M",
+	}
+	for n, want := range cases {
+		if got := Cycles(n); got != want {
+			t.Errorf("Cycles(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "circuit", "det", "cycles")
+	tb.AddRow("s208", 215, Cycles(25450))
+	tb.AddRow("s5378", 4563, Cycles(3800000))
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "circuit", "s208", "25.4K", "3.8M"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Alignment: header and rows share the position of the second column.
+	hdr, row := lines[1], lines[3]
+	if strings.Index(hdr, "det") != strings.Index(row, "215") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, "x")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,x\n" {
+		t.Errorf("CSV = %q", sb.String())
+	}
+	tb.AddRow("bad,cell", 2)
+	if err := tb.RenderCSV(&strings.Builder{}); err == nil {
+		t.Error("comma cell accepted")
+	}
+}
+
+func TestGridRender(t *testing.T) {
+	g := NewGrid("Ncyc0", []int{8, 16}, []int{16, 32}, []int{64})
+	g.Set(64, 8, 16, "2568")
+	g.Set(64, 8, 32, "3592")
+	g.Set(64, 16, 32, "4104")
+	var sb strings.Builder
+	if err := g.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"LB=16", "LB=32", "2568", "4104"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGridDashForMissing(t *testing.T) {
+	g := NewGrid("x", []int{8}, []int{16}, []int{64})
+	var sb strings.Builder
+	if err := g.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "-") {
+		t.Errorf("missing cell did not render as dash:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,82 @@
+package scan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Plan describes which flip-flops are on the scan chain. The paper works
+// with full scan; its concluding remarks note that limited scan applies
+// to partial scan circuits as well, which this type enables: Chain lists
+// the scanned flip-flop positions (indices into the circuit's DFF order)
+// in shift order, and any position not listed holds its value during
+// scan operations.
+type Plan struct {
+	// Total is the circuit's number of state variables.
+	Total int
+	// Chain lists the scanned positions in shift order: Chain[0] is the
+	// leftmost chain element (the one that receives fresh bits), the
+	// last element feeds the scan output.
+	Chain []int
+}
+
+// FullScan returns the paper's configuration: every flip-flop scanned,
+// in circuit scan order.
+func FullScan(nsv int) Plan {
+	chain := make([]int, nsv)
+	for i := range chain {
+		chain[i] = i
+	}
+	return Plan{Total: nsv, Chain: chain}
+}
+
+// PartialScan returns a plan scanning only the given positions, in the
+// given order. Positions must be unique and within range.
+func PartialScan(nsv int, scanned []int) (Plan, error) {
+	seen := make(map[int]bool, len(scanned))
+	for _, p := range scanned {
+		if p < 0 || p >= nsv {
+			return Plan{}, fmt.Errorf("scan: position %d out of range [0,%d)", p, nsv)
+		}
+		if seen[p] {
+			return Plan{}, fmt.Errorf("scan: position %d scanned twice", p)
+		}
+		seen[p] = true
+	}
+	chain := append([]int(nil), scanned...)
+	return Plan{Total: nsv, Chain: chain}, nil
+}
+
+// Len returns the chain length — the number of scanned flip-flops, the
+// N_SV of the cost model under this plan.
+func (p Plan) Len() int { return len(p.Chain) }
+
+// IsFull reports whether the plan scans every flip-flop.
+func (p Plan) IsFull() bool { return len(p.Chain) == p.Total }
+
+// Scanned returns a membership mask over positions.
+func (p Plan) Scanned() []bool {
+	out := make([]bool, p.Total)
+	for _, pos := range p.Chain {
+		out[pos] = true
+	}
+	return out
+}
+
+// Validate checks internal consistency.
+func (p Plan) Validate() error {
+	if p.Total < 0 {
+		return fmt.Errorf("scan: negative total %d", p.Total)
+	}
+	sorted := append([]int(nil), p.Chain...)
+	sort.Ints(sorted)
+	for i, pos := range sorted {
+		if pos < 0 || pos >= p.Total {
+			return fmt.Errorf("scan: chain position %d out of range [0,%d)", pos, p.Total)
+		}
+		if i > 0 && sorted[i-1] == pos {
+			return fmt.Errorf("scan: chain position %d repeated", pos)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"limscan/internal/logic"
+)
+
+// TestSessionOverlapProperty checks the session cost identity behind the
+// paper's (2N+1)·N_SV accounting: concatenating two sessions saves
+// exactly one complete scan operation, because the boundary scan-out and
+// scan-in overlap.
+func TestSessionOverlapProperty(t *testing.T) {
+	mk := func(lengths []uint8, nsv int) []Test {
+		var tests []Test
+		for _, l := range lengths {
+			tt := Test{SI: logic.NewVec(nsv)}
+			for u := 0; u < int(l%9)+1; u++ {
+				tt.T = append(tt.T, logic.NewVec(2))
+			}
+			tests = append(tests, tt)
+		}
+		return tests
+	}
+	f := func(a, b []uint8, nsvRaw uint8) bool {
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		nsv := int(nsvRaw%20) + 1
+		m := CostModel{NSV: nsv}
+		ta, tb := mk(a, nsv), mk(b, nsv)
+		joined := append(append([]Test(nil), ta...), tb...)
+		return m.SessionCycles(joined) == m.SessionCycles(ta)+m.SessionCycles(tb)-int64(nsv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNcyc0Property pins the closed form against a from-scratch
+// computation for arbitrary parameters.
+func TestNcyc0Property(t *testing.T) {
+	f := func(laRaw, lbRaw, nRaw, nsvRaw uint8) bool {
+		la, lb, n, nsv := int(laRaw%64)+1, int(lbRaw%64)+1, int(nRaw%32)+1, int(nsvRaw%64)+1
+		m := CostModel{NSV: nsv}
+		want := int64((2*n+1)*nsv + n*(la+lb))
+		return m.Ncyc0(la, lb, n) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShiftCyclesNonNegativeProperty: a random valid schedule always has
+// ShiftCycles >= LimitedScanUnits (each unit shifts at least one bit).
+func TestShiftCyclesProperty(t *testing.T) {
+	f := func(shifts []uint8) bool {
+		tt := Test{SI: logic.NewVec(4)}
+		tt.Shift = make([]int, len(shifts))
+		tt.Fill = make([][]uint8, len(shifts))
+		for i, s := range shifts {
+			tt.T = append(tt.T, logic.NewVec(1))
+			if i == 0 {
+				continue
+			}
+			tt.Shift[i] = int(s % 5)
+			tt.Fill[i] = make([]uint8, tt.Shift[i])
+		}
+		if err := tt.Validate(1, 4); err != nil {
+			return false
+		}
+		return tt.ShiftCycles() >= tt.LimitedScanUnits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

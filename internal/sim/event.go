@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"limscan/internal/circuit"
+	"limscan/internal/logic"
+)
+
+// EventEvaluator is an event-driven alternative to Evaluator.Eval: after
+// a full initial evaluation, subsequent evaluations only visit gates in
+// the fanout cones of changed sources. For sequential stepping, where a
+// large fraction of primary inputs and state bits repeat from cycle to
+// cycle, this skips most of the netlist; for fault batches with wide
+// divergence it degrades towards full evaluation (the ablation benchmark
+// quantifies the crossover).
+//
+// It supports fault-free evaluation only: per-lane force injection makes
+// change-propagation bookkeeping cost more than it saves.
+type EventEvaluator struct {
+	ev     *Evaluator
+	primed bool
+	dirty  []bool
+	queue  [][]int // per level, gate IDs to evaluate
+	maxLvl int
+}
+
+// NewEventEvaluator wraps an evaluator for event-driven use.
+func NewEventEvaluator(c *circuit.Circuit) *EventEvaluator {
+	e := &EventEvaluator{ev: NewEvaluator(c), dirty: make([]bool, c.NumGates())}
+	e.maxLvl = c.Depth()
+	e.queue = make([][]int, e.maxLvl+1)
+	return e
+}
+
+// Inner returns the wrapped plain evaluator (for reading values).
+func (e *EventEvaluator) Inner() *Evaluator { return e.ev }
+
+// SetPI assigns a primary input word and schedules its cone when the
+// value changed.
+func (e *EventEvaluator) SetPI(i int, w logic.Word) {
+	id := e.ev.c.Inputs[i]
+	if e.primed && e.ev.val[id] == w {
+		return
+	}
+	e.ev.val[id] = w
+	e.touchFanout(id)
+}
+
+// SetState assigns a flip-flop output word, scheduling its cone on
+// change.
+func (e *EventEvaluator) SetState(i int, w logic.Word) {
+	id := e.ev.c.DFFs[i]
+	if e.primed && e.ev.val[id] == w {
+		return
+	}
+	e.ev.val[id] = w
+	e.touchFanout(id)
+}
+
+func (e *EventEvaluator) touchFanout(id int) {
+	for _, fo := range e.ev.c.Gates[id].Fanout {
+		e.schedule(fo)
+	}
+}
+
+func (e *EventEvaluator) schedule(id int) {
+	g := &e.ev.c.Gates[id]
+	if g.Type == circuit.DFF || e.dirty[id] {
+		return
+	}
+	e.dirty[id] = true
+	e.queue[g.Level] = append(e.queue[g.Level], id)
+}
+
+// Eval propagates scheduled events in level order. The first call primes
+// every gate with a full evaluation.
+func (e *EventEvaluator) Eval() {
+	if !e.primed {
+		e.ev.Eval(nil)
+		e.primed = true
+		for l := range e.queue {
+			e.queue[l] = e.queue[l][:0]
+		}
+		for i := range e.dirty {
+			e.dirty[i] = false
+		}
+		return
+	}
+	for lvl := 0; lvl <= e.maxLvl; lvl++ {
+		q := e.queue[lvl]
+		for qi := 0; qi < len(q); qi++ {
+			id := q[qi]
+			e.dirty[id] = false
+			g := &e.ev.c.Gates[id]
+			w := e.ev.evalPlain(g)
+			if w == e.ev.val[id] {
+				continue
+			}
+			e.ev.val[id] = w
+			e.touchFanout(id)
+			// touchFanout may append to the current or later levels;
+			// same-level appends (impossible in a levelized netlist,
+			// since fanout is always at a strictly higher level) are
+			// not a concern, and later levels are picked up by the
+			// outer loop.
+		}
+		e.queue[lvl] = e.queue[lvl][:0]
+	}
+}
+
+// Value reads a gate's current word.
+func (e *EventEvaluator) Value(id int) logic.Word { return e.ev.Value(id) }
+
+// PO reads a primary output word.
+func (e *EventEvaluator) PO(i int) logic.Word { return e.ev.PO(i) }
+
+// NextState reads a flip-flop's next-state word.
+func (e *EventEvaluator) NextState(i int) logic.Word { return e.ev.NextState(i) }

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/logic"
+)
+
+// TestEventEvaluatorEquivalence drives the event-driven evaluator
+// through random input sequences with varying amounts of change and
+// compares every gate value against full re-evaluation.
+func TestEventEvaluatorEquivalence(t *testing.T) {
+	for _, name := range []string{"s27", "s298", "s420"} {
+		c, err := bmark.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := NewEvaluator(c)
+		ev := NewEventEvaluator(c)
+
+		rng := uint64(42)
+		next := func() uint64 {
+			rng += 0x9E3779B97F4A7C15
+			z := rng
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			return z ^ (z >> 31)
+		}
+
+		pi := make([]logic.Word, c.NumPI())
+		st := make([]logic.Word, c.NumSV())
+		for step := 0; step < 50; step++ {
+			// Early steps change everything; later steps flip only one
+			// input or state word, exercising the sparse path.
+			if step < 5 {
+				for i := range pi {
+					pi[i] = next()
+				}
+				for i := range st {
+					st[i] = next()
+				}
+			} else if step%2 == 0 {
+				pi[int(next()%uint64(len(pi)))] = next()
+			} else {
+				st[int(next()%uint64(len(st)))] = next()
+			}
+			for i, w := range pi {
+				full.SetPI(i, w)
+				ev.SetPI(i, w)
+			}
+			for i, w := range st {
+				full.SetState(i, w)
+				ev.SetState(i, w)
+			}
+			full.Eval(nil)
+			ev.Eval()
+			for id := 0; id < c.NumGates(); id++ {
+				if full.Value(id) != ev.Value(id) {
+					t.Fatalf("%s step %d gate %s: event %x vs full %x",
+						name, step, c.Gates[id].Name, ev.Value(id), full.Value(id))
+				}
+			}
+		}
+	}
+}
+
+func TestEventEvaluatorAccessors(t *testing.T) {
+	c, err := bmark.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEventEvaluator(c)
+	for i := 0; i < c.NumPI(); i++ {
+		ev.SetPI(i, logic.AllOnes)
+	}
+	for i := 0; i < c.NumSV(); i++ {
+		ev.SetState(i, 0)
+	}
+	ev.Eval()
+	if ev.Inner() == nil {
+		t.Fatal("Inner nil")
+	}
+	full := NewEvaluator(c)
+	for i := 0; i < c.NumPI(); i++ {
+		full.SetPI(i, logic.AllOnes)
+	}
+	for i := 0; i < c.NumSV(); i++ {
+		full.SetState(i, 0)
+	}
+	full.Eval(nil)
+	for i := 0; i < c.NumPO(); i++ {
+		if ev.PO(i) != full.PO(i) {
+			t.Error("PO mismatch")
+		}
+	}
+	for i := 0; i < c.NumSV(); i++ {
+		if ev.NextState(i) != full.NextState(i) {
+			t.Error("NextState mismatch")
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package sim provides bit-parallel logic simulation of the gate-level
+// netlists in package circuit. An Evaluator evaluates the combinational
+// core with 64 independent machines per word; the lanes can carry 64 test
+// patterns (good-machine simulation) or one good machine plus 63 faulty
+// machines (fault simulation — the injection hooks used by package fsim
+// live here).
+package sim
+
+import (
+	"fmt"
+
+	"limscan/internal/circuit"
+	"limscan/internal/logic"
+)
+
+// PinForce overrides the value a particular gate input pin observes, in
+// the lanes selected by Mask. It models an input (branch) stuck-at fault.
+type PinForce struct {
+	Pin  int
+	Mask logic.Word
+	Val  logic.Word
+}
+
+// TransForce models gross-delay transition faults on one gate's output:
+// in the lanes of RiseMask a rising edge arrives one functional cycle
+// late (the line shows its previous value for the transition cycle); the
+// lanes of FallMask delay falling edges. Prev holds every lane's natural
+// (pre-injection) value from the previous functional evaluation; Primed
+// is false until a functional cycle has run since the last scan
+// operation, because launch-on-capture pairs must be consecutive
+// at-speed cycles.
+type TransForce struct {
+	RiseMask logic.Word
+	FallMask logic.Word
+	Prev     logic.Word
+	Primed   bool
+}
+
+// Forces describes the fault injections active during an evaluation.
+// OutMask/OutVal force gate output values per lane (stem faults, including
+// faults on PI and flip-flop outputs); Pins force individual input pins
+// (branch faults); Trans holds transition faults. A nil *Forces means
+// fault-free evaluation.
+type Forces struct {
+	OutMask []logic.Word // per gate ID
+	OutVal  []logic.Word // per gate ID
+	Pins    map[int][]PinForce
+	Trans   map[int]*TransForce
+}
+
+// NewForces returns an empty Forces sized for circuit c.
+func NewForces(c *circuit.Circuit) *Forces {
+	return &Forces{
+		OutMask: make([]logic.Word, c.NumGates()),
+		OutVal:  make([]logic.Word, c.NumGates()),
+		Pins:    make(map[int][]PinForce),
+		Trans:   make(map[int]*TransForce),
+	}
+}
+
+// Reset clears all injections for reuse.
+func (f *Forces) Reset() {
+	for i := range f.OutMask {
+		f.OutMask[i] = 0
+		f.OutVal[i] = 0
+	}
+	for k := range f.Pins {
+		delete(f.Pins, k)
+	}
+	for k := range f.Trans {
+		delete(f.Trans, k)
+	}
+}
+
+// ForceTransition adds a transition fault on gate's output in the given
+// lane (rise selects slow-to-rise, otherwise slow-to-fall).
+func (f *Forces) ForceTransition(gate, lane int, rise bool) {
+	tf := f.Trans[gate]
+	if tf == nil {
+		tf = &TransForce{}
+		f.Trans[gate] = tf
+	}
+	if rise {
+		tf.RiseMask |= logic.Lane(lane)
+	} else {
+		tf.FallMask |= logic.Lane(lane)
+	}
+}
+
+// UnprimeTransitions marks a scan operation: the next functional cycle
+// cannot be a launch-on-capture pair with the previous one.
+func (f *Forces) UnprimeTransitions() {
+	for _, tf := range f.Trans {
+		tf.Primed = false
+	}
+}
+
+// applyTrans injects a gate's transition faults given its natural value
+// this cycle, and records the value for the next cycle.
+func (tf *TransForce) apply(natural logic.Word) logic.Word {
+	w := natural
+	if tf.Primed {
+		if tf.RiseMask != 0 {
+			// A delayed rise shows the previous value: 1 only if the
+			// line was already 1.
+			w = logic.Force(w, tf.RiseMask, natural&tf.Prev)
+		}
+		if tf.FallMask != 0 {
+			w = logic.Force(w, tf.FallMask, natural|tf.Prev)
+		}
+	}
+	tf.Prev = natural
+	tf.Primed = true
+	return w
+}
+
+// ForceOut adds a stem force: in the given lane, gate's output is stuck
+// at val.
+func (f *Forces) ForceOut(gate int, lane int, val uint8) {
+	m := logic.Lane(lane)
+	f.OutMask[gate] |= m
+	if val != 0 {
+		f.OutVal[gate] |= m
+	} else {
+		f.OutVal[gate] &^= m
+	}
+}
+
+// ForcePin adds a branch force: in the given lane, the value gate sees on
+// input pin is stuck at val.
+func (f *Forces) ForcePin(gate, pin int, lane int, val uint8) {
+	m := logic.Lane(lane)
+	v := logic.Word(0)
+	if val != 0 {
+		v = m
+	}
+	f.Pins[gate] = append(f.Pins[gate], PinForce{Pin: pin, Mask: m, Val: v})
+}
+
+// Evaluator holds per-gate word values for one circuit and evaluates the
+// combinational core in levelized order.
+type Evaluator struct {
+	c   *circuit.Circuit
+	val []logic.Word
+}
+
+// NewEvaluator returns an Evaluator for c with all values zero.
+func NewEvaluator(c *circuit.Circuit) *Evaluator {
+	return &Evaluator{c: c, val: make([]logic.Word, c.NumGates())}
+}
+
+// Circuit returns the evaluated netlist.
+func (e *Evaluator) Circuit() *circuit.Circuit { return e.c }
+
+// Value returns the current word value of a gate.
+func (e *Evaluator) Value(gate int) logic.Word { return e.val[gate] }
+
+// SetPI assigns the word value of primary input index i (in the order of
+// Circuit.Inputs).
+func (e *Evaluator) SetPI(i int, w logic.Word) { e.val[e.c.Inputs[i]] = w }
+
+// SetState assigns the word value of the flip-flop at scan position i.
+func (e *Evaluator) SetState(i int, w logic.Word) { e.val[e.c.DFFs[i]] = w }
+
+// State returns the word value of the flip-flop at scan position i.
+func (e *Evaluator) State(i int) logic.Word { return e.val[e.c.DFFs[i]] }
+
+// PO returns the word value of primary output index i.
+func (e *Evaluator) PO(i int) logic.Word { return e.val[e.c.Outputs[i]] }
+
+// NextState returns the word value feeding the flip-flop at scan position
+// i (valid after Eval).
+func (e *Evaluator) NextState(i int) logic.Word {
+	d := e.c.DFFs[i]
+	return e.val[e.c.Gates[d].Fanin[0]]
+}
+
+// Eval evaluates the combinational core under the given injections (nil
+// for fault-free). PI and flip-flop values must have been set; they are
+// themselves subject to stem forces (a stuck output of a PI or flip-flop).
+func (e *Evaluator) Eval(f *Forces) {
+	g := e.c.Gates
+	if f != nil {
+		// Stem and transition faults on sources apply before any gate
+		// reads them.
+		for _, id := range e.c.Inputs {
+			if tf, ok := f.Trans[id]; ok {
+				e.val[id] = tf.apply(e.val[id])
+			}
+			if m := f.OutMask[id]; m != 0 {
+				e.val[id] = logic.Force(e.val[id], m, f.OutVal[id])
+			}
+		}
+		for _, id := range e.c.DFFs {
+			if m := f.OutMask[id]; m != 0 {
+				e.val[id] = logic.Force(e.val[id], m, f.OutVal[id])
+			}
+		}
+	}
+	for _, id := range e.c.EvalOrder() {
+		gate := &g[id]
+		var w logic.Word
+		if f != nil {
+			if pf, ok := f.Pins[id]; ok {
+				w = e.evalForced(gate, pf)
+			} else {
+				w = e.evalPlain(gate)
+			}
+			if tf, ok := f.Trans[id]; ok {
+				w = tf.apply(w)
+			}
+			if m := f.OutMask[id]; m != 0 {
+				w = logic.Force(w, m, f.OutVal[id])
+			}
+		} else {
+			w = e.evalPlain(gate)
+		}
+		e.val[id] = w
+	}
+}
+
+func (e *Evaluator) in(gate *circuit.Gate, pin int, pf []PinForce) logic.Word {
+	w := e.val[gate.Fanin[pin]]
+	for _, p := range pf {
+		if p.Pin == pin {
+			w = logic.Force(w, p.Mask, p.Val)
+		}
+	}
+	return w
+}
+
+func (e *Evaluator) evalPlain(gate *circuit.Gate) logic.Word {
+	switch gate.Type {
+	case circuit.And, circuit.Nand:
+		w := logic.AllOnes
+		for _, fi := range gate.Fanin {
+			w &= e.val[fi]
+		}
+		if gate.Type == circuit.Nand {
+			w = ^w
+		}
+		return w
+	case circuit.Or, circuit.Nor:
+		var w logic.Word
+		for _, fi := range gate.Fanin {
+			w |= e.val[fi]
+		}
+		if gate.Type == circuit.Nor {
+			w = ^w
+		}
+		return w
+	case circuit.Xor, circuit.Xnor:
+		var w logic.Word
+		for _, fi := range gate.Fanin {
+			w ^= e.val[fi]
+		}
+		if gate.Type == circuit.Xnor {
+			w = ^w
+		}
+		return w
+	case circuit.Not:
+		return ^e.val[gate.Fanin[0]]
+	case circuit.Buf:
+		return e.val[gate.Fanin[0]]
+	case circuit.Const0:
+		return 0
+	case circuit.Const1:
+		return logic.AllOnes
+	}
+	panic(fmt.Sprintf("sim: gate %q of type %s in evaluation order", gate.Name, gate.Type))
+}
+
+func (e *Evaluator) evalForced(gate *circuit.Gate, pf []PinForce) logic.Word {
+	switch gate.Type {
+	case circuit.And, circuit.Nand:
+		w := logic.AllOnes
+		for pin := range gate.Fanin {
+			w &= e.in(gate, pin, pf)
+		}
+		if gate.Type == circuit.Nand {
+			w = ^w
+		}
+		return w
+	case circuit.Or, circuit.Nor:
+		var w logic.Word
+		for pin := range gate.Fanin {
+			w |= e.in(gate, pin, pf)
+		}
+		if gate.Type == circuit.Nor {
+			w = ^w
+		}
+		return w
+	case circuit.Xor, circuit.Xnor:
+		var w logic.Word
+		for pin := range gate.Fanin {
+			w ^= e.in(gate, pin, pf)
+		}
+		if gate.Type == circuit.Xnor {
+			w = ^w
+		}
+		return w
+	case circuit.Not:
+		return ^e.in(gate, 0, pf)
+	case circuit.Buf:
+		return e.in(gate, 0, pf)
+	case circuit.Const0:
+		return 0
+	case circuit.Const1:
+		return logic.AllOnes
+	}
+	panic(fmt.Sprintf("sim: gate %q of type %s in evaluation order", gate.Name, gate.Type))
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"fmt"
+
+	"limscan/internal/circuit"
+	"limscan/internal/logic"
+)
+
+// Step describes one time unit of a scalar sequential simulation: the
+// state at the start of the time unit, the primary input vector applied,
+// and the resulting primary output vector.
+type Step struct {
+	State logic.Vec
+	In    logic.Vec
+	Out   logic.Vec
+}
+
+// Run simulates the fault-free circuit sequentially: starting from state
+// si, it applies the vectors in order at functional speed and returns one
+// Step per vector plus the final state reached after the last vector.
+func Run(c *circuit.Circuit, si logic.Vec, vectors []logic.Vec) (steps []Step, final logic.Vec, err error) {
+	if si.Len() != c.NumSV() {
+		return nil, logic.Vec{}, fmt.Errorf("sim: initial state has %d bits, circuit has %d state variables", si.Len(), c.NumSV())
+	}
+	ev := NewEvaluator(c)
+	state := si.Clone()
+	for u, v := range vectors {
+		if v.Len() != c.NumPI() {
+			return nil, logic.Vec{}, fmt.Errorf("sim: vector %d has %d bits, circuit has %d inputs", u, v.Len(), c.NumPI())
+		}
+		for i := 0; i < c.NumPI(); i++ {
+			ev.SetPI(i, logic.Spread(v.Get(i)))
+		}
+		for i := 0; i < c.NumSV(); i++ {
+			ev.SetState(i, logic.Spread(state.Get(i)))
+		}
+		ev.Eval(nil)
+		out := logic.NewVec(c.NumPO())
+		for i := 0; i < c.NumPO(); i++ {
+			out.Set(i, logic.Bit(ev.PO(i), 0))
+		}
+		steps = append(steps, Step{State: state.Clone(), In: v.Clone(), Out: out})
+		next := logic.NewVec(c.NumSV())
+		for i := 0; i < c.NumSV(); i++ {
+			next.Set(i, logic.Bit(ev.NextState(i), 0))
+		}
+		state = next
+	}
+	return steps, state, nil
+}

@@ -1,0 +1,233 @@
+// Package stafan implements statistical fault analysis (STAFAN-style)
+// over the scan view of a full-scan circuit: signal probabilities and
+// observabilities are estimated from fault-free simulation of random
+// patterns, and combined into per-fault detection probability estimates.
+//
+// The paper's test-length selection rests on exactly this quantity —
+// [5] observed that longer at-speed sequences raise the detection
+// probability of some faults, and Procedure 2's parameter search is a
+// fight against faults with small detection probabilities. The estimator
+// makes that hardness measurable without fault simulation: a fault's
+// expected escape probability after n random patterns is (1 - p)^n.
+package stafan
+
+import (
+	"math"
+
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/lfsr"
+	"limscan/internal/logic"
+	"limscan/internal/sim"
+)
+
+// Analysis holds the per-line statistics of one estimation run.
+type Analysis struct {
+	c *circuit.Circuit
+	// one1[g] is the fraction of sampled patterns on which gate g is 1.
+	one []float64
+	// obs[g] estimates the probability that a value change on g's output
+	// propagates to an observation point (PO or PPO) of the scan view.
+	obs []float64
+	// patterns is the sample size.
+	patterns int
+}
+
+// Analyze samples the circuit's scan view under `patterns` uniformly
+// random input/state assignments (rounded up to a multiple of 64) and
+// derives signal probabilities and observability estimates.
+func Analyze(c *circuit.Circuit, patterns int, seed uint64) *Analysis {
+	if patterns < 64 {
+		patterns = 64
+	}
+	words := (patterns + 63) / 64
+	patterns = words * 64
+
+	a := &Analysis{
+		c:        c,
+		one:      make([]float64, c.NumGates()),
+		obs:      make([]float64, c.NumGates()),
+		patterns: patterns,
+	}
+	src := lfsr.NewSplitMix(seed)
+	ev := sim.NewEvaluator(c)
+	ones := make([]int, c.NumGates())
+	for w := 0; w < words; w++ {
+		for i := 0; i < c.NumPI(); i++ {
+			ev.SetPI(i, src.Uint64())
+		}
+		for i := 0; i < c.NumSV(); i++ {
+			ev.SetState(i, src.Uint64())
+		}
+		ev.Eval(nil)
+		for g := 0; g < c.NumGates(); g++ {
+			ones[g] += logic.PopCount(ev.Value(g))
+		}
+	}
+	for g := range ones {
+		a.one[g] = float64(ones[g]) / float64(patterns)
+	}
+	a.computeObservability()
+	return a
+}
+
+// computeObservability walks gates from observation points backwards:
+// a pin of a gate is observable when the gate's output is observable and
+// the side inputs hold non-controlling values (estimated independently
+// from the measured signal probabilities). Fanout stems take the
+// complement-product of their branch observabilities.
+func (a *Analysis) computeObservability() {
+	c := a.c
+	observed := make(map[int]bool)
+	for _, id := range c.Outputs {
+		observed[id] = true
+	}
+	for _, id := range c.ScanObserved() {
+		observed[id] = true
+	}
+
+	// Process in reverse evaluation order so consumers are done before
+	// their drivers; accumulate pin observabilities into the driver's
+	// stem as 1 - prod(1 - o_branch).
+	escape := make([]float64, c.NumGates()) // prod(1 - o) accumulated
+	for i := range escape {
+		escape[i] = 1
+	}
+	order := c.EvalOrder()
+	addBranch := func(driver int, o float64) {
+		escape[driver] *= 1 - o
+	}
+	// DFF inputs are observation points of the scan view.
+	for _, d := range c.DFFs {
+		addBranch(c.Gates[d].Fanin[0], 1)
+	}
+	stem := func(id int) float64 {
+		o := 1 - escape[id]
+		if observed[id] {
+			o = 1
+		}
+		return o
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		id := order[k]
+		g := &c.Gates[id]
+		out := stem(id)
+		for pin, drv := range g.Fanin {
+			sens := 1.0
+			switch g.Type {
+			case circuit.And, circuit.Nand:
+				for p2, d2 := range g.Fanin {
+					if p2 != pin {
+						sens *= a.one[d2]
+					}
+				}
+			case circuit.Or, circuit.Nor:
+				for p2, d2 := range g.Fanin {
+					if p2 != pin {
+						sens *= 1 - a.one[d2]
+					}
+				}
+			case circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf:
+				sens = 1
+			default:
+				sens = 0
+			}
+			addBranch(drv, out*sens)
+		}
+	}
+	for id := range a.obs {
+		a.obs[id] = stem(id)
+	}
+}
+
+// One returns the estimated signal probability of gate id.
+func (a *Analysis) One(id int) float64 { return a.one[id] }
+
+// Obs returns the estimated observability of gate id's output.
+func (a *Analysis) Obs(id int) float64 { return a.obs[id] }
+
+// DetectProb estimates the per-pattern detection probability of a fault:
+// the probability of exciting the faulty value times the observability of
+// the fault site. Flip-flop faults use the scan view (a DFF output fault
+// is excited by the scanned-in state and directly observed at scan-out,
+// so its excitation probability is that of the opposite value and its
+// observability is 1).
+func (a *Analysis) DetectProb(f fault.Fault) float64 {
+	c := a.c
+	g := &c.Gates[f.Gate]
+	var line int
+	var obs float64
+	switch {
+	case g.Type == circuit.DFF && f.Pin == fault.Stem:
+		// Excitation: the state bit must be the opposite of the stuck
+		// value; scan-out observes it directly.
+		exc := a.one[f.Gate]
+		if f.Stuck == 1 {
+			exc = 1 - a.one[f.Gate]
+		}
+		return exc
+	case g.Type == circuit.DFF:
+		line = g.Fanin[0]
+		obs = 1 // PPO
+	case f.Pin == fault.Stem:
+		line = f.Gate
+		obs = a.obs[f.Gate]
+	default:
+		line = g.Fanin[f.Pin]
+		// Branch observability: the consumer pin's sensitization times
+		// the consumer's stem observability — approximate with the
+		// consumer's observability (conservative for wide gates).
+		obs = a.obs[f.Gate] * a.sensitization(f.Gate, f.Pin)
+	}
+	exc := a.one[line]
+	if f.Stuck == 1 {
+		exc = 1 - a.one[line]
+	}
+	return exc * obs
+}
+
+func (a *Analysis) sensitization(gate, pin int) float64 {
+	g := &a.c.Gates[gate]
+	sens := 1.0
+	switch g.Type {
+	case circuit.And, circuit.Nand:
+		for p2, d2 := range g.Fanin {
+			if p2 != pin {
+				sens *= a.one[d2]
+			}
+		}
+	case circuit.Or, circuit.Nor:
+		for p2, d2 := range g.Fanin {
+			if p2 != pin {
+				sens *= 1 - a.one[d2]
+			}
+		}
+	}
+	return sens
+}
+
+// EscapeProb estimates the probability that the fault survives n random
+// patterns: (1 - p)^n.
+func (a *Analysis) EscapeProb(f fault.Fault, n int) float64 {
+	p := a.DetectProb(f)
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	return math.Pow(1-p, float64(n))
+}
+
+// ExpectedCoverage estimates the fraction of the given faults detected
+// after n random patterns.
+func (a *Analysis) ExpectedCoverage(faults []fault.Fault, n int) float64 {
+	if len(faults) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, f := range faults {
+		sum += 1 - a.EscapeProb(f, n)
+	}
+	return sum / float64(len(faults))
+}

@@ -1,0 +1,161 @@
+package stafan
+
+import (
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/circuit"
+	"limscan/internal/core"
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+)
+
+func load(t testing.TB, name string) *circuit.Circuit {
+	c, err := bmark.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSignalProbabilities(t *testing.T) {
+	// On a tiny hand-built circuit the probabilities are known exactly.
+	b := circuit.NewBuilder("probs")
+	b.AddInput("A")
+	b.AddInput("B")
+	b.AddGate("and", circuit.And, "A", "B")
+	b.AddGate("or", circuit.Or, "A", "B")
+	b.AddGate("not", circuit.Not, "A")
+	b.MarkOutput("and")
+	b.MarkOutput("or")
+	b.MarkOutput("not")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(c, 64*64, 1)
+	andID, _ := c.GateByName("and")
+	orID, _ := c.GateByName("or")
+	notID, _ := c.GateByName("not")
+	check := func(name string, got, want float64) {
+		if got < want-0.05 || got > want+0.05 {
+			t.Errorf("%s probability = %.3f, want about %.3f", name, got, want)
+		}
+	}
+	check("and", a.One(andID), 0.25)
+	check("or", a.One(orID), 0.75)
+	check("not", a.One(notID), 0.5)
+	// Outputs are fully observable.
+	if a.Obs(andID) != 1 {
+		t.Errorf("PO observability = %v, want 1", a.Obs(andID))
+	}
+}
+
+func TestObservabilityBlockedGate(t *testing.T) {
+	// Z = AND(wide...) as the only consumer of X: X's observability must
+	// be small (all side inputs must be 1 simultaneously).
+	b := circuit.NewBuilder("obs")
+	for _, in := range []string{"A", "B", "C", "D", "E", "X"} {
+		b.AddInput(in)
+	}
+	b.AddGate("Z", circuit.And, "A", "B", "C", "D", "E", "X")
+	b.MarkOutput("Z")
+	c, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(c, 64*64, 2)
+	xID, _ := c.GateByName("X")
+	// Sensitization through 5 side inputs at 0.5 each: about 1/32.
+	if o := a.Obs(xID); o < 0.01 || o > 0.08 {
+		t.Errorf("X observability = %.4f, want about 0.031", o)
+	}
+}
+
+func TestDetectProbOrdersHardness(t *testing.T) {
+	// Faults the TS0 session misses should have systematically lower
+	// estimated detection probabilities than detected ones: check that
+	// the mean estimate of missed faults is below the mean of detected
+	// ones on a benchmark analog.
+	c := load(t, "s420")
+	a := Analyze(c, 64*256, 3)
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	fs := fault.NewSet(reps)
+	cfg := core.Config{LA: 8, LB: 16, N: 32, Seed: 1}
+	tests := core.GenerateTS0(c, cfg)
+	s := fsim.New(c)
+	if _, err := s.Run(tests, fs, fsim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var detSum, misSum float64
+	var det, mis int
+	for i, f := range reps {
+		p := a.DetectProb(f)
+		if fs.State[i] == fault.Detected {
+			detSum += p
+			det++
+		} else {
+			misSum += p
+			mis++
+		}
+	}
+	if det == 0 || mis == 0 {
+		t.Skip("degenerate split")
+	}
+	meanDet, meanMis := detSum/float64(det), misSum/float64(mis)
+	t.Logf("mean detection probability: detected %.4f (n=%d), missed %.4f (n=%d)",
+		meanDet, det, meanMis, mis)
+	if meanMis >= meanDet {
+		t.Errorf("estimator does not separate hard faults: missed %.4f >= detected %.4f",
+			meanMis, meanDet)
+	}
+}
+
+func TestExpectedCoverageTracksActual(t *testing.T) {
+	// The predicted coverage after n patterns should be within a loose
+	// band of the actual TS0 coverage (the estimator ignores sequential
+	// state bias, so expect optimism, not wild divergence).
+	c := load(t, "s298")
+	a := Analyze(c, 64*256, 4)
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	cfg := core.Config{LA: 8, LB: 16, N: 32, Seed: 2}
+	tests := core.GenerateTS0(c, cfg)
+	vectors := 0
+	for i := range tests {
+		vectors += tests[i].Len()
+	}
+	pred := a.ExpectedCoverage(reps, vectors)
+
+	fs := fault.NewSet(reps)
+	s := fsim.New(c)
+	if _, err := s.Run(tests, fs, fsim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	actual := float64(fs.Count(fault.Detected)) / float64(len(reps))
+	t.Logf("predicted %.3f vs actual %.3f over %d vectors", pred, actual, vectors)
+	if pred < actual-0.15 || pred > actual+0.15 {
+		t.Errorf("prediction %.3f far from actual %.3f", pred, actual)
+	}
+}
+
+func TestEscapeProbBounds(t *testing.T) {
+	c := load(t, "s27")
+	a := Analyze(c, 64*16, 5)
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	for _, f := range reps {
+		p := a.DetectProb(f)
+		if p < 0 || p > 1 {
+			t.Fatalf("DetectProb(%v) = %v out of [0,1]", f, p)
+		}
+		e := a.EscapeProb(f, 100)
+		if e < 0 || e > 1 {
+			t.Fatalf("EscapeProb out of range: %v", e)
+		}
+		if a.EscapeProb(f, 1000) > a.EscapeProb(f, 10)+1e-12 {
+			t.Fatal("escape probability not decreasing in n")
+		}
+	}
+	if got := a.ExpectedCoverage(nil, 10); got != 1 {
+		t.Errorf("ExpectedCoverage(no faults) = %v", got)
+	}
+}

@@ -1,0 +1,439 @@
+// Package tables regenerates every table of the paper's evaluation
+// section from the reproduction's own machinery. Each TableN function
+// returns the rendered table text; cmd/tables prints them and the root
+// benchmark suite times them.
+package tables
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"limscan/internal/baseline"
+	"limscan/internal/bmark"
+	"limscan/internal/circuit"
+	"limscan/internal/core"
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+	"limscan/internal/logic"
+	"limscan/internal/report"
+	"limscan/internal/scan"
+)
+
+// Options configures table generation.
+type Options struct {
+	// Seed is the campaign base seed (default 1).
+	Seed uint64
+	// MaxCombos caps the per-circuit combination search (default 16).
+	MaxCombos int
+	// Quick shrinks the workloads (fewer grid cells, fewer circuits) for
+	// fast demonstration runs and benchmarks.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxCombos == 0 {
+		o.MaxCombos = 16
+	}
+	return o
+}
+
+func mustLoad(name string) *circuit.Circuit {
+	c, err := bmark.Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Table1 reproduces the Section 2 example: a test on the real s27 whose
+// fault is undetected without limited scan and detected with the
+// operation shift(3) = 1, fill bit 0. The fault shown is found by
+// scanning the collapsed fault list for one with exactly the paper's
+// behaviour.
+func Table1(o Options) string {
+	c := mustLoad("s27")
+	plain := scan.Test{SI: mustVec("001")}
+	for _, v := range []string{"0111", "1001", "0111", "1001", "0100"} {
+		plain.T = append(plain.T, mustVec(v))
+	}
+	limited := plain
+	limited.Shift = []int{0, 0, 0, 1, 0}
+	limited.Fill = [][]uint8{nil, nil, nil, {0}, nil}
+
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	var chosen *fault.Fault
+	for i := range reps {
+		_, _, _, detPlain := fsim.Trace(c, plain, reps[i])
+		_, _, _, detLim := fsim.Trace(c, limited, reps[i])
+		if !detPlain && detLim {
+			chosen = &reps[i]
+			break
+		}
+	}
+	var b strings.Builder
+	if chosen == nil {
+		fmt.Fprintln(&b, "Table 1: no fault with the paper's behaviour found (unexpected)")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "Table 1: a test for s27 (fault f = %s)\n\n", chosen.Pretty(c))
+
+	render := func(title string, tt scan.Test) {
+		steps, fg, fb, det := fsim.Trace(c, tt, *chosen)
+		t := report.NewTable(title, "u", "shift(u)", "T(u)", "S(u)", "Z(u)")
+		for _, st := range steps {
+			t.AddRow(st.U, st.Shift, st.In.String(),
+				st.StateGood.String()+"/"+st.StateBad.String(),
+				st.OutGood.String()+"/"+st.OutBad.String())
+		}
+		t.AddRow(len(steps), "", "", fg.String()+"/"+fb.String(), "")
+		t.Render(&b)
+		fmt.Fprintf(&b, "detected: %v\n\n", det)
+	}
+	render("(a) Without limited scan", plain)
+	render("(b) With limited scan (shift(3)=1, fill 0)", limited)
+	return b.String()
+}
+
+// Table2 renders the Table 1(b) test in accurate timing (the limited
+// scan operation occupies its own time unit, delaying later vectors).
+func Table2(o Options) string {
+	c := mustLoad("s27")
+	tt := scan.Test{SI: mustVec("001")}
+	for _, v := range []string{"0111", "1001", "0111", "1001", "0100"} {
+		tt.T = append(tt.T, mustVec(v))
+	}
+	tt.Shift = []int{0, 0, 0, 1, 0}
+	tt.Fill = [][]uint8{nil, nil, nil, {0}, nil}
+
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	plain := tt
+	plain.Shift, plain.Fill = nil, nil
+	var chosen *fault.Fault
+	for i := range reps {
+		_, _, _, dp := fsim.Trace(c, plain, reps[i])
+		_, _, _, dl := fsim.Trace(c, tt, reps[i])
+		if !dp && dl {
+			chosen = &reps[i]
+			break
+		}
+	}
+	var b strings.Builder
+	if chosen == nil {
+		return "Table 2: no qualifying fault (unexpected)\n"
+	}
+	fmt.Fprintf(&b, "Table 2: timing view of the Table 1(b) test (fault f = %s)\n\n", chosen.Pretty(c))
+	steps, fg, fb, _ := fsim.Trace(c, tt, *chosen)
+	t := report.NewTable("", "u", "T(u)", "S(u)", "Z(u)")
+	u := 0
+	for _, st := range steps {
+		for k := 0; k < st.Shift; k++ {
+			// A scan time unit: no vector, no PO observation.
+			t.AddRow(u, "-", "(scan shift)", "-")
+			u++
+		}
+		t.AddRow(u, st.In.String(),
+			st.StateGood.String()+"/"+st.StateBad.String(),
+			st.OutGood.String()+"/"+st.OutBad.String())
+		u++
+	}
+	t.AddRow(u, "", fg.String()+"/"+fb.String(), "")
+	t.Render(&b)
+	return b.String()
+}
+
+// gridFor runs Procedure 2 on every cell of the paper's (L_A, L_B, N)
+// grid for one circuit and renders the Ncyc and Ncyc0 grids of Tables 3
+// and 4. Cells whose campaign does not reach complete coverage render as
+// a dash, matching the paper.
+func gridFor(name string, o Options) string {
+	o = o.withDefaults()
+	c := mustLoad(name)
+	r := core.NewRunner(c)
+	m := scan.CostModel{NSV: c.NumSV()}
+
+	las := []int{8, 16, 32, 64}
+	lbs := []int{16, 32, 64, 128, 256}
+	ns := []int{64, 128, 256}
+	if o.Quick {
+		las = []int{8, 16}
+		lbs = []int{16, 32, 64}
+		ns = []int{64}
+	}
+	ncyc := report.NewGrid(fmt.Sprintf("Ncyc (total, complete coverage) for %s", name), las, lbs, ns)
+	ncyc0 := report.NewGrid(fmt.Sprintf("Ncyc0 for %s", name), las, lbs, ns)
+	for _, n := range ns {
+		for _, la := range las {
+			for _, lb := range lbs {
+				if la >= lb {
+					continue
+				}
+				ncyc0.Set(n, la, lb, fmt.Sprintf("%d", m.Ncyc0(la, lb, n)))
+				res, err := r.RunProcedure2(core.Config{LA: la, LB: lb, N: n, Seed: o.Seed})
+				if err != nil {
+					panic(err)
+				}
+				if res.Complete {
+					ncyc.Set(n, la, lb, fmt.Sprintf("%d", res.TotalCycles))
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	ncyc.Render(&b)
+	fmt.Fprintln(&b)
+	ncyc0.Render(&b)
+	return b.String()
+}
+
+// Table3 is the s208 trade-off grid.
+func Table3(o Options) string {
+	return "Table 3: clock cycles for s208 (analog)\n\n" + gridFor("s208", o)
+}
+
+// Table4 is the s420 trade-off grid.
+func Table4(o Options) string {
+	return "Table 4: clock cycles for s420 (analog)\n\n" + gridFor("s420", o)
+}
+
+// Table5 lists the first 10 (L_A, L_B, N) combinations by increasing
+// N_cyc0 for N_SV = 21 and N_SV = 74. This table is pure arithmetic and
+// reproduces the paper exactly.
+func Table5(o Options) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 5: Ncyc0 as a function of LA, LB and N")
+	fmt.Fprintln(&b)
+	for _, nsv := range []int{21, 74} {
+		t := report.NewTable(fmt.Sprintf("NSV=%d", nsv), "LA", "LB", "N", "Ncyc0")
+		combos := core.Combos(nsv)
+		for i := 0; i < 10 && i < len(combos); i++ {
+			cb := combos[i]
+			t.AddRow(cb.LA, cb.LB, cb.N, cb.Ncyc0)
+		}
+		t.Render(&b)
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Table6Circuits is the default circuit list for Table 6 (the two giant
+// analogs are opt-in: pass them explicitly via circuits).
+var Table6Circuits = []string{
+	"s208", "s298", "s344", "s382", "s400", "s420", "s510", "s641",
+	"s820", "s953", "s1196", "s1423",
+	"b01", "b02", "b03", "b04", "b06", "b09", "b10", "b11",
+}
+
+// QuickCircuits is the reduced list used by Quick runs and benchmarks.
+var QuickCircuits = []string{"s208", "s298", "s382", "b01", "b02"}
+
+// Row6 is one computed Table 6 row, exported so Table 7 can reuse the
+// chosen parameter combinations and tests can assert on trends.
+type Row6 struct {
+	Circuit  string
+	Result   *core.Result
+	Complete bool
+	Tried    int
+}
+
+// ComputeTable6 runs the first-complete-combination campaign per circuit.
+func ComputeTable6(circuits []string, d1Order []int, o Options) []Row6 {
+	o = o.withDefaults()
+	var rows []Row6
+	for _, name := range circuits {
+		r := core.NewRunner(mustLoad(name))
+		out, err := r.FirstComplete(core.CampaignOptions{
+			Base:      core.Config{Seed: o.Seed, D1Order: d1Order},
+			MaxCombos: o.MaxCombos,
+		})
+		if err != nil {
+			panic(err)
+		}
+		res := out.Best
+		if out.Chosen != nil {
+			res = out.Chosen
+		}
+		rows = append(rows, Row6{Circuit: name, Result: res, Complete: out.Chosen != nil, Tried: out.Tried})
+	}
+	return rows
+}
+
+func renderTable6(title string, rows []Row6) string {
+	t := report.NewTable(title,
+		"circuit", "LA,LB,N", "init det", "init cycles", "app", "det", "cycles", "ls", "cov%", "complete")
+	for _, row := range rows {
+		res := row.Result
+		cfg := res.Config
+		appCol, detCol, cycCol, lsCol := "0", "", "", ""
+		if len(res.Pairs) > 0 {
+			appCol = fmt.Sprintf("%d", len(res.Pairs))
+			detCol = fmt.Sprintf("%d", res.Detected)
+			cycCol = report.Cycles(res.TotalCycles)
+			lsCol = fmt.Sprintf("%.2f", res.AvgLS)
+		}
+		t.AddRow(row.Circuit,
+			fmt.Sprintf("%d,%d,%d", cfg.LA, cfg.LB, cfg.N),
+			res.InitialDetected, report.Cycles(res.InitialCycles),
+			appCol, detCol, cycCol, lsCol,
+			fmt.Sprintf("%.2f", res.Coverage()*100),
+			row.Complete)
+	}
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Table6 is the main experimental table: for every circuit, the first
+// (L_A, L_B, N) combination reaching complete coverage, with the initial
+// and with-limited-scan statistics.
+func Table6(circuits []string, o Options) string {
+	o = o.withDefaults()
+	if circuits == nil {
+		circuits = Table6Circuits
+		if o.Quick {
+			circuits = QuickCircuits
+		}
+	}
+	rows := ComputeTable6(circuits, nil, o)
+	return renderTable6("Table 6: experimental results (D1 = 1,2,...,10)", rows)
+}
+
+// Table7 repeats Table 6 with the descending D1 order 10,9,...,1, using
+// the same (L_A, L_B, N) combination Table 6 chose per circuit.
+func Table7(circuits []string, o Options) string {
+	o = o.withDefaults()
+	if circuits == nil {
+		circuits = Table6Circuits
+		if o.Quick {
+			circuits = QuickCircuits
+		}
+	}
+	base := ComputeTable6(circuits, nil, o)
+	var rows []Row6
+	for _, row := range base {
+		r := core.NewRunner(mustLoad(row.Circuit))
+		cfg := row.Result.Config
+		cfg.D1Order = core.DescendingD1()
+		res, err := r.RunProcedure2(cfg)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, Row6{Circuit: row.Circuit, Result: res, Complete: res.Complete, Tried: 1})
+	}
+	return renderTable6("Table 7: using D1 = 10,9,...,1 (same LA,LB,N as Table 6)", rows)
+}
+
+// Table8Circuits is the default circuit list for the Table 8 study.
+var Table8Circuits = []string{"s208", "s420", "s953", "b09"}
+
+// Table8 shows, per circuit, several (L_A, L_B, N) combinations with the
+// number of applications (pairs) they need: larger combinations need
+// fewer stored (I, D1) pairs.
+func Table8(circuits []string, o Options) string {
+	o = o.withDefaults()
+	if circuits == nil {
+		circuits = Table8Circuits
+		if o.Quick {
+			circuits = []string{"s208"}
+		}
+	}
+	t := report.NewTable("Table 8: different combinations of LA, LB and N",
+		"circuit", "LA,LB,N", "init det", "init cycles", "app", "det", "cycles", "ls", "complete")
+	for _, name := range circuits {
+		c := mustLoad(name)
+		r := core.NewRunner(c)
+		combos := core.Combos(c.NumSV())
+		max := o.MaxCombos
+		if max > len(combos) {
+			max = len(combos)
+		}
+		type entry struct {
+			cfg core.Config
+			res *core.Result
+		}
+		var complete []entry
+		for _, cb := range combos[:max] {
+			cfg := core.Config{LA: cb.LA, LB: cb.LB, N: cb.N, Seed: o.Seed}
+			res, err := r.RunProcedure2(cfg)
+			if err != nil {
+				panic(err)
+			}
+			if res.Complete {
+				complete = append(complete, entry{cfg, res})
+			}
+		}
+		// Show the frontier: entries whose app count strictly improves
+		// on every cheaper complete entry, in Ncyc0 order.
+		sort.SliceStable(complete, func(i, j int) bool {
+			return complete[i].res.InitialCycles < complete[j].res.InitialCycles
+		})
+		best := 1 << 30
+		for _, e := range complete {
+			if len(e.res.Pairs) >= best {
+				continue
+			}
+			best = len(e.res.Pairs)
+			t.AddRow(name,
+				fmt.Sprintf("%d,%d,%d", e.cfg.LA, e.cfg.LB, e.cfg.N),
+				e.res.InitialDetected,
+				report.Cycles(e.res.InitialCycles), len(e.res.Pairs), e.res.Detected,
+				report.Cycles(e.res.TotalCycles), fmt.Sprintf("%.2f", e.res.AvgLS), true)
+		}
+	}
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Table9 is the Section 4 comparison: the [5]/[6]-style budgeted
+// baseline versus the proposed method.
+func Table9(circuits []string, o Options) string {
+	o = o.withDefaults()
+	if circuits == nil {
+		circuits = QuickCircuits
+		if !o.Quick {
+			circuits = []string{"s208", "s298", "s344", "s382", "s400", "s420", "s641", "s820", "s953", "b03", "b09", "b10"}
+		}
+	}
+	budget := int64(500000)
+	if o.Quick {
+		budget = 50000
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Baseline ([5]/[6]-style, %s-cycle budget) vs proposed", report.Cycles(budget)),
+		"circuit", "chains", "base det", "base cov%", "prop det", "prop cov%", "prop cycles", "complete")
+	for _, name := range circuits {
+		c := mustLoad(name)
+		reps, _ := fault.Collapse(c, fault.Universe(c))
+		bfs := fault.NewSet(reps)
+		bres, err := baseline.Run(c, bfs, baseline.Config{Budget: budget, Seed: o.Seed})
+		if err != nil {
+			panic(err)
+		}
+		r := core.NewRunner(c)
+		out, err := r.FirstComplete(core.CampaignOptions{Base: core.Config{Seed: o.Seed}, MaxCombos: o.MaxCombos})
+		if err != nil {
+			panic(err)
+		}
+		res := out.Best
+		if out.Chosen != nil {
+			res = out.Chosen
+		}
+		den := res.TotalFaults - res.Untestable
+		baseCov := 0.0
+		if den > 0 {
+			baseCov = float64(bres.Detected) / float64(den) * 100
+		}
+		t.AddRow(name, bres.Chains, bres.Detected, fmt.Sprintf("%.2f", baseCov),
+			res.Detected, fmt.Sprintf("%.2f", res.Coverage()*100),
+			report.Cycles(res.TotalCycles), out.Chosen != nil)
+	}
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func mustVec(s string) logic.Vec { return logic.MustVec(s) }

@@ -1,0 +1,94 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Seed: 1, MaxCombos: 6, Quick: true}
+
+func TestTable1ShowsTheMechanism(t *testing.T) {
+	out := Table1(quick)
+	if !strings.Contains(out, "detected: false") || !strings.Contains(out, "detected: true") {
+		t.Errorf("Table 1 must show an undetected->detected transition:\n%s", out)
+	}
+	if !strings.Contains(out, "s27") {
+		t.Error("Table 1 must be about s27")
+	}
+}
+
+func TestTable2HasScanTimeUnit(t *testing.T) {
+	out := Table2(quick)
+	if !strings.Contains(out, "(scan shift)") {
+		t.Errorf("Table 2 must show the inserted scan time unit:\n%s", out)
+	}
+}
+
+func TestTable5ExactPaperValues(t *testing.T) {
+	out := Table5(quick)
+	// Spot-check exact values from both columns of the paper's Table 5.
+	for _, want := range []string{"4245", "5269", "11413", "11082", "21834", "NSV=21", "NSV=74"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3QuickStructure(t *testing.T) {
+	out := Table3(quick)
+	for _, want := range []string{"s208", "Ncyc0", "LB=16", "2568"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable6QuickStructure(t *testing.T) {
+	out := Table6(nil, quick)
+	for _, want := range []string{"circuit", "s208", "init det", "complete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable7UsesDescendingOrder(t *testing.T) {
+	out := Table7([]string{"s208"}, quick)
+	if !strings.Contains(out, "10,9") {
+		t.Errorf("Table 7 title must mention the descending order:\n%s", out)
+	}
+	if !strings.Contains(out, "s208") {
+		t.Error("Table 7 missing circuit row")
+	}
+}
+
+func TestTable8ShowsAppFrontier(t *testing.T) {
+	out := Table8([]string{"s208"}, quick)
+	if !strings.Contains(out, "s208") {
+		t.Errorf("Table 8 missing s208:\n%s", out)
+	}
+}
+
+func TestTable9Comparison(t *testing.T) {
+	out := Table9([]string{"s208"}, quick)
+	for _, want := range []string{"s208", "base det", "prop det", "chains"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 9 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeTable6RowsOrdered(t *testing.T) {
+	rows := ComputeTable6([]string{"s208", "s298"}, nil, quick)
+	if len(rows) != 2 || rows[0].Circuit != "s208" || rows[1].Circuit != "s298" {
+		t.Fatalf("rows out of order: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Result == nil {
+			t.Fatal("nil result")
+		}
+		if r.Result.InitialDetected <= 0 {
+			t.Error("TS0 detected nothing")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package tables
+
+// Trend tests: the paper's qualitative findings, asserted against the
+// reproduction with fixed seeds. These are the claims EXPERIMENTS.md
+// reports; if a change to the generator or the procedures breaks one of
+// them, this file says so before the documentation lies.
+
+import (
+	"testing"
+
+	"limscan/internal/core"
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+)
+
+func TestTrendDescendingD1LowersLS(t *testing.T) {
+	// Paper, Table 7: "the average number of limited scan time units is
+	// lower when D1 is considered in decreasing order."
+	for _, name := range []string{"s208", "s298"} {
+		r := core.NewRunner(mustLoad(name))
+		cfg := core.Config{LA: 8, LB: 16, N: 64, Seed: 1}
+		asc, err := r.RunProcedure2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.D1Order = core.DescendingD1()
+		desc, err := r.RunProcedure2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(asc.Pairs) == 0 || len(desc.Pairs) == 0 {
+			t.Skipf("%s: no pairs selected at this seed", name)
+		}
+		if desc.AvgLS >= asc.AvgLS {
+			t.Errorf("%s: descending D1 did not lower ls: %.3f vs %.3f",
+				name, desc.AvgLS, asc.AvgLS)
+		}
+	}
+}
+
+func TestTrendLargerTS0NeedsFewerPairs(t *testing.T) {
+	// Paper, Table 8: "it is possible to reduce the number of
+	// applications of the test set by using larger values of LA, LB
+	// and/or N." Compare a small and a much larger combination.
+	r := core.NewRunner(mustLoad("s420"))
+	small, err := r.RunProcedure2(core.Config{LA: 8, LB: 16, N: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := r.RunProcedure2(core.Config{LA: 32, LB: 128, N: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.InitialDetected <= small.InitialDetected {
+		t.Errorf("larger TS0 detected less initially: %d vs %d",
+			large.InitialDetected, small.InitialDetected)
+	}
+	if len(large.Pairs) > len(small.Pairs) {
+		t.Errorf("larger TS0 needed more pairs: %d vs %d",
+			len(large.Pairs), len(small.Pairs))
+	}
+}
+
+func TestTrendLimitedScanBeatsPlainReapplication(t *testing.T) {
+	// The heart of the paper: applying TS(I,D1) (with limited scans)
+	// detects faults that re-applying plain TS0 cannot, because the
+	// plain set is deterministic — its second application detects
+	// nothing new at all.
+	c := mustLoad("s420")
+	r := core.NewRunner(c)
+	cfg := core.Config{LA: 8, LB: 16, N: 64, Seed: 1}
+	res, err := r.RunProcedure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Skip("TS0 already complete at this seed")
+	}
+	if res.Detected <= res.InitialDetected {
+		t.Errorf("limited scan sets added nothing: %d -> %d",
+			res.InitialDetected, res.Detected)
+	}
+}
+
+func TestTrendAtSpeedRunsHelpTransitionCoverage(t *testing.T) {
+	// The reason the paper cares about longer at-speed sequences:
+	// transition (delay) faults need launch-on-capture pairs. A test
+	// program of single-vector tests — the classical test-per-scan
+	// scheme — detects none at all, while the paper's multi-vector
+	// at-speed runs cover most of the transition universe.
+	c := mustLoad("s298")
+	universe := fault.TransitionUniverse(c)
+
+	cov := func(length, n int) int {
+		cfg := core.Config{LA: length, LB: length, N: n / 2, Seed: 3}
+		tests := core.GenerateTS0(c, cfg)
+		fs := fault.NewSet(universe)
+		if _, err := fsim.New(c).Run(tests, fs, fsim.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return fs.Count(fault.Detected)
+	}
+	perScan := cov(1, 128) // 128 vectors, one per scan
+	atSpeed := cov(16, 8)  // same 128 vectors in 16-vector runs
+	t.Logf("transition coverage: test-per-scan %d, at-speed %d of %d",
+		perScan, atSpeed, len(universe))
+	if perScan != 0 {
+		t.Errorf("test-per-scan detected %d transition faults; launch pairs cannot exist", perScan)
+	}
+	if atSpeed < len(universe)/2 {
+		t.Errorf("at-speed runs covered only %d/%d transition faults", atSpeed, len(universe))
+	}
+}

@@ -1,0 +1,187 @@
+// Package vectors serializes test programs — ordered scan tests with
+// their limited-scan schedules — to a line-oriented text format and back,
+// so a selected campaign can leave the tool (for an ATE flow, another
+// simulator, or archival) and be reloaded bit-exactly.
+//
+// Format, one directive per line ('#' starts a comment):
+//
+//	program <circuit-name> nsv=<chain-length> npi=<inputs>
+//	test <index>
+//	load <si-bits>
+//	shift <k> <fill-bits>     # limited scan before the next vector
+//	vector <pi-bits>
+//	end
+//
+// A complete scan-out is implicit at every test boundary (the paper's
+// overlapped accounting); `shift 0` lines are never emitted.
+package vectors
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"limscan/internal/logic"
+	"limscan/internal/scan"
+)
+
+// Program is a named, ordered test set.
+type Program struct {
+	Circuit string
+	NSV     int // scan chain length
+	NPI     int
+	Tests   []scan.Test
+}
+
+// Write serializes the program.
+func Write(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# limscan test program: %d tests\n", len(p.Tests))
+	fmt.Fprintf(bw, "program %s nsv=%d npi=%d\n", p.Circuit, p.NSV, p.NPI)
+	for i := range p.Tests {
+		t := &p.Tests[i]
+		if err := t.Validate(p.NPI, p.NSV); err != nil {
+			return fmt.Errorf("vectors: test %d: %w", i, err)
+		}
+		fmt.Fprintf(bw, "test %d\n", i)
+		fmt.Fprintf(bw, "load %s\n", t.SI.String())
+		for u := 0; u < len(t.T); u++ {
+			if t.Shift != nil && t.Shift[u] > 0 {
+				fills := make([]byte, t.Shift[u])
+				for k, b := range t.Fill[u] {
+					fills[k] = '0' + b
+				}
+				fmt.Fprintf(bw, "shift %d %s\n", t.Shift[u], fills)
+			}
+			fmt.Fprintf(bw, "vector %s\n", t.T[u].String())
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+// Parse reads a program back.
+func Parse(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	p := &Program{}
+	var cur *scan.Test
+	var pendingShift int
+	var pendingFill []uint8
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("vectors: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "program":
+			if len(fields) != 4 {
+				return nil, fail("malformed program line")
+			}
+			p.Circuit = fields[1]
+			for _, f := range fields[2:] {
+				kv := strings.SplitN(f, "=", 2)
+				if len(kv) != 2 {
+					return nil, fail("malformed %q", f)
+				}
+				n, err := strconv.Atoi(kv[1])
+				if err != nil {
+					return nil, fail("bad number in %q", f)
+				}
+				switch kv[0] {
+				case "nsv":
+					p.NSV = n
+				case "npi":
+					p.NPI = n
+				default:
+					return nil, fail("unknown attribute %q", kv[0])
+				}
+			}
+		case "test":
+			if cur != nil {
+				return nil, fail("test without end")
+			}
+			cur = &scan.Test{}
+		case "load":
+			if cur == nil || len(fields) != 2 {
+				return nil, fail("misplaced load")
+			}
+			v, err := logic.VecFromString(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cur.SI = v
+		case "shift":
+			if cur == nil || len(fields) != 3 {
+				return nil, fail("misplaced shift")
+			}
+			k, err := strconv.Atoi(fields[1])
+			if err != nil || k < 1 || len(fields[2]) != k {
+				return nil, fail("bad shift directive")
+			}
+			pendingShift = k
+			pendingFill = make([]uint8, k)
+			for i := 0; i < k; i++ {
+				switch fields[2][i] {
+				case '0':
+				case '1':
+					pendingFill[i] = 1
+				default:
+					return nil, fail("bad fill bit %q", fields[2][i])
+				}
+			}
+		case "vector":
+			if cur == nil || len(fields) != 2 {
+				return nil, fail("misplaced vector")
+			}
+			v, err := logic.VecFromString(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cur.T = append(cur.T, v)
+			cur.Shift = append(cur.Shift, pendingShift)
+			cur.Fill = append(cur.Fill, pendingFill)
+			pendingShift, pendingFill = 0, nil
+		case "end":
+			if cur == nil {
+				return nil, fail("end without test")
+			}
+			if pendingShift != 0 {
+				return nil, fail("trailing shift without vector")
+			}
+			// Drop an all-zero schedule for a clean plain test.
+			all0 := true
+			for _, s := range cur.Shift {
+				if s != 0 {
+					all0 = false
+					break
+				}
+			}
+			if all0 {
+				cur.Shift, cur.Fill = nil, nil
+			}
+			if err := cur.Validate(p.NPI, p.NSV); err != nil {
+				return nil, fail("%v", err)
+			}
+			p.Tests = append(p.Tests, *cur)
+			cur = nil
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("vectors: unterminated test")
+	}
+	return p, nil
+}

@@ -1,0 +1,134 @@
+package vectors
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/core"
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+)
+
+func buildProgram(t *testing.T) *Program {
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{LA: 4, LB: 8, N: 4, Seed: 1}
+	ts0 := core.GenerateTS0(c, cfg)
+	withScans := core.InsertLimitedScans(c, ts0, 1, 2, cfg)
+	prog := &Program{Circuit: c.Name, NSV: c.NumSV(), NPI: c.NumPI()}
+	prog.Tests = append(prog.Tests, ts0[:4]...)
+	prog.Tests = append(prog.Tests, withScans[:4]...)
+	return prog
+}
+
+func TestRoundTrip(t *testing.T) {
+	prog := buildProgram(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("%v\nprogram:\n%s", err, buf.String())
+	}
+	if back.Circuit != prog.Circuit || back.NSV != prog.NSV || back.NPI != prog.NPI {
+		t.Error("header changed in round trip")
+	}
+	if len(back.Tests) != len(prog.Tests) {
+		t.Fatalf("test count %d -> %d", len(prog.Tests), len(back.Tests))
+	}
+	for i := range prog.Tests {
+		a, b := &prog.Tests[i], &back.Tests[i]
+		if !a.SI.Equal(b.SI) {
+			t.Fatalf("test %d SI differs", i)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("test %d length differs", i)
+		}
+		for u := range a.T {
+			if !a.T[u].Equal(b.T[u]) {
+				t.Fatalf("test %d vector %d differs", i, u)
+			}
+			as, bs := 0, 0
+			if a.Shift != nil {
+				as = a.Shift[u]
+			}
+			if b.Shift != nil {
+				bs = b.Shift[u]
+			}
+			if as != bs {
+				t.Fatalf("test %d shift %d differs: %d vs %d", i, u, as, bs)
+			}
+		}
+	}
+}
+
+// TestRoundTripPreservesDetection is the semantic round-trip check: the
+// reloaded program must detect exactly the same faults.
+func TestRoundTripPreservesDetection(t *testing.T) {
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := buildProgram(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	s := fsim.New(c)
+	a := fault.NewSet(reps)
+	if _, err := s.Run(prog.Tests, a, fsim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	b := fault.NewSet(reps)
+	if _, err := s.Run(back.Tests, b, fsim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range reps {
+		if a.State[i] != b.State[i] {
+			t.Fatalf("fault %s verdict changed after round trip", reps[i].Pretty(c))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"unknown directive", "program x nsv=2 npi=2\nfrobnicate\n"},
+		{"load outside test", "program x nsv=2 npi=2\nload 01\n"},
+		{"unterminated", "program x nsv=2 npi=2\ntest 0\nload 01\nvector 10\n"},
+		{"bad bits", "program x nsv=2 npi=2\ntest 0\nload 0x\nvector 10\nend\n"},
+		{"bad shift width", "program x nsv=2 npi=2\ntest 0\nload 01\nshift 2 0\nvector 10\nend\n"},
+		{"trailing shift", "program x nsv=2 npi=2\ntest 0\nload 01\nvector 10\nshift 1 0\nend\n"},
+		{"shift at u0", "program x nsv=2 npi=2\ntest 0\nload 01\nshift 1 0\nvector 10\nend\n"},
+		{"bad attr", "program x nsv=2 frob=2\n"},
+		{"wrong widths", "program x nsv=2 npi=2\ntest 0\nload 011\nvector 10\nend\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	text := "# hello\n\nprogram x nsv=2 npi=3\n# t\ntest 0\nload 01\nvector 101\nend\n"
+	p, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tests) != 1 || p.Tests[0].Len() != 1 {
+		t.Error("parse result wrong")
+	}
+	if p.Tests[0].Shift != nil {
+		t.Error("plain test grew a schedule")
+	}
+}

