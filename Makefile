@@ -1,0 +1,28 @@
+# Development and CI entry points. `make ci` is the gate: it runs vet,
+# a full build, the race-enabled test suite (checking the concurrency
+# claims of internal/obs), and the plain tier-1 suite.
+
+GO ?= go
+
+.PHONY: ci vet build test race tier1 bench
+
+ci: vet build race tier1
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# tier1 is the repo's seed gate: build + test must stay green.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

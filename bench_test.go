@@ -19,6 +19,7 @@ import (
 	"limscan/internal/fsim"
 	"limscan/internal/lfsr"
 	"limscan/internal/misr"
+	"limscan/internal/obs"
 	"limscan/internal/sim"
 	"limscan/internal/stafan"
 	"limscan/internal/tables"
@@ -128,6 +129,33 @@ func benchPacking(b *testing.B, per int) {
 	for i := 0; i < b.N; i++ {
 		fs := fault.NewSet(reps)
 		if _, err := s.Run(tests, fs, fsim.Options{FaultsPerPass: per}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFsimNilObserver and BenchmarkFsimObserved pin the
+// observability layer's zero-overhead claim: the same mid-size session
+// with no observer attached versus full instrumentation (per-run
+// counters, lane-utilization histogram, detection-site attribution).
+// The nil-observer variant must stay within ~2% of the seed simulator.
+func BenchmarkFsimNilObserver(b *testing.B) { benchObserved(b, false) }
+
+// BenchmarkFsimObserved is the instrumented counterpart.
+func BenchmarkFsimObserved(b *testing.B) { benchObserved(b, true) }
+
+func benchObserved(b *testing.B, observed bool) {
+	c, tests := sessionFor(b, "s1423", 16, 8)
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	var o *obs.Campaign
+	if observed {
+		o = obs.New(obs.NewRegistry(), nil)
+	}
+	s := fsim.New(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := fault.NewSet(reps)
+		if _, err := s.Run(tests, fs, fsim.Options{Obs: o}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	faultsim -circuit s298 -n 32 -len 16 [-seed 1] [-undetected] [-classify]
+//	faultsim -circuit s1423 -progress -metrics out.json
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"limscan/internal/core"
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
+	"limscan/internal/obs"
 	"limscan/internal/report"
 	"limscan/internal/stafan"
 )
@@ -32,6 +34,8 @@ func main() {
 		classify   = flag.Bool("classify", false, "ATPG-classify undetected faults")
 		estimate   = flag.Bool("estimate", false, "print STAFAN detection-probability estimates for undetected faults")
 		trans      = flag.Bool("trans", false, "simulate the transition (gross-delay) fault universe instead of stuck-at")
+		progress   = flag.Bool("progress", false, "stream per-batch progress to stderr")
+		metrics    = flag.String("metrics", "", "write the simulation metrics registry as JSON to this file at exit")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -67,8 +71,18 @@ func main() {
 	}
 	fs := fault.NewSet(reps)
 	s := fsim.New(c)
+	var o *obs.Campaign
+	if *progress || *metrics != "" {
+		var sink obs.Sink
+		if *progress {
+			p := obs.NewProgress(os.Stderr)
+			p.ShowBatches = true
+			sink = p
+		}
+		o = obs.New(obs.NewRegistry(), sink)
+	}
 	start := time.Now()
-	st, err := s.Run(tests, fs, fsim.Options{})
+	st, err := s.Run(tests, fs, fsim.Options{Obs: o, EmitBatchEvents: *progress})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
 		os.Exit(1)
@@ -85,6 +99,24 @@ func main() {
 		st.Detected, len(reps), float64(st.Detected)/float64(len(reps))*100,
 		elapsed.Round(time.Millisecond),
 		float64(st.Cycles)/elapsed.Seconds())
+	if o != nil {
+		fmt.Printf("detection sites: %d at POs, %d at limited scan-out, %d at complete scan-out\n",
+			st.DetectedAtPO, st.DetectedAtLimitedScan, st.DetectedAtScanOut)
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err == nil {
+			err = o.Metrics().WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
 
 	if *classify {
 		eng := atpg.New(c)

@@ -7,18 +7,23 @@
 //	limscan -circuit s208 [-la 8 -lb 16 -n 64] [-seed 1] [-desc]
 //	limscan -bench path/to/netlist.bench [...]
 //	limscan -circuit s420 -auto        # search combinations in Ncyc0 order
+//	limscan -circuit s420 -progress -metrics out.json   # observe the campaign
+//	limscan -circuit s420 -debug-addr :6060             # /metrics + pprof while running
 //	limscan -list                      # show the benchmark registry
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"limscan/internal/bmark"
 	"limscan/internal/circuit"
 	"limscan/internal/core"
+	"limscan/internal/obs"
 	"limscan/internal/report"
 	"limscan/internal/vectors"
 )
@@ -35,8 +40,13 @@ func main() {
 		auto    = flag.Bool("auto", false, "search (LA,LB,N) combinations in Ncyc0 order for complete coverage")
 		combos  = flag.Int("maxcombos", 16, "combinations tried with -auto")
 		list    = flag.Bool("list", false, "list the benchmark registry and exit")
-		verbose = flag.Bool("v", false, "print per-pair details")
+		verbose = flag.Bool("v", false, "stream per-pair progress and print the phase-span summary")
 		export  = flag.String("export", "", "write the selected test program (TS0 + all selected TS(I,D1)) to this file")
+
+		progress  = flag.Bool("progress", false, "stream human-readable campaign progress to stderr")
+		metrics   = flag.String("metrics", "", "write the campaign metrics registry as JSON to this file at exit")
+		events    = flag.String("events", "", "write the structured campaign event stream (JSON lines) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while the campaign runs")
 	)
 	flag.Parse()
 
@@ -58,7 +68,34 @@ func main() {
 	if *desc {
 		d1 = core.DescendingD1()
 	}
+
+	// One observer feeds every surface: the -v / -progress narration,
+	// the -events JSON-lines record, the -metrics snapshot, and the
+	// -debug-addr exposition share a single code path.
+	observing := *verbose || *progress || *metrics != "" || *events != "" || *debugAddr != ""
+	var o *obs.Campaign
+	var eventsFile *os.File
+	if observing {
+		var sinks []obs.Sink
+		if *verbose || *progress {
+			sinks = append(sinks, obs.NewProgress(os.Stderr))
+		}
+		if *events != "" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fail(err)
+			}
+			eventsFile = f
+			sinks = append(sinks, obs.NewJSONLines(f))
+		}
+		o = obs.New(obs.NewRegistry(), obs.Multi(sinks...))
+	}
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, o.Metrics())
+	}
+
 	r := core.NewRunner(c)
+	r.SetObserver(o)
 	start := time.Now()
 
 	var res *core.Result
@@ -95,11 +132,23 @@ func main() {
 		len(res.Pairs), res.Detected, report.Cycles(res.TotalCycles), res.AvgLS)
 	fmt.Printf("coverage %.2f%% (complete=%v) in %s\n",
 		res.Coverage()*100, res.Complete, time.Since(start).Round(time.Millisecond))
-	if *verbose {
-		for _, p := range res.Pairs {
-			fmt.Printf("  pair (I=%d, D1=%d): +%d faults, %s cycles\n",
-				p.I, p.D1, p.Detected, report.Cycles(p.Cycles))
+	if *verbose || *progress {
+		fmt.Printf("phases:\n")
+		for _, p := range o.PhaseSummary() {
+			fmt.Printf("  %-12s %6d run(s)  %s\n", p.Name, p.Count, p.Total.Round(time.Microsecond))
 		}
+	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, o.Metrics()); err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+	if eventsFile != nil {
+		if err := eventsFile.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("events written to %s\n", *events)
 	}
 	if *export != "" {
 		if err := exportProgram(*export, c, res); err != nil {
@@ -107,6 +156,40 @@ func main() {
 		}
 		fmt.Printf("test program written to %s\n", *export)
 	}
+}
+
+// serveDebug exposes the metrics registry and the runtime profiler while
+// a long campaign runs: `go tool pprof http://addr/debug/pprof/profile`
+// answers "where do the cycles go" for the software the same way the
+// metrics answer it for the simulated hardware.
+func serveDebug(addr string, reg *obs.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "limscan: debug server: %v\n", err)
+		}
+	}()
+}
+
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // exportProgram regenerates the full selected test program — TS0 followed

@@ -15,11 +15,13 @@ package baseline
 
 import (
 	"fmt"
+	"time"
 
 	"limscan/internal/circuit"
 	"limscan/internal/fault"
 	"limscan/internal/lfsr"
 	"limscan/internal/logic"
+	"limscan/internal/obs"
 	"limscan/internal/sim"
 )
 
@@ -38,6 +40,9 @@ type Config struct {
 	// sessions — the "multiple seeds" coverage-improvement technique the
 	// paper's introduction lists. Zero or one means a single session.
 	Sessions int
+	// Observer receives per-session metrics and events (see
+	// internal/obs). Nil runs uninstrumented.
+	Observer *obs.Campaign
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +201,10 @@ func Run(c *circuit.Circuit, fs *fault.Set, cfg Config) (Result, error) {
 	}
 
 	res := Result{Tests: len(tests), Cycles: cycles, Chains: s.Chains()}
+	var t0 time.Time
+	if cfg.Observer != nil {
+		t0 = time.Now()
+	}
 	rem := fs.Remaining()
 	for start := 0; start < len(rem); start += 63 {
 		end := start + 63
@@ -210,6 +219,17 @@ func Run(c *circuit.Circuit, fs *fault.Set, cfg Config) (Result, error) {
 				res.Detected++
 			}
 		}
+	}
+	if o := cfg.Observer; o != nil {
+		o.Accumulate("baseline", time.Since(t0))
+		o.Counter("baseline_sessions_total").Inc()
+		o.Counter("baseline_tests_total").Add(int64(res.Tests))
+		o.Counter("baseline_cycles_total").Add(res.Cycles)
+		o.Counter("baseline_detected_total").Add(int64(res.Detected))
+		o.Emit(obs.Event{
+			Kind: obs.KindBaselineSession, N: res.Tests,
+			Detected: res.Detected, Cycles: res.Cycles,
+		})
 	}
 	return res, nil
 }

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"limscan/internal/atpg"
 	"limscan/internal/circuit"
@@ -27,6 +28,7 @@ import (
 	"limscan/internal/fsim"
 	"limscan/internal/lfsr"
 	"limscan/internal/logic"
+	"limscan/internal/obs"
 	"limscan/internal/scan"
 )
 
@@ -61,9 +63,17 @@ type Config struct {
 	UseLFSR bool
 	// LFSRDegree sets the register width for UseLFSR. Zero means 32.
 	LFSRDegree int
+	// Observer receives campaign metrics, structured progress events and
+	// phase spans (see internal/obs). Nil runs uninstrumented at zero
+	// overhead.
+	Observer *obs.Campaign
 }
 
-// newSource builds the configured random source for a given seed.
+// newSource builds the configured random source for a given seed. An
+// invalid LFSR degree falls back to SplitMix so a campaign in progress
+// still completes, but never silently: the fallback bumps the
+// rng_lfsr_fallback_total counter and emits a warning event, and
+// Validate rejects the configuration up front.
 func (c Config) newSource(seed uint64) lfsr.Source {
 	if c.UseLFSR {
 		deg := c.LFSRDegree
@@ -74,8 +84,11 @@ func (c Config) newSource(seed uint64) lfsr.Source {
 		if err == nil {
 			return src
 		}
-		// An invalid degree falls back to the widest register rather
-		// than failing the campaign; Validate reports it properly.
+		c.Observer.Counter("rng_lfsr_fallback_total").Inc()
+		c.Observer.Emit(obs.Event{
+			Kind: obs.KindWarning,
+			Msg:  fmt.Sprintf("UseLFSR requested but %v; falling back to SplitMix", err),
+		})
 	}
 	return lfsr.NewSplitMix(seed)
 }
@@ -284,6 +297,21 @@ type Runner struct {
 	hard     map[fault.Fault]bool
 	// trans is the lazily built two-frame transition ATPG engine.
 	trans *atpg.TransEngine
+	// obs is the runner-level observer, used when a Config carries none.
+	obs *obs.Campaign
+}
+
+// SetObserver attaches a campaign observer to every run the runner
+// executes (RunProcedure2, TopOff, FirstComplete). A Config.Observer, if
+// set, takes precedence for that run. Nil detaches.
+func (r *Runner) SetObserver(o *obs.Campaign) { r.obs = o }
+
+// observer resolves the effective observer for a run.
+func (r *Runner) observer(cfg Config) *obs.Campaign {
+	if cfg.Observer != nil {
+		return cfg.Observer
+	}
+	return r.obs
 }
 
 // NewRunner returns a full-scan Runner for the circuit.
@@ -383,22 +411,38 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	o := r.observer(cfg)
+	cfg.Observer = o // newSource warnings reach the effective observer
 	fs := r.NewFaultSet()
 	res := &Result{Config: cfg, TotalFaults: len(fs.Faults)}
+	o.Emit(obs.Event{Kind: obs.KindCampaignStart, Circuit: r.c.Name, Faults: res.TotalFaults})
+	o.Counter("campaign_runs_total").Inc()
 
 	// Step 2: generate and simulate TS0, dropping detected faults.
+	span := o.StartPhase("ts0_gen")
 	ts0 := GenerateTS0WithPlan(r.c, r.plan, cfg)
-	st, err := r.sim.Run(ts0, fs, fsim.Options{})
+	span.End()
+	span = o.StartPhase("ts0_sim")
+	st, err := r.sim.Run(ts0, fs, fsim.Options{Obs: o})
+	span.End()
 	if err != nil {
 		return nil, err
 	}
 	res.InitialDetected = st.Detected
 	res.InitialCycles = st.Cycles
 	res.TotalCycles = st.Cycles
+	o.Counter("campaign_cycles_total").Add(st.Cycles)
+	o.Counter("campaign_detected_total").Add(int64(st.Detected))
 
 	// Classify what TS0 missed so that "complete coverage" means "all
 	// detectable faults" exactly as the paper reports it.
+	span = o.StartPhase("classify")
 	res.Untestable, res.Aborted = r.classifyRemaining(fs)
+	span.End()
+	o.Counter("campaign_untestable_total").Add(int64(res.Untestable))
+	detectable := res.TotalFaults - res.Untestable
+	o.Gauge("campaign_faults_detectable").Set(float64(detectable))
+	running := res.InitialDetected // detections so far, tracked cheaply
 
 	var selected [][]scan.Test
 	remaining := func() int {
@@ -414,11 +458,27 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 			if remaining() == 0 {
 				break
 			}
+			var t0 time.Time
+			if o != nil {
+				t0 = time.Now()
+			}
 			ts := InsertLimitedScansWithPlan(r.c, r.plan, ts0, iter, d1, cfg)
-			st, err := r.sim.Run(ts, fs, fsim.Options{})
+			if o != nil {
+				o.Accumulate("procedure1", time.Since(t0))
+				t0 = time.Now()
+			}
+			st, err := r.sim.Run(ts, fs, fsim.Options{Obs: o})
+			if o != nil {
+				o.Accumulate("fault_sim", time.Since(t0))
+			}
 			if err != nil {
 				return nil, err
 			}
+			o.Counter("campaign_pairs_tried_total").Inc()
+			o.Emit(obs.Event{
+				Kind: obs.KindPairTried, I: iter, D1: d1,
+				Detected: st.Detected, Cycles: st.Cycles, Remaining: remaining(),
+			})
 			if st.Detected > 0 {
 				res.Pairs = append(res.Pairs, PairResult{
 					I: iter, D1: d1, Detected: st.Detected, Cycles: st.Cycles,
@@ -426,8 +486,27 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 				res.TotalCycles += st.Cycles
 				selected = append(selected, ts)
 				improved = true
+				running += st.Detected
+				o.Counter("campaign_pairs_selected_total").Inc()
+				o.Counter("campaign_cycles_total").Add(st.Cycles)
+				o.Counter("campaign_detected_total").Add(int64(st.Detected))
+				o.Emit(obs.Event{
+					Kind: obs.KindPairSelected, I: iter, D1: d1,
+					Detected: st.Detected, Cycles: st.Cycles,
+				})
+				if detectable > 0 {
+					o.Emit(obs.Event{
+						Kind: obs.KindCoverage, Detected: running, Cycles: res.TotalCycles,
+						Coverage: float64(running) / float64(detectable),
+					})
+				}
 			}
 		}
+		o.Counter("campaign_iterations_total").Inc()
+		o.Emit(obs.Event{
+			Kind: obs.KindIteration, I: iter,
+			Detected: running, Remaining: remaining(),
+		})
 		if improved {
 			nSame = 0
 		} else {
@@ -442,5 +521,11 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 	res.Aborted = fs.Count(fault.Aborted) // aborts that also evaded detection
 	res.Complete = fs.Count(fault.Undetected) == 0
 	res.AvgLS = scan.AverageLS(selected)
+	o.Gauge("campaign_coverage").Set(res.Coverage())
+	o.Gauge("campaign_ls_avg").Set(res.AvgLS)
+	o.Emit(obs.Event{
+		Kind: obs.KindCampaignEnd, Circuit: r.c.Name,
+		Detected: res.Detected, Cycles: res.TotalCycles, Coverage: res.Coverage(),
+	})
 	return res, nil
 }

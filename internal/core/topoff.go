@@ -7,6 +7,7 @@ import (
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
 	"limscan/internal/logic"
+	"limscan/internal/obs"
 	"limscan/internal/scan"
 )
 
@@ -39,6 +40,7 @@ func (r *Runner) TopOff(fs *fault.Set) (*TopOffResult, error) {
 	if !r.plan.IsFull() {
 		return nil, fmt.Errorf("core: top-off requires full scan (cubes set every state bit)")
 	}
+	span := r.obs.StartPhase("topoff")
 	res := &TopOffResult{}
 	for _, i := range fs.Remaining() {
 		if fs.State[i] != fault.Undetected && fs.State[i] != fault.Aborted {
@@ -65,7 +67,7 @@ func (r *Runner) TopOff(fs *fault.Set) (*TopOffResult, error) {
 		pi, si := cube.Concretize(0)
 		tt := scan.Test{SI: si, T: []logic.Vec{pi}}
 		// Simulate immediately so fault dropping prunes later targets.
-		st, err := r.sim.Run([]scan.Test{tt}, fs, fsim.Options{})
+		st, err := r.sim.Run([]scan.Test{tt}, fs, fsim.Options{Obs: r.obs})
 		if err != nil {
 			return nil, err
 		}
@@ -75,6 +77,15 @@ func (r *Runner) TopOff(fs *fault.Set) (*TopOffResult, error) {
 	// Cost the top-off as one session (scan-out of each test overlaps the
 	// next scan-in), not as the sum of the isolated simulations above.
 	res.Cycles = scan.CostModel{NSV: r.plan.Len()}.SessionCycles(res.Tests)
+	span.End()
+	r.obs.Counter("topoff_tests_total").Add(int64(len(res.Tests)))
+	r.obs.Counter("topoff_detected_total").Add(int64(res.Detected))
+	r.obs.Counter("topoff_proven_total").Add(int64(res.Proven))
+	r.obs.Counter("topoff_cycles_total").Add(res.Cycles)
+	r.obs.Emit(obs.Event{
+		Kind: obs.KindTopOff, N: len(res.Tests),
+		Detected: res.Detected, Cycles: res.Cycles,
+	})
 	return res, nil
 }
 
@@ -107,7 +118,7 @@ func (r *Runner) TopOffTransitions(fs *fault.Set) (*TopOffResult, error) {
 		}
 		state, v0, v1 := cube.Concretize(0)
 		tt := scan.Test{SI: state, T: []logic.Vec{v0, v1}}
-		st, err := r.sim.Run([]scan.Test{tt}, fs, fsim.Options{})
+		st, err := r.sim.Run([]scan.Test{tt}, fs, fsim.Options{Obs: r.obs})
 		if err != nil {
 			return nil, err
 		}

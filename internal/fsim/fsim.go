@@ -22,6 +22,7 @@ import (
 	"limscan/internal/fault"
 	"limscan/internal/logic"
 	"limscan/internal/misr"
+	"limscan/internal/obs"
 	"limscan/internal/scan"
 	"limscan/internal/sim"
 )
@@ -47,7 +48,30 @@ type Options struct {
 	// alias (probability about 2^-degree per fault), which is the point
 	// of exposing it.
 	MISRDegree int
+	// Obs, when set, records per-run metrics (simulated cycles, tests,
+	// batches, lane utilization) and enables detection-site attribution
+	// in RunStats (exact-comparison mode only: under MISR compaction the
+	// verdict exists only after the whole session, so no single site can
+	// be credited). Nil keeps the hot path untouched.
+	Obs *obs.Campaign
+	// EmitBatchEvents additionally emits one fsim_batch event per fault
+	// batch through Obs — live progress for a single long simulation
+	// run. Leave it off inside campaigns, where runs number in the
+	// hundreds.
+	EmitBatchEvents bool
 }
+
+// Detection sites: where an observed value first exposed a fault. These
+// are the paper's observation channels — primary outputs during at-speed
+// cycles, bits pushed out by limited scan operations, and bits leaving
+// during complete scan-out (including the scan-out overlapped with the
+// next test's scan-in).
+const (
+	sitePO = iota
+	siteLimitedScan
+	siteScanOut
+	numSites
+)
 
 // RunStats reports the outcome of simulating one BIST session.
 type RunStats struct {
@@ -56,6 +80,16 @@ type RunStats struct {
 	// Cycles is the session's clock-cycle cost per the paper's model
 	// (it depends only on the tests, not on the faults).
 	Cycles int64
+	// Batches is the number of fault batches the run was packed into.
+	Batches int
+	// DetectedAtPO, DetectedAtLimitedScan and DetectedAtScanOut
+	// attribute each detection to the observation site that first
+	// exposed the fault (primary output, limited-scan shift-out,
+	// complete scan-out). They are populated only when Options.Obs is
+	// set and MISRDegree is zero; then their sum equals Detected.
+	DetectedAtPO          int
+	DetectedAtLimitedScan int
+	DetectedAtScanOut     int
 }
 
 // Simulator simulates test sessions for one circuit. It is not safe for
@@ -145,6 +179,10 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStat
 		}
 	}
 	stats := RunStats{Cycles: s.cost.SessionCycles(tests)}
+	var sites *[numSites]logic.Word
+	if opts.Obs != nil && opts.MISRDegree == 0 {
+		sites = new([numSites]logic.Word)
+	}
 	rem := fs.Remaining()
 	for start := 0; start < len(rem); start += per {
 		end := start + per
@@ -152,13 +190,48 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStat
 			end = len(rem)
 		}
 		batch := rem[start:end]
-		det := s.runBatch(tests, fs.Faults, batch, opts)
+		if sites != nil {
+			*sites = [numSites]logic.Word{}
+		}
+		det := s.runBatch(tests, fs.Faults, batch, opts, sites)
+		stats.Batches++
 		for j, fi := range batch {
-			if det&logic.Lane(j+1) != 0 {
-				fs.State[fi] = fault.Detected
-				stats.Detected++
+			lane := logic.Lane(j + 1)
+			if det&lane == 0 {
+				continue
+			}
+			fs.State[fi] = fault.Detected
+			stats.Detected++
+			if sites != nil {
+				switch {
+				case sites[sitePO]&lane != 0:
+					stats.DetectedAtPO++
+				case sites[siteLimitedScan]&lane != 0:
+					stats.DetectedAtLimitedScan++
+				case sites[siteScanOut]&lane != 0:
+					stats.DetectedAtScanOut++
+				}
 			}
 		}
+		if o := opts.Obs; o != nil {
+			o.Histogram("fsim_lane_utilization").Observe(float64(len(batch)) / LanesPerWord)
+			if opts.EmitBatchEvents {
+				o.Emit(obs.Event{
+					Kind: obs.KindFsimBatch, N: stats.Batches,
+					Faults: len(batch), Detected: stats.Detected,
+				})
+			}
+		}
+	}
+	if o := opts.Obs; o != nil {
+		o.Counter("fsim_runs_total").Inc()
+		o.Counter("fsim_tests_total").Add(int64(len(tests)))
+		o.Counter("fsim_batches_total").Add(int64(stats.Batches))
+		o.Counter("fsim_cycles_total").Add(stats.Cycles)
+		o.Counter("fsim_detected_total").Add(int64(stats.Detected))
+		o.Counter("fsim_detected_po_total").Add(int64(stats.DetectedAtPO))
+		o.Counter("fsim_detected_limited_scan_total").Add(int64(stats.DetectedAtLimitedScan))
+		o.Counter("fsim_detected_scan_out_total").Add(int64(stats.DetectedAtScanOut))
 	}
 	return stats, nil
 }
@@ -240,17 +313,32 @@ func (s *Simulator) reset() {
 
 // runBatch simulates the whole session for one batch of faults and
 // returns the detection mask (lane j+1 set when batch[j] was detected).
-func (s *Simulator) runBatch(tests []scan.Test, faults []fault.Fault, batch []int, opts Options) logic.Word {
+// A non-nil sites array additionally records, per observation site, the
+// lanes whose first divergence was seen there.
+func (s *Simulator) runBatch(tests []scan.Test, faults []fault.Fault, batch []int, opts Options, sites *[numSites]logic.Word) logic.Word {
 	batchMask := s.installFaults(faults, batch)
 	s.reset()
 
 	var detected logic.Word
 	var compactor *misr.MISR
 	var observe func(logic.Word)
-	if opts.MISRDegree > 0 {
+	// site tracks which observation channel the next observe call sees;
+	// the loop updates it per segment. Only the site-attributing closure
+	// captures it, so the unobserved and MISR paths are byte-for-byte
+	// the seed hot path.
+	site := sitePO
+	switch {
+	case opts.MISRDegree > 0:
 		compactor = misr.MustNew(opts.MISRDegree)
 		observe = compactor.Feed
-	} else {
+	case sites != nil:
+		observe = func(w logic.Word) {
+			good := logic.Spread(logic.Bit(w, 0))
+			diff := (w ^ good) & batchMask
+			sites[site] |= diff &^ detected
+			detected |= diff
+		}
+	default:
 		observe = func(w logic.Word) {
 			good := logic.Spread(logic.Bit(w, 0))
 			detected |= (w ^ good) & batchMask
@@ -270,6 +358,7 @@ func (s *Simulator) runBatch(tests []scan.Test, faults []fault.Fault, batch []in
 		// Bits enter at chain position 0 and end at increasing
 		// positions, so the last SI bit to enter is SI[0]: feed SI back
 		// to front.
+		site = siteScanOut
 		for k := m - 1; k >= 0; k-- {
 			out := s.shiftOne(t.SI.Get(k))
 			if ti > 0 {
@@ -281,6 +370,7 @@ func (s *Simulator) runBatch(tests []scan.Test, faults []fault.Fault, batch []in
 		}
 		for u := 0; u < len(t.T); u++ {
 			if t.Shift != nil && t.Shift[u] > 0 {
+				site = siteLimitedScan
 				for k := 0; k < t.Shift[u]; k++ {
 					observe(s.shiftOne(t.Fill[u][k]))
 				}
@@ -289,6 +379,7 @@ func (s *Simulator) runBatch(tests []scan.Test, faults []fault.Fault, batch []in
 				}
 			}
 			s.step(t.T[u])
+			site = sitePO
 			for i := 0; i < s.c.NumPO(); i++ {
 				observe(s.ev.PO(i))
 			}
@@ -298,6 +389,7 @@ func (s *Simulator) runBatch(tests []scan.Test, faults []fault.Fault, batch []in
 		}
 	}
 	// Final complete scan-out (fill value irrelevant to detection).
+	site = siteScanOut
 	for k := 0; k < m; k++ {
 		observe(s.shiftOne(0))
 		if done() {

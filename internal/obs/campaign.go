@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Campaign is the observer handle threaded through the runner, the fault
+// simulator and the baseline: a metrics registry plus an optional event
+// sink plus per-phase wall-clock accounting. A nil *Campaign is the
+// uninstrumented mode — every method is a no-op — so callers hold one
+// pointer and never branch.
+type Campaign struct {
+	reg  *Registry
+	sink Sink
+	now  func() time.Time
+
+	mu     sync.Mutex
+	phases map[string]*PhaseSpan
+	order  []string
+}
+
+// PhaseSpan is the accumulated wall-clock time of one named phase.
+type PhaseSpan struct {
+	Name  string        `json:"name"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total"`
+}
+
+// New returns a Campaign over the given registry and sink. A nil
+// registry gets a fresh one (metrics are always collectable); a nil sink
+// simply discards events.
+func New(reg *Registry, sink Sink) *Campaign {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Campaign{
+		reg:    reg,
+		sink:   sink,
+		now:    time.Now,
+		phases: make(map[string]*PhaseSpan),
+	}
+}
+
+// Metrics returns the underlying registry (nil for a nil Campaign).
+func (o *Campaign) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Counter, Gauge and Histogram forward to the registry; on a nil
+// Campaign they return nil metrics whose methods are no-ops.
+func (o *Campaign) Counter(name string) *Counter { return o.Metrics().Counter(name) }
+
+// Gauge returns the named gauge from the campaign registry.
+func (o *Campaign) Gauge(name string) *Gauge { return o.Metrics().Gauge(name) }
+
+// Histogram returns the named histogram from the campaign registry.
+func (o *Campaign) Histogram(name string, bounds ...float64) *Histogram {
+	return o.Metrics().Histogram(name, bounds...)
+}
+
+// Emit stamps the event with the current time (when unset) and forwards
+// it to the sink, if any.
+func (o *Campaign) Emit(e Event) {
+	if o == nil || o.sink == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = o.now()
+	}
+	o.sink.OnEvent(e)
+}
+
+// Span is an open phase measurement returned by StartPhase.
+type Span struct {
+	o     *Campaign
+	name  string
+	start time.Time
+}
+
+// StartPhase opens a named wall-clock span and emits a phase_start
+// event. Close it with End.
+func (o *Campaign) StartPhase(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	o.Emit(Event{Kind: KindPhaseStart, Phase: name})
+	return &Span{o: o, name: name, start: o.now()}
+}
+
+// End closes the span: the elapsed time joins the phase accumulator, the
+// phase duration gauge `phase_seconds{phase="name"}` advances, and a
+// phase_end event carries the span length.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := s.o.now().Sub(s.start)
+	s.o.Accumulate(s.name, d)
+	s.o.Emit(Event{Kind: KindPhaseEnd, Phase: s.name, Seconds: d.Seconds()})
+	return d
+}
+
+// Accumulate adds a duration to a named phase without emitting events —
+// the quiet path for spans measured hundreds of times per campaign
+// (Procedure 1 insertion, individual fault-simulation sessions).
+func (o *Campaign) Accumulate(name string, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.Gauge(`phase_seconds{phase="` + name + `"}`).Add(d.Seconds())
+	o.mu.Lock()
+	p := o.phases[name]
+	if p == nil {
+		p = &PhaseSpan{Name: name}
+		o.phases[name] = p
+		o.order = append(o.order, name)
+	}
+	p.Count++
+	p.Total += d
+	o.mu.Unlock()
+}
+
+// PhaseSummary returns the accumulated phase spans in first-seen order.
+func (o *Campaign) PhaseSummary() []PhaseSpan {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]PhaseSpan, 0, len(o.order))
+	for _, name := range o.order {
+		out = append(out, *o.phases[name])
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"time"
+)
+
+// Kind names a campaign event type.
+type Kind string
+
+// Campaign event kinds, in rough lifecycle order.
+const (
+	// KindCampaignStart opens a Procedure 2 campaign (Circuit, Faults).
+	KindCampaignStart Kind = "campaign_start"
+	// KindPhaseStart / KindPhaseEnd bracket a named wall-clock span
+	// (Phase; the end event carries Seconds).
+	KindPhaseStart Kind = "phase_start"
+	KindPhaseEnd   Kind = "phase_end"
+	// KindIteration closes one Procedure 2 iteration I (I, Detected so
+	// far, Remaining).
+	KindIteration Kind = "iteration"
+	// KindPairTried records one simulated (I, D1) candidate, selected or
+	// not (I, D1, Detected, Cycles, Remaining).
+	KindPairTried Kind = "pair_tried"
+	// KindPairSelected records a selected (I, D1) pair — the paper's
+	// ID1_PAIRS entries (I, D1, Detected, Cycles).
+	KindPairSelected Kind = "pair_selected"
+	// KindCoverage samples the coverage curve (Detected, Cycles,
+	// Coverage).
+	KindCoverage Kind = "coverage"
+	// KindFsimBatch reports one fault-simulation batch when batch events
+	// are enabled (N = batch index, Faults = batch size, Detected).
+	KindFsimBatch Kind = "fsim_batch"
+	// KindBaselineSession closes one baseline session (N = tests,
+	// Detected, Cycles).
+	KindBaselineSession Kind = "baseline_session"
+	// KindTopOff closes a deterministic top-off pass (N = tests,
+	// Detected, Cycles).
+	KindTopOff Kind = "topoff"
+	// KindWarning flags a recoverable anomaly (Msg).
+	KindWarning Kind = "warning"
+	// KindCampaignEnd closes a campaign (Detected, Cycles, Coverage).
+	KindCampaignEnd Kind = "campaign_end"
+)
+
+// Event is one structured campaign record. Unused fields stay zero and
+// are omitted from JSON; Kind says which fields are meaningful.
+type Event struct {
+	Kind Kind      `json:"kind"`
+	Time time.Time `json:"time"`
+
+	Circuit string `json:"circuit,omitempty"`
+	Phase   string `json:"phase,omitempty"`
+	Msg     string `json:"msg,omitempty"`
+
+	// I and D1 identify a Procedure 1 schedule (the paper's stored pair).
+	I  int `json:"i,omitempty"`
+	D1 int `json:"d1,omitempty"`
+
+	// Faults is a universe size; Detected, Remaining count fault states;
+	// N is a generic count (tests, batch index, sessions).
+	Faults    int `json:"faults,omitempty"`
+	Detected  int `json:"detected,omitempty"`
+	Remaining int `json:"remaining,omitempty"`
+	N         int `json:"n,omitempty"`
+
+	// Cycles is a clock-cycle cost (the paper's N_cyc accounting).
+	Cycles int64 `json:"cycles,omitempty"`
+	// Coverage is detected / detectable in [0,1].
+	Coverage float64 `json:"coverage,omitempty"`
+	// Seconds is a wall-clock duration (phase_end).
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// Sink receives events. Implementations must be safe for concurrent use;
+// OnEvent must not retain the event past the call.
+type Sink interface {
+	OnEvent(Event)
+}
+
+// multi fans an event out to several sinks.
+type multi []Sink
+
+func (m multi) OnEvent(e Event) {
+	for _, s := range m {
+		s.OnEvent(e)
+	}
+}
+
+// Multi combines sinks into one, dropping nils. Zero usable sinks yield
+// nil, which Campaign treats as "no event output".
+func Multi(sinks ...Sink) Sink {
+	var out multi
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

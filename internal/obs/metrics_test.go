@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers get-or-create and the atomic hot paths
+// from many goroutines; run with -race to check the safety claims.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("shared_total").Inc()
+				reg.Gauge("shared_gauge").Add(1)
+				reg.Histogram("shared_hist", 0.25, 0.5, 1).Observe(float64(i%4) / 4)
+				// Metric creation races with use on other names too.
+				name := []string{"a", "b", "c", "d"}[i%4]
+				reg.Counter(name).Add(2)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("shared_total").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Gauge("shared_gauge").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %g, want %d", got, goroutines*perG)
+	}
+	h := reg.Histogram("shared_hist")
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	var spread int64
+	for _, name := range []string{"a", "b", "c", "d"} {
+		spread += reg.Counter(name).Value()
+	}
+	if spread != 2*goroutines*perG {
+		t.Errorf("spread counters = %d, want %d", spread, 2*goroutines*perG)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	// v <= bound lands in that bucket; v just above goes to the next.
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // exactly on the edge: le semantics
+		{1.0001, 1}, {2, 1},
+		{2.5, 2}, {5, 2},
+		{5.0001, 3}, {1e9, 3}, // overflow bucket
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	want := make([]int64, 4)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i := range want {
+		if got := h.BucketCount(i); got != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(cases))
+	}
+	var sum float64
+	for _, c := range cases {
+		sum += c.v
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %g, want %g", h.Sum(), sum)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := newHistogram([]float64{5, 1, 2})
+	want := []float64{1, 2, 5}
+	got := h.Bounds()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5 (negative deltas ignored)", c.Value())
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics must read as zero")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil registry must hand out nil metrics")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cycles_total").Add(12345)
+	reg.Gauge("coverage").Set(0.984)
+	reg.Histogram("util", 0.5, 1).Observe(0.25)
+	reg.Histogram("util").Observe(0.75)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["cycles_total"] != 12345 {
+		t.Errorf("counter round trip = %d", snap.Counters["cycles_total"])
+	}
+	if snap.Gauges["coverage"] != 0.984 {
+		t.Errorf("gauge round trip = %g", snap.Gauges["coverage"])
+	}
+	h := snap.Histograms["util"]
+	if h.Count != 2 || h.Sum != 1.0 || len(h.Counts) != 3 {
+		t.Errorf("histogram round trip = %+v", h)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fsim_cycles_total").Add(99)
+	reg.Gauge("campaign_coverage").Set(0.5)
+	h := reg.Histogram("lane_util", 0.5, 1)
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE fsim_cycles_total counter",
+		"fsim_cycles_total 99",
+		"# TYPE campaign_coverage gauge",
+		"campaign_coverage 0.5",
+		"# TYPE lane_util histogram",
+		`lane_util_bucket{le="0.5"} 1`,
+		`lane_util_bucket{le="1"} 2`, // cumulative
+		`lane_util_bucket{le="+Inf"} 3`,
+		"lane_util_sum 3",
+		"lane_util_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONLines writes each event as one JSON object per line — the
+// machine-readable campaign record (replayable with ReadEvents).
+type JSONLines struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLines returns a JSON-lines sink over w.
+func NewJSONLines(w io.Writer) *JSONLines {
+	return &JSONLines{enc: json.NewEncoder(w)}
+}
+
+// OnEvent writes the event as one line. Encoding errors are dropped: an
+// observability sink must never fail a campaign.
+func (s *JSONLines) OnEvent(e Event) {
+	s.mu.Lock()
+	_ = s.enc.Encode(e)
+	s.mu.Unlock()
+}
+
+// ReadEvents parses a JSON-lines event stream back into events.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: event stream: %w", err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Progress renders events as human-readable lines — the campaign's live
+// narration. Per-batch simulator events are suppressed unless
+// ShowBatches is set (they are high-volume and only useful for a single
+// long fault-simulation run).
+type Progress struct {
+	mu sync.Mutex
+	w  io.Writer
+
+	// ShowBatches also prints fsim_batch events.
+	ShowBatches bool
+}
+
+// NewProgress returns a progress sink over w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w}
+}
+
+// OnEvent formats and writes one line for the event. Write errors are
+// dropped.
+func (p *Progress) OnEvent(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Kind {
+	case KindCampaignStart:
+		fmt.Fprintf(p.w, "campaign %s: %d collapsed faults\n", e.Circuit, e.Faults)
+	case KindPhaseStart:
+		fmt.Fprintf(p.w, "phase %s: start\n", e.Phase)
+	case KindPhaseEnd:
+		fmt.Fprintf(p.w, "phase %s: %.3fs\n", e.Phase, e.Seconds)
+	case KindIteration:
+		fmt.Fprintf(p.w, "I=%-3d detected %d, remaining %d\n", e.I, e.Detected, e.Remaining)
+	case KindPairSelected:
+		fmt.Fprintf(p.w, "  pair (I=%d, D1=%d): +%d faults, %d cycles\n", e.I, e.D1, e.Detected, e.Cycles)
+	case KindCoverage:
+		fmt.Fprintf(p.w, "  coverage %.2f%% at %d cycles\n", e.Coverage*100, e.Cycles)
+	case KindPairTried:
+		// Suppressed: every (I, D1) candidate is tried; only selections
+		// are narrated. The JSON-lines sink keeps the full record.
+	case KindFsimBatch:
+		if p.ShowBatches {
+			fmt.Fprintf(p.w, "  batch %d: %d faults, %d detected\n", e.N, e.Faults, e.Detected)
+		}
+	case KindBaselineSession:
+		fmt.Fprintf(p.w, "baseline session: %d tests, %d detected, %d cycles\n", e.N, e.Detected, e.Cycles)
+	case KindTopOff:
+		fmt.Fprintf(p.w, "top-off: %d tests, %d detected, %d cycles\n", e.N, e.Detected, e.Cycles)
+	case KindWarning:
+		fmt.Fprintf(p.w, "warning: %s\n", e.Msg)
+	case KindCampaignEnd:
+		fmt.Fprintf(p.w, "campaign %s: done — %d detected, %d cycles, coverage %.2f%%\n",
+			e.Circuit, e.Detected, e.Cycles, e.Coverage*100)
+	default:
+		fmt.Fprintf(p.w, "%s\n", e.Kind)
+	}
+}
+
+// Collector retains every event in memory — the test and debugging sink.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// OnEvent appends the event.
+func (c *Collector) OnEvent(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything collected so far.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}

@@ -34,6 +34,7 @@ import (
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
 	"limscan/internal/logic"
+	"limscan/internal/obs"
 	"limscan/internal/report"
 	"limscan/internal/scan"
 	"limscan/internal/sim"
@@ -96,6 +97,23 @@ type (
 	// CurvePoint is one sample of a coverage-versus-cycles curve.
 	CurvePoint = core.CurvePoint
 
+	// Observer is the campaign observability handle: a metrics registry
+	// plus an event sink plus wall-clock phase spans. A nil *Observer
+	// disables all instrumentation at zero overhead.
+	Observer = obs.Campaign
+	// Metrics is a concurrency-safe registry of counters, gauges and
+	// histograms with Prometheus-style text exposition.
+	Metrics = obs.Registry
+	// Event is one structured campaign record (see EventKind values in
+	// internal/obs).
+	Event = obs.Event
+	// EventKind names an event type (campaign_start, pair_selected, ...).
+	EventKind = obs.Kind
+	// EventSink receives events (JSON lines, progress, collectors).
+	EventSink = obs.Sink
+	// PhaseSpan is the accumulated wall time of one campaign phase.
+	PhaseSpan = obs.PhaseSpan
+
 	// Program is a serialized test program (see WriteProgram).
 	Program = vectors.Program
 	// Testability holds STAFAN-style statistics for one circuit.
@@ -155,6 +173,36 @@ func NewFaultSet(faults []Fault) *FaultSet { return fault.NewSet(faults) }
 
 // NewRunner returns a full-scan campaign runner for the circuit.
 func NewRunner(c *Circuit) *Runner { return core.NewRunner(c) }
+
+// NewObserver builds a campaign observer with a fresh metrics registry,
+// fanning events out to the given sinks (nils are dropped; zero sinks
+// means metrics only). Attach it via Config.Observer,
+// Runner.SetObserver, or RunProcedure2Observed.
+func NewObserver(sinks ...EventSink) *Observer {
+	return obs.New(obs.NewRegistry(), obs.Multi(sinks...))
+}
+
+// NewJSONLinesSink returns a sink writing each event as one JSON line
+// (read back with ReadEvents).
+func NewJSONLinesSink(w io.Writer) EventSink { return obs.NewJSONLines(w) }
+
+// NewProgressSink returns a sink rendering events as human-readable
+// progress lines.
+func NewProgressSink(w io.Writer) EventSink { return obs.NewProgress(w) }
+
+// ReadEvents parses a JSON-lines event stream back into events.
+func ReadEvents(r io.Reader) ([]Event, error) { return obs.ReadEvents(r) }
+
+// RunProcedure2Observed runs Procedure 2 on a fresh full-scan runner
+// with the given observer attached: per-iteration events stream to the
+// observer's sinks and the campaign's metrics accumulate in
+// o.Metrics(). A nil observer behaves exactly like NewRunner +
+// RunProcedure2.
+func RunProcedure2Observed(c *Circuit, cfg Config, o *Observer) (*Result, error) {
+	r := core.NewRunner(c)
+	r.SetObserver(o)
+	return r.RunProcedure2(cfg)
+}
 
 // FullScan returns the plan scanning every flip-flop.
 func FullScan(nsv int) ScanPlan { return scan.FullScan(nsv) }
