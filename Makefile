@@ -1,12 +1,14 @@
 # Development and CI entry points. `make ci` is the gate: it runs vet,
 # a full build, the race-enabled test suite (checking the concurrency
-# claims of internal/obs), and the plain tier-1 suite.
+# claims of internal/obs and the sharded fault simulator), the plain
+# tier-1 suite, the parallel-vs-serial differential suite under both a
+# single-core and a multi-core scheduler, and short native-fuzz smokes.
 
 GO ?= go
 
-.PHONY: ci vet build test race tier1 bench
+.PHONY: ci vet build test race tier1 paradiff fuzz bench benchall
 
-ci: vet build race tier1
+ci: vet build race tier1 paradiff fuzz
 
 vet:
 	$(GO) vet ./...
@@ -24,5 +26,27 @@ race:
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
+# paradiff runs every parallel-vs-serial differential test (all contain
+# "Parallel" in their name) under the race detector, once with a
+# single-core scheduler and once with a multi-core one, so
+# scheduler-dependent merge bugs surface in the gate.
+paradiff:
+	GOMAXPROCS=1 $(GO) test -race -run Parallel -count=1 -short ./internal/fsim ./internal/baseline ./internal/core
+	GOMAXPROCS=4 $(GO) test -race -run Parallel -count=1 ./internal/fsim ./internal/baseline ./internal/core
+
+# fuzz runs the native fuzz targets briefly: long enough to exercise the
+# mutator beyond the checked-in corpus, short enough for a CI gate.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/fsim
+	$(GO) test -run '^$$' -fuzz FuzzBenchParse -fuzztime 10s ./internal/bench
+
+# bench runs the fsim worker-scaling pair and writes the machine-readable
+# scaling report (ns/op and speedup vs Workers=1 on the largest bmark
+# circuit) to BENCH_fsim.json.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkFsimWorkers' -benchmem .
+	$(GO) run ./cmd/benchfsim -o BENCH_fsim.json
+
+# benchall is the full benchmark sweep (paper tables + ablations).
+benchall:
 	$(GO) test -bench=. -benchmem ./...

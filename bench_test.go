@@ -134,6 +134,34 @@ func benchPacking(b *testing.B, per int) {
 	}
 }
 
+// BenchmarkFsimWorkers sweeps the sharded simulator's worker count over
+// one mid-size session — the serial-vs-parallel regression pair backing
+// make bench (the JSON scaling report over the largest circuit comes
+// from cmd/benchfsim).
+func BenchmarkFsimWorkers1(b *testing.B) { benchWorkers(b, 1) }
+
+// BenchmarkFsimWorkers2 is the two-worker point of the scaling sweep.
+func BenchmarkFsimWorkers2(b *testing.B) { benchWorkers(b, 2) }
+
+// BenchmarkFsimWorkers4 is the four-worker point of the scaling sweep.
+func BenchmarkFsimWorkers4(b *testing.B) { benchWorkers(b, 4) }
+
+// BenchmarkFsimWorkers8 is the eight-worker point of the scaling sweep.
+func BenchmarkFsimWorkers8(b *testing.B) { benchWorkers(b, 8) }
+
+func benchWorkers(b *testing.B, workers int) {
+	c, tests := sessionFor(b, "s5378", 8, 8)
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	s := fsim.New(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := fault.NewSet(reps)
+		if _, err := s.Run(tests, fs, fsim.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFsimNilObserver and BenchmarkFsimObserved pin the
 // observability layer's zero-overhead claim: the same mid-size session
 // with no observer attached versus full instrumentation (per-run

@@ -1,0 +1,153 @@
+// Command benchfsim measures fault-simulation throughput across worker
+// counts and writes a machine-readable scaling report — the perf
+// regression artifact behind `make bench` (BENCH_fsim.json).
+//
+// Usage:
+//
+//	benchfsim [-circuit s35932] [-n 8 -len 8] [-workers 1,2,4,8] [-rounds 3] [-o BENCH_fsim.json]
+//
+// Each worker count is timed over `rounds` full sessions on a fresh
+// fault set and the best round is kept (standard best-of-N to shed
+// scheduler noise); speedup is relative to Workers=1. Detections are
+// cross-checked against the serial run, so the report doubles as a
+// coarse correctness gate. Speedup beyond 1x requires actual hardware
+// parallelism: the report records GOMAXPROCS and NumCPU so a flat curve
+// on a one-core host reads as the host's fault, not the simulator's.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"limscan/internal/bmark"
+	"limscan/internal/core"
+	"limscan/internal/fault"
+	"limscan/internal/fsim"
+)
+
+type workerPoint struct {
+	Workers  int     `json:"workers"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	Speedup  float64 `json:"speedup_vs_workers1"`
+	Detected int     `json:"detected"`
+}
+
+type report struct {
+	Circuit    string        `json:"circuit"`
+	Gates      int           `json:"gates"`
+	Faults     int           `json:"faults"`
+	Tests      int           `json:"tests"`
+	Cycles     int64         `json:"cycles"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Rounds     int           `json:"rounds"`
+	Points     []workerPoint `json:"points"`
+}
+
+func main() {
+	var (
+		name    = flag.String("circuit", "s35932", "registry circuit name")
+		n       = flag.Int("n", 8, "number of random tests")
+		length  = flag.Int("len", 8, "vectors per test")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+		rounds  = flag.Int("rounds", 3, "timed rounds per worker count (best kept)")
+		out     = flag.String("o", "BENCH_fsim.json", "output JSON path (- for stdout)")
+	)
+	flag.Parse()
+
+	c, err := bmark.Load(*name)
+	if err != nil {
+		fail(err)
+	}
+	var sweep []int
+	for _, tok := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || w < 1 {
+			fail(fmt.Errorf("bad -workers entry %q", tok))
+		}
+		sweep = append(sweep, w)
+	}
+
+	cfg := core.Config{LA: *length, LB: *length, N: (*n + 1) / 2, Seed: *seed}
+	tests := core.GenerateTS0(c, cfg)
+	if len(tests) > *n {
+		tests = tests[:*n]
+	}
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	s := fsim.New(c)
+
+	rep := report{
+		Circuit:    c.Name,
+		Gates:      c.Stats().Gates,
+		Faults:     len(reps),
+		Tests:      len(tests),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Rounds:     *rounds,
+	}
+	baseDetected := -1
+	var baseNs int64
+	for _, w := range sweep {
+		best := int64(-1)
+		detected := 0
+		for r := 0; r < *rounds; r++ {
+			fs := fault.NewSet(reps)
+			t0 := time.Now()
+			st, err := s.Run(tests, fs, fsim.Options{Workers: w})
+			el := time.Since(t0).Nanoseconds()
+			if err != nil {
+				fail(err)
+			}
+			if best < 0 || el < best {
+				best = el
+			}
+			detected = st.Detected
+			rep.Cycles = st.Cycles
+		}
+		if baseDetected < 0 {
+			baseDetected = detected
+			if sweep[0] != 1 {
+				fmt.Fprintln(os.Stderr, "benchfsim: warning: first sweep entry is not 1; speedups are relative to it")
+			}
+			baseNs = best
+		} else if detected != baseDetected {
+			fail(fmt.Errorf("Workers=%d detected %d faults, Workers=%d detected %d — determinism violated",
+				w, detected, sweep[0], baseDetected))
+		}
+		rep.Points = append(rep.Points, workerPoint{
+			Workers:  w,
+			NsPerOp:  best,
+			Speedup:  float64(baseNs) / float64(best),
+			Detected: detected,
+		})
+		fmt.Fprintf(os.Stderr, "benchfsim: %s workers=%d best %s (%.2fx), %d/%d detected\n",
+			c.Name, w, time.Duration(best).Round(time.Millisecond),
+			float64(baseNs)/float64(best), detected, len(reps))
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("scaling report written to %s\n", *out)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchfsim: %v\n", err)
+	os.Exit(1)
+}

@@ -36,6 +36,7 @@ func main() {
 		trans      = flag.Bool("trans", false, "simulate the transition (gross-delay) fault universe instead of stuck-at")
 		progress   = flag.Bool("progress", false, "stream per-batch progress to stderr")
 		metrics    = flag.String("metrics", "", "write the simulation metrics registry as JSON to this file at exit")
+		workers    = flag.Int("workers", 0, "fault-simulation worker goroutines (0 = GOMAXPROCS; results are identical at any count)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -82,7 +83,7 @@ func main() {
 		o = obs.New(obs.NewRegistry(), sink)
 	}
 	start := time.Now()
-	st, err := s.Run(tests, fs, fsim.Options{Obs: o, EmitBatchEvents: *progress})
+	st, err := s.Run(tests, fs, fsim.Options{Obs: o, EmitBatchEvents: *progress, Workers: *workers})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
 		os.Exit(1)

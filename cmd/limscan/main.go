@@ -42,6 +42,7 @@ func main() {
 		list    = flag.Bool("list", false, "list the benchmark registry and exit")
 		verbose = flag.Bool("v", false, "stream per-pair progress and print the phase-span summary")
 		export  = flag.String("export", "", "write the selected test program (TS0 + all selected TS(I,D1)) to this file")
+		workers = flag.Int("workers", 0, "fault-simulation worker goroutines (0 = GOMAXPROCS; results are identical at any count)")
 
 		progress  = flag.Bool("progress", false, "stream human-readable campaign progress to stderr")
 		metrics   = flag.String("metrics", "", "write the campaign metrics registry as JSON to this file at exit")
@@ -96,12 +97,13 @@ func main() {
 
 	r := core.NewRunner(c)
 	r.SetObserver(o)
+	r.SetWorkers(*workers)
 	start := time.Now()
 
 	var res *core.Result
 	if *auto {
 		out, err := r.FirstComplete(core.CampaignOptions{
-			Base:      core.Config{Seed: *seed, D1Order: d1},
+			Base:      core.Config{Seed: *seed, D1Order: d1, Workers: *workers},
 			MaxCombos: *combos,
 		})
 		if err != nil {
@@ -114,7 +116,7 @@ func main() {
 		fmt.Printf("searched %d combinations\n", out.Tried)
 	} else {
 		var err error
-		res, err = r.RunProcedure2(core.Config{LA: *la, LB: *lb, N: *n, Seed: *seed, D1Order: d1})
+		res, err = r.RunProcedure2(core.Config{LA: *la, LB: *lb, N: *n, Seed: *seed, D1Order: d1, Workers: *workers})
 		if err != nil {
 			fail(err)
 		}

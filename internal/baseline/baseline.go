@@ -15,6 +15,9 @@ package baseline
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"limscan/internal/circuit"
@@ -43,6 +46,12 @@ type Config struct {
 	// Observer receives per-session metrics and events (see
 	// internal/obs). Nil runs uninstrumented.
 	Observer *obs.Campaign
+	// Workers is the number of goroutines fault batches are sharded
+	// across, as in fsim.Options.Workers: zero means GOMAXPROCS, one
+	// forces the serial path, and results are identical at any count
+	// (batches partition the remaining faults; detections merge in batch
+	// order).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -206,15 +215,59 @@ func Run(c *circuit.Circuit, fs *fault.Set, cfg Config) (Result, error) {
 		t0 = time.Now()
 	}
 	rem := fs.Remaining()
-	for start := 0; start < len(rem); start += 63 {
-		end := start + 63
-		if end > len(rem) {
-			end = len(rem)
+	nb := (len(rem) + 62) / 63
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nb {
+		workers = nb
+	}
+	dets := make([]logic.Word, nb)
+	if workers > 1 {
+		// Shard the batches: they partition rem, so each fault is
+		// simulated by exactly one worker against the full test list, and
+		// the ordered merge below reproduces the serial result exactly.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			ws := s
+			if w > 0 {
+				ws = New(c, cfg.MaxChainLen)
+			}
+			wg.Add(1)
+			go func(ws *Sim) {
+				defer wg.Done()
+				for {
+					bi := int(next.Add(1)) - 1
+					if bi >= nb {
+						return
+					}
+					lo, hi := bi*63, bi*63+63
+					if hi > len(rem) {
+						hi = len(rem)
+					}
+					dets[bi] = ws.runBatch(tests, fs.Faults, rem[lo:hi])
+				}
+			}(ws)
 		}
-		batch := rem[start:end]
-		det := s.runBatch(tests, fs.Faults, batch)
-		for j, fi := range batch {
-			if det&logic.Lane(j+1) != 0 {
+		wg.Wait()
+	} else {
+		for bi := 0; bi < nb; bi++ {
+			lo, hi := bi*63, bi*63+63
+			if hi > len(rem) {
+				hi = len(rem)
+			}
+			dets[bi] = s.runBatch(tests, fs.Faults, rem[lo:hi])
+		}
+	}
+	for bi := 0; bi < nb; bi++ {
+		lo, hi := bi*63, bi*63+63
+		if hi > len(rem) {
+			hi = len(rem)
+		}
+		for j, fi := range rem[lo:hi] {
+			if dets[bi]&logic.Lane(j+1) != 0 {
 				fs.State[fi] = fault.Detected
 				res.Detected++
 			}

@@ -205,3 +205,36 @@ func TestSelectLengthsCustomCandidates(t *testing.T) {
 		t.Errorf("lengths (%d,%d) not from candidates", la, lb)
 	}
 }
+
+// TestBaselineParallelMatchesSerial asserts the sharded baseline path is
+// byte-identical to the serial one across worker counts, including the
+// multi-session mode where fault dropping carries across sessions.
+func TestBaselineParallelMatchesSerial(t *testing.T) {
+	for _, name := range []string{"s298", "s420", "s641"} {
+		t.Run(name, func(t *testing.T) {
+			c := load(t, name)
+			run := func(workers, sessions int) (Result, []fault.Status) {
+				fs := newSet(c)
+				res, err := Run(c, fs, Config{Budget: 3000, Seed: 9, Sessions: sessions, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, fs.State
+			}
+			for _, sessions := range []int{1, 3} {
+				base, baseStates := run(1, sessions)
+				for _, w := range []int{2, 4, 8} {
+					res, states := run(w, sessions)
+					if res != base {
+						t.Errorf("sessions=%d Workers=%d: %+v, want %+v", sessions, w, res, base)
+					}
+					for i := range states {
+						if states[i] != baseStates[i] {
+							t.Errorf("sessions=%d Workers=%d: fault %d diverged", sessions, w, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}

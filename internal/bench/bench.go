@@ -37,8 +37,14 @@ func Parse(name string, r io.Reader) (*circuit.Circuit, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := sc.Text()
+		// '#' starts a comment anywhere on a line (names cannot contain
+		// it), so full-line and trailing comments strip the same way.
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
 			continue
 		}
 		if err := parseLine(b, line); err != nil {
@@ -56,17 +62,40 @@ func ParseString(name, text string) (*circuit.Circuit, error) {
 	return Parse(name, strings.NewReader(text))
 }
 
+// validName accepts the signal names that survive a Parse → Write →
+// Parse round trip: non-empty, no whitespace or control characters, and
+// none of the grammar's delimiters. Real ISCAS-89/ITC-99 netlists use
+// only alphanumerics with '_', '[', ']' and '.'; the check is permissive
+// beyond that but rejects anything Write could not re-emit unambiguously.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r <= ' ' || r == 0x7f || strings.ContainsRune("(),=#", r) {
+			return false
+		}
+	}
+	return true
+}
+
 func parseLine(b *circuit.Builder, line string) error {
 	open := strings.IndexByte(line, '(')
 	close := strings.LastIndexByte(line, ')')
 	if eq := strings.IndexByte(line, '='); eq >= 0 {
 		// name = TYPE(args)
 		name := strings.TrimSpace(line[:eq])
+		if !validName(name) {
+			return fmt.Errorf("invalid signal name %q in %q", name, line)
+		}
 		rest := strings.TrimSpace(line[eq+1:])
 		open = strings.IndexByte(rest, '(')
 		close = strings.LastIndexByte(rest, ')')
 		if open < 0 || close < open {
 			return fmt.Errorf("malformed gate definition %q", line)
+		}
+		if strings.TrimSpace(rest[close+1:]) != "" {
+			return fmt.Errorf("trailing junk after %q", line)
 		}
 		typName := strings.ToUpper(strings.TrimSpace(rest[:open]))
 		typ, ok := typeByName[typName]
@@ -81,6 +110,9 @@ func parseLine(b *circuit.Builder, line string) error {
 				if a == "" {
 					return fmt.Errorf("empty fanin in %q", line)
 				}
+				if !validName(a) {
+					return fmt.Errorf("invalid fanin name %q in %q", a, line)
+				}
 				fanin = append(fanin, a)
 			}
 		}
@@ -91,9 +123,15 @@ func parseLine(b *circuit.Builder, line string) error {
 		return fmt.Errorf("malformed line %q", line)
 	}
 	kw := strings.ToUpper(strings.TrimSpace(line[:open]))
+	if strings.TrimSpace(line[close+1:]) != "" {
+		return fmt.Errorf("trailing junk after %q", line)
+	}
 	arg := strings.TrimSpace(line[open+1 : close])
 	if arg == "" {
 		return fmt.Errorf("empty signal name in %q", line)
+	}
+	if !validName(arg) {
+		return fmt.Errorf("invalid signal name %q in %q", arg, line)
 	}
 	switch kw {
 	case "INPUT":

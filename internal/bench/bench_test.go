@@ -134,3 +134,69 @@ func TestCommentsAndBlankLines(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTrailingComment(t *testing.T) {
+	text := "INPUT(A) # primary input\nOUTPUT(A)\n"
+	if _, err := ParseString("t", text); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidNamesRejected(t *testing.T) {
+	cases := []string{
+		"INPUT(a b)\n",
+		"INPUT(A)\nOUTPUT(Z)\nZ = AND(A, x(y)\n",
+		"INPUT(A)\nOUTPUT(Z)\nZ) = NOT(A)\n",
+		"INPUT(A)\nOUTPUT(A) junk\n",
+		"INPUT(A)\nOUTPUT(Z)\nZ = NOT(A) junk\n",
+	}
+	for _, text := range cases {
+		if _, err := ParseString("t", text); err == nil {
+			t.Errorf("accepted %q, want error", text)
+		}
+	}
+}
+
+// FuzzBenchParse feeds the parser arbitrary netlist text; whenever a
+// netlist parses, it must survive a Write → Parse round trip with
+// identical summary statistics (interface, gate count, depth, fault
+// sites) and per-gate structure. Name validation in parseLine is what
+// makes this hold: any name Write would re-emit ambiguously (embedded
+// delimiters, whitespace) is rejected at first parse.
+func FuzzBenchParse(f *testing.F) {
+	f.Add(s27Text)
+	f.Add("INPUT(A)\nOUTPUT(Z)\nZ = NAND(A, A)\n")
+	f.Add("input( A )\n  output(Z)\nZ = nand( A , A )\n")
+	f.Add("INPUT(A)\nOUTPUT(Z)\nC = CONST1()\nF = DFF(Z)\nZ = XOR(A, C, F)\n")
+	f.Add("# only a comment\n")
+	f.Add("INPUT(A) # trailing\nOUTPUT(A)\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		c1, err := ParseString("fuzz", text)
+		if err != nil {
+			return // invalid netlists just need a graceful error
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c1); err != nil {
+			t.Fatalf("Write failed on parsed netlist: %v", err)
+		}
+		c2, err := ParseString("fuzz", buf.String())
+		if err != nil {
+			t.Fatalf("re-parsing emitted netlist: %v\ninput: %q\nemitted:\n%s", err, text, buf.String())
+		}
+		if s1, s2 := c1.Stats(), c2.Stats(); s1 != s2 {
+			t.Fatalf("round trip changed stats: %+v vs %+v\ninput: %q", s1, s2, text)
+		}
+		for i := range c1.Gates {
+			g := &c1.Gates[i]
+			id2, ok := c2.GateByName(g.Name)
+			if !ok {
+				t.Fatalf("gate %q lost in round trip (input %q)", g.Name, text)
+			}
+			g2 := &c2.Gates[id2]
+			if g2.Type != g.Type || len(g2.Fanin) != len(g.Fanin) {
+				t.Fatalf("gate %q changed: %s/%d vs %s/%d (input %q)",
+					g.Name, g.Type, len(g.Fanin), g2.Type, len(g2.Fanin), text)
+			}
+		}
+	})
+}

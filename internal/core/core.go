@@ -67,6 +67,11 @@ type Config struct {
 	// phase spans (see internal/obs). Nil runs uninstrumented at zero
 	// overhead.
 	Observer *obs.Campaign
+	// Workers is the number of goroutines fault simulation shards its
+	// batches across (see fsim.Options.Workers). Zero defers to the
+	// runner's SetWorkers value, and from there to GOMAXPROCS. Results
+	// are byte-identical at any worker count.
+	Workers int
 }
 
 // newSource builds the configured random source for a given seed. An
@@ -120,6 +125,9 @@ func (c Config) Validate() error {
 		if _, err := lfsr.NewSource(c.LFSRDegree, 1); err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0 (got %d; zero means GOMAXPROCS)", c.Workers)
 	}
 	return nil
 }
@@ -299,6 +307,10 @@ type Runner struct {
 	trans *atpg.TransEngine
 	// obs is the runner-level observer, used when a Config carries none.
 	obs *obs.Campaign
+	// workers is the runner-level fault-simulation worker count, used
+	// when a Config carries none (and by the cfg-less entry points:
+	// TopOff, CoverageCurve).
+	workers int
 }
 
 // SetObserver attaches a campaign observer to every run the runner
@@ -312,6 +324,25 @@ func (r *Runner) observer(cfg Config) *obs.Campaign {
 		return cfg.Observer
 	}
 	return r.obs
+}
+
+// SetWorkers sets the fault-simulation worker count for every run the
+// runner executes (see fsim.Options.Workers). A Config.Workers, if
+// nonzero, takes precedence for that run; zero restores the default
+// (GOMAXPROCS). Negative values are clamped to the serial path.
+func (r *Runner) SetWorkers(n int) {
+	if n < 0 {
+		n = 1
+	}
+	r.workers = n
+}
+
+// fsimWorkers resolves the effective worker count for a run.
+func (r *Runner) fsimWorkers(cfg Config) int {
+	if cfg.Workers != 0 {
+		return cfg.Workers
+	}
+	return r.workers
 }
 
 // NewRunner returns a full-scan Runner for the circuit.
@@ -423,7 +454,7 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 	ts0 := GenerateTS0WithPlan(r.c, r.plan, cfg)
 	span.End()
 	span = o.StartPhase("ts0_sim")
-	st, err := r.sim.Run(ts0, fs, fsim.Options{Obs: o})
+	st, err := r.sim.Run(ts0, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg)})
 	span.End()
 	if err != nil {
 		return nil, err
@@ -467,7 +498,7 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 				o.Accumulate("procedure1", time.Since(t0))
 				t0 = time.Now()
 			}
-			st, err := r.sim.Run(ts, fs, fsim.Options{Obs: o})
+			st, err := r.sim.Run(ts, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg)})
 			if o != nil {
 				o.Accumulate("fault_sim", time.Since(t0))
 			}

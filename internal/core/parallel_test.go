@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"limscan/internal/fault"
+)
+
+// resultKey projects a Result onto its comparable scalar fields,
+// dropping Config (which legitimately differs by Workers) and Pairs
+// (compared element-wise by the caller).
+type resultScalars struct {
+	TotalFaults, Untestable, Aborted int
+	InitialDetected                  int
+	InitialCycles, TotalCycles       int64
+	Detected, Iterations, Pairs      int
+	AvgLS                            float64
+	Complete                         bool
+}
+
+func resultKey(r *Result) resultScalars {
+	return resultScalars{
+		TotalFaults: r.TotalFaults, Untestable: r.Untestable, Aborted: r.Aborted,
+		InitialDetected: r.InitialDetected,
+		InitialCycles:   r.InitialCycles, TotalCycles: r.TotalCycles,
+		Detected: r.Detected, Iterations: r.Iterations, Pairs: len(r.Pairs),
+		AvgLS: r.AvgLS, Complete: r.Complete,
+	}
+}
+
+// TestParallelProcedure2Deterministic runs a full Procedure 2 campaign
+// at several worker counts and requires identical Results — the selected
+// (I, D1) pairs, per-pair detections and cycles, totals, and the
+// completeness verdict. This is the end-to-end determinism guarantee the
+// sharded simulator owes its hottest caller.
+func TestParallelProcedure2Deterministic(t *testing.T) {
+	for _, name := range []string{"s27", "s298"} {
+		t.Run(name, func(t *testing.T) {
+			c := load(t, name)
+			run := func(workers int) *Result {
+				r := NewRunner(c)
+				res, err := r.RunProcedure2(Config{LA: 4, LB: 8, N: 8, Seed: 7, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			base := run(1)
+			for _, w := range []int{2, 4} {
+				res := run(w)
+				if resultKey(res) != resultKey(base) {
+					t.Errorf("Workers=%d result %+v, want %+v", w, resultKey(res), resultKey(base))
+				}
+				if len(res.Pairs) != len(base.Pairs) {
+					t.Fatalf("Workers=%d selected %d pairs, want %d", w, len(res.Pairs), len(base.Pairs))
+				}
+				for i := range res.Pairs {
+					if res.Pairs[i] != base.Pairs[i] {
+						t.Errorf("Workers=%d pair %d = %+v, want %+v", w, i, res.Pairs[i], base.Pairs[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTopOffDeterministic covers the deterministic top-off path:
+// its one-test sessions always stay serial inside fsim (a single batch
+// per call at most uses one worker), so the worker setting must be a
+// no-op on results.
+func TestParallelTopOffDeterministic(t *testing.T) {
+	c := load(t, "s298")
+	run := func(workers int) (*TopOffResult, []fault.Status) {
+		r := NewRunner(c)
+		r.SetWorkers(workers)
+		fs := r.NewFaultSet()
+		if _, err := r.RunProcedure2(Config{LA: 2, LB: 3, N: 2, Seed: 3, MaxIterations: 1, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.TopOff(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, fs.State
+	}
+	base, baseStates := run(1)
+	for _, w := range []int{4} {
+		res, states := run(w)
+		if res.Detected != base.Detected || res.Cycles != base.Cycles ||
+			res.Proven != base.Proven || len(res.Tests) != len(base.Tests) {
+			t.Errorf("Workers=%d top-off %+v, want %+v", w, res, base)
+		}
+		for i := range states {
+			if states[i] != baseStates[i] {
+				t.Errorf("Workers=%d: fault %d diverged after top-off", w, i)
+			}
+		}
+	}
+}
+
+// TestParallelConfigValidate pins the new Config.Workers validation.
+func TestParallelConfigValidate(t *testing.T) {
+	if err := (Config{LA: 4, LB: 8, N: 8, Workers: 4}).Validate(); err != nil {
+		t.Errorf("Workers=4 rejected: %v", err)
+	}
+	if err := (Config{LA: 4, LB: 8, N: 8, Workers: -1}).Validate(); err == nil {
+		t.Error("Workers=-1 accepted")
+	}
+}

@@ -34,9 +34,17 @@ const LanesPerWord = 63
 // Options tunes a simulation run.
 type Options struct {
 	// FaultsPerPass caps the number of faults packed into one batch.
-	// Zero means LanesPerWord. Smaller values are only useful for the
+	// Zero means LanesPerWord; values above LanesPerWord or below zero
+	// are rejected by Validate. Smaller values are only useful for the
 	// packing-width ablation benchmarks.
 	FaultsPerPass int
+	// Workers is the number of goroutines fault batches are sharded
+	// across. Zero means runtime.GOMAXPROCS(0); one forces the serial
+	// path. Because every fault is simulated against the same tests in
+	// exactly one batch and the per-batch results are merged in batch
+	// order, RunStats and the fault set are byte-identical at any worker
+	// count (see TestParallelMatchesSerialBmarks).
+	Workers int
 	// NoEarlyExit disables stopping a batch once every fault in it has
 	// been detected (for ablation benchmarks).
 	NoEarlyExit bool
@@ -59,6 +67,23 @@ type Options struct {
 	// run. Leave it off inside campaigns, where runs number in the
 	// hundreds.
 	EmitBatchEvents bool
+}
+
+// Validate rejects impossible option combinations. Run calls it on
+// entry; callers building Options from external input (flags, configs)
+// can call it earlier for a better error site.
+func (o Options) Validate() error {
+	if o.FaultsPerPass < 0 || o.FaultsPerPass > LanesPerWord {
+		return fmt.Errorf("fsim: FaultsPerPass must be in [0, %d] (got %d; zero means %d)",
+			LanesPerWord, o.FaultsPerPass, LanesPerWord)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("fsim: Workers must be >= 0 (got %d; zero means GOMAXPROCS)", o.Workers)
+	}
+	if o.MISRDegree < 0 {
+		return fmt.Errorf("fsim: MISRDegree must be >= 0 (got %d)", o.MISRDegree)
+	}
+	return nil
 }
 
 // Detection sites: where an observed value first exposed a fault. These
@@ -113,6 +138,11 @@ type Simulator struct {
 	// by a flip-flop at functional clocks (flip-flop input faults).
 	stateStuck   []laneForce
 	captureStuck []laneForce
+
+	// pool holds the lazily created per-worker clones used by sharded
+	// runs; they are reused across Run calls so campaigns pay the clone
+	// cost once per worker, not once per session.
+	pool []*Simulator
 }
 
 type laneForce struct {
@@ -169,8 +199,11 @@ func (s *Simulator) Plan() scan.Plan { return s.plan }
 // dropping), and returns the session statistics. Faults already Detected
 // or Untestable are skipped.
 func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStats, error) {
+	if err := opts.Validate(); err != nil {
+		return RunStats{}, err
+	}
 	per := opts.FaultsPerPass
-	if per <= 0 || per > LanesPerWord {
+	if per == 0 {
 		per = LanesPerWord
 	}
 	for i := range tests {
@@ -179,48 +212,25 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStat
 		}
 	}
 	stats := RunStats{Cycles: s.cost.SessionCycles(tests)}
-	var sites *[numSites]logic.Word
-	if opts.Obs != nil && opts.MISRDegree == 0 {
-		sites = new([numSites]logic.Word)
-	}
 	rem := fs.Remaining()
-	for start := 0; start < len(rem); start += per {
-		end := start + per
-		if end > len(rem) {
-			end = len(rem)
+	if w := opts.effectiveWorkers((len(rem) + per - 1) / per); w > 1 {
+		s.runSharded(tests, fs, rem, per, w, opts, &stats)
+	} else {
+		var sites *[numSites]logic.Word
+		if opts.Obs != nil && opts.MISRDegree == 0 {
+			sites = new([numSites]logic.Word)
 		}
-		batch := rem[start:end]
-		if sites != nil {
-			*sites = [numSites]logic.Word{}
-		}
-		det := s.runBatch(tests, fs.Faults, batch, opts, sites)
-		stats.Batches++
-		for j, fi := range batch {
-			lane := logic.Lane(j + 1)
-			if det&lane == 0 {
-				continue
+		for start := 0; start < len(rem); start += per {
+			end := start + per
+			if end > len(rem) {
+				end = len(rem)
 			}
-			fs.State[fi] = fault.Detected
-			stats.Detected++
+			batch := rem[start:end]
 			if sites != nil {
-				switch {
-				case sites[sitePO]&lane != 0:
-					stats.DetectedAtPO++
-				case sites[siteLimitedScan]&lane != 0:
-					stats.DetectedAtLimitedScan++
-				case sites[siteScanOut]&lane != 0:
-					stats.DetectedAtScanOut++
-				}
+				*sites = [numSites]logic.Word{}
 			}
-		}
-		if o := opts.Obs; o != nil {
-			o.Histogram("fsim_lane_utilization").Observe(float64(len(batch)) / LanesPerWord)
-			if opts.EmitBatchEvents {
-				o.Emit(obs.Event{
-					Kind: obs.KindFsimBatch, N: stats.Batches,
-					Faults: len(batch), Detected: stats.Detected,
-				})
-			}
+			det := s.runBatch(tests, fs.Faults, batch, opts, sites)
+			s.mergeBatch(&stats, fs, batch, det, sites, opts)
 		}
 	}
 	if o := opts.Obs; o != nil {
@@ -234,6 +244,42 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStat
 		o.Counter("fsim_detected_scan_out_total").Add(int64(stats.DetectedAtScanOut))
 	}
 	return stats, nil
+}
+
+// mergeBatch folds one batch's detection mask into the session: it marks
+// newly detected faults in fs, advances the session stats, and performs
+// the per-batch observer bookkeeping. Both the serial loop and the
+// parallel merge call it in batch order — that shared, ordered fold is
+// what makes the two paths byte-identical.
+func (s *Simulator) mergeBatch(stats *RunStats, fs *fault.Set, batch []int, det logic.Word, sites *[numSites]logic.Word, opts Options) {
+	stats.Batches++
+	for j, fi := range batch {
+		lane := logic.Lane(j + 1)
+		if det&lane == 0 {
+			continue
+		}
+		fs.State[fi] = fault.Detected
+		stats.Detected++
+		if sites != nil {
+			switch {
+			case sites[sitePO]&lane != 0:
+				stats.DetectedAtPO++
+			case sites[siteLimitedScan]&lane != 0:
+				stats.DetectedAtLimitedScan++
+			case sites[siteScanOut]&lane != 0:
+				stats.DetectedAtScanOut++
+			}
+		}
+	}
+	if o := opts.Obs; o != nil {
+		o.Histogram("fsim_lane_utilization").Observe(float64(len(batch)) / LanesPerWord)
+		if opts.EmitBatchEvents {
+			o.Emit(obs.Event{
+				Kind: obs.KindFsimBatch, N: stats.Batches,
+				Faults: len(batch), Detected: stats.Detected,
+			})
+		}
+	}
 }
 
 // getState and setState access a flip-flop position regardless of

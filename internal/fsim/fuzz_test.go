@@ -7,52 +7,89 @@ import (
 	"limscan/internal/fault"
 )
 
-// TestFuzzDifferential cross-checks the bit-parallel simulator against
-// the scalar oracle on a population of freshly generated random circuits
-// — different interface shapes, gate mixes and scan-chain lengths — with
-// and without limited scan operations. This is the repository's main
-// guard against simulator regressions.
-func TestFuzzDifferential(t *testing.T) {
-	if testing.Short() {
-		t.Skip("fuzz differential skipped in -short mode")
-	}
-	specs := []bmark.Spec{
-		{Name: "fz1", PIs: 3, POs: 2, FFs: 4, Gates: 30, Seed: 101},
-		{Name: "fz2", PIs: 6, POs: 1, FFs: 9, Gates: 60, Seed: 202},
-		{Name: "fz3", PIs: 2, POs: 5, FFs: 12, Gates: 80, Seed: 303},
-		{Name: "fz4", PIs: 10, POs: 3, FFs: 6, Gates: 50, Seed: 404},
-		{Name: "fz5", PIs: 4, POs: 4, FFs: 20, Gates: 100, Seed: 505},
-	}
-	for _, spec := range specs {
+// fuzzSpec decodes a circuit shape from the fuzzer's raw bits, clamped
+// into the generator's valid envelope so every input is a legal spec:
+// 1-8 PIs, 1-8 POs, 1-16 FFs, a 4-67 gate cloud, and a with/without
+// limited-scan toggle.
+func fuzzSpec(seed, shape uint64) (bmark.Spec, bool) {
+	pis := 1 + int(shape&7)
+	pos := 1 + int((shape>>3)&7)
+	ffs := 1 + int((shape>>6)&15)
+	cloud := 4 + int((shape>>10)&63)
+	withScans := (shape>>16)&1 == 1
+	return bmark.Spec{
+		Name:  "fuzz",
+		PIs:   pis,
+		POs:   pos,
+		FFs:   ffs,
+		Gates: pos + ffs + cloud,
+		Seed:  seed,
+	}, withScans
+}
+
+// FuzzDifferential cross-checks the bit-parallel simulator against the
+// scalar oracle on generated random circuits — different interface
+// shapes, gate mixes and scan-chain lengths, with and without limited
+// scan operations — and simultaneously checks the sharded path against
+// the serial one on the same workload. This is the repository's main
+// guard against simulator regressions; the checked-in corpus under
+// testdata/fuzz covers the shapes the pre-fuzzing deterministic test
+// used to pin.
+func FuzzDifferential(f *testing.F) {
+	// The former TestFuzzDifferential population, re-encoded: (seed,
+	// shape) pairs spanning small/wide interfaces, deep/shallow clouds,
+	// and both scan modes.
+	f.Add(uint64(101), uint64(2|1<<3|3<<6|20<<10))
+	f.Add(uint64(202), uint64(5|0<<3|8<<6|46<<10|1<<16))
+	f.Add(uint64(303), uint64(1|4<<3|11<<6|59<<10))
+	f.Add(uint64(404), uint64(7|2<<3|5<<6|37<<10|1<<16))
+	f.Add(uint64(505), uint64(3|3<<3|15<<6|63<<10|1<<16))
+	f.Fuzz(func(t *testing.T, seed, shape uint64) {
+		spec, withScans := fuzzSpec(seed, shape)
 		c, err := bmark.Generate(spec)
 		if err != nil {
-			t.Fatalf("%s: %v", spec.Name, err)
+			t.Fatalf("generator rejected in-envelope spec %+v: %v", spec, err)
 		}
 		reps, _ := fault.Collapse(c, fault.Universe(c))
-		for _, withScans := range []bool{false, true} {
-			tests := randomTests(c, 3, 5, withScans, spec.Seed^0xABCD)
-			fs := fault.NewSet(reps)
-			s := New(c)
-			if _, err := s.Run(tests, fs, Options{}); err != nil {
-				t.Fatal(err)
+		tests := randomTests(c, 3, 5, withScans, seed^0xABCD)
+
+		serial := fault.NewSet(reps)
+		s := New(c)
+		sstats, err := s.Run(tests, serial, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Sharded run on the same simulator: small batches force real
+		// sharding even on tiny universes.
+		sharded := fault.NewSet(reps)
+		pstats, err := s.Run(tests, sharded, Options{Workers: 4, FaultsPerPass: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sstats.Detected != pstats.Detected || sstats.Cycles != pstats.Cycles {
+			t.Errorf("sharded stats %+v, serial %+v", pstats, sstats)
+		}
+
+		mismatches := 0
+		for i, fa := range reps {
+			want := refDetects(c, tests, fa)
+			got := serial.State[i] == fault.Detected
+			if serial.State[i] != sharded.State[i] {
+				t.Errorf("fault %s: serial=%v sharded=%v", fa.Pretty(c), serial.State[i], sharded.State[i])
 			}
-			mismatches := 0
-			for i, f := range reps {
-				want := refDetects(c, tests, f)
-				got := fs.State[i] == fault.Detected
-				if got != want {
-					mismatches++
-					if mismatches <= 3 {
-						t.Errorf("%s scans=%v fault %s: parallel=%v reference=%v",
-							spec.Name, withScans, f.Pretty(c), got, want)
-					}
+			if got != want {
+				mismatches++
+				if mismatches <= 3 {
+					t.Errorf("scans=%v fault %s: parallel=%v reference=%v",
+						withScans, fa.Pretty(c), got, want)
 				}
 			}
-			if mismatches > 3 {
-				t.Errorf("%s scans=%v: %d total mismatches", spec.Name, withScans, mismatches)
-			}
 		}
-	}
+		if mismatches > 3 {
+			t.Errorf("scans=%v: %d total mismatches", withScans, mismatches)
+		}
+	})
 }
 
 // TestFuzzTransitionDifferential repeats the fuzz cross-check for the

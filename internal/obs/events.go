@@ -30,6 +30,10 @@ const (
 	// KindFsimBatch reports one fault-simulation batch when batch events
 	// are enabled (N = batch index, Faults = batch size, Detected).
 	KindFsimBatch Kind = "fsim_batch"
+	// KindFsimSharded reports that a simulation run sharded its batches
+	// across a worker pool (N = workers, Faults = batches). Emitted only
+	// when batch events are enabled, after the run's batch events.
+	KindFsimSharded Kind = "fsim_sharded"
 	// KindBaselineSession closes one baseline session (N = tests,
 	// Detected, Cycles).
 	KindBaselineSession Kind = "baseline_session"

@@ -140,8 +140,8 @@ func TestProgressSink(t *testing.T) {
 	var buf bytes.Buffer
 	p := NewProgress(&buf)
 	p.OnEvent(Event{Kind: KindCampaignStart, Circuit: "s420", Faults: 863})
-	p.OnEvent(Event{Kind: KindPairTried, I: 1, D1: 4})       // suppressed
-	p.OnEvent(Event{Kind: KindFsimBatch, N: 1, Faults: 63})  // suppressed by default
+	p.OnEvent(Event{Kind: KindPairTried, I: 1, D1: 4})      // suppressed
+	p.OnEvent(Event{Kind: KindFsimBatch, N: 1, Faults: 63}) // suppressed by default
 	p.OnEvent(Event{Kind: KindPairSelected, I: 1, D1: 4, Detected: 10, Cycles: 14898})
 	p.OnEvent(Event{Kind: KindCampaignEnd, Circuit: "s420", Detected: 844, Cycles: 40894, Coverage: 1})
 	out := buf.String()

@@ -84,6 +84,10 @@ func (p *Progress) OnEvent(e Event) {
 		if p.ShowBatches {
 			fmt.Fprintf(p.w, "  batch %d: %d faults, %d detected\n", e.N, e.Faults, e.Detected)
 		}
+	case KindFsimSharded:
+		if p.ShowBatches {
+			fmt.Fprintf(p.w, "  sharded: %d batches across %d workers\n", e.Faults, e.N)
+		}
 	case KindBaselineSession:
 		fmt.Fprintf(p.w, "baseline session: %d tests, %d detected, %d cycles\n", e.N, e.Detected, e.Cycles)
 	case KindTopOff:
