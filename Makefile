@@ -2,13 +2,14 @@
 # a full build, the race-enabled test suite (checking the concurrency
 # claims of internal/obs and the sharded fault simulator), the plain
 # tier-1 suite, the parallel-vs-serial differential suite under both a
-# single-core and a multi-core scheduler, and short native-fuzz smokes.
+# single-core and a multi-core scheduler, short native-fuzz smokes, and
+# the checkpoint/resume kill-and-restart smoke.
 
 GO ?= go
 
-.PHONY: ci vet build test race tier1 paradiff fuzz bench benchall
+.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke bench benchall
 
-ci: vet build race tier1 paradiff fuzz
+ci: vet build race tier1 paradiff fuzz cksmoke
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +40,13 @@ paradiff:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/fsim
 	$(GO) test -run '^$$' -fuzz FuzzBenchParse -fuzztime 10s ./internal/bench
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointRoundTrip -fuzztime 10s ./internal/checkpoint
+
+# cksmoke interrupts a real checkpointed limscan process with SIGINT,
+# resumes it, and requires the final report to match an uninterrupted
+# run byte for byte.
+cksmoke:
+	sh scripts/checkpoint_smoke.sh
 
 # bench runs the fsim worker-scaling pair and writes the machine-readable
 # scaling report (ns/op and speedup vs Workers=1 on the largest bmark

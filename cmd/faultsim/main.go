@@ -6,16 +6,27 @@
 //
 //	faultsim -circuit s298 -n 32 -len 16 [-seed 1] [-undetected] [-classify]
 //	faultsim -circuit s1423 -progress -metrics out.json
+//	faultsim -circuit s35932 -checkpoint run.ck           # snapshot per fault chunk
+//	faultsim -circuit s35932 -checkpoint run.ck -resume   # continue after a kill
+//
+// With -checkpoint the fault list is simulated in chunks and a snapshot
+// is written after each; SIGINT/SIGTERM flush the last completed chunk
+// and exit with status 3, and -resume continues to the identical report.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"limscan/internal/atpg"
 	"limscan/internal/bmark"
+	"limscan/internal/checkpoint"
 	"limscan/internal/core"
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
@@ -37,10 +48,23 @@ func main() {
 		progress   = flag.Bool("progress", false, "stream per-batch progress to stderr")
 		metrics    = flag.String("metrics", "", "write the simulation metrics registry as JSON to this file at exit")
 		workers    = flag.Int("workers", 0, "fault-simulation worker goroutines (0 = GOMAXPROCS; results are identical at any count)")
+
+		ckPath  = flag.String("checkpoint", "", "write fault-chunk snapshots to this file (atomic rewrite; SIGINT/SIGTERM flush the last chunk)")
+		ckEvery = flag.Int("checkpoint-every", 1, "fault chunks between snapshots")
+		ckChunk = flag.Int("checkpoint-chunk", 0, "faults per checkpoint chunk (0 = 16 batches' worth)")
+		resume  = flag.Bool("resume", false, "resume the session from the -checkpoint snapshot")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "faultsim: unexpected arguments: %v (all options are flags)\n", flag.Args())
+		os.Exit(2)
+	}
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "faultsim: -circuit is required")
+		os.Exit(2)
+	}
+	if *resume && *ckPath == "" {
+		fmt.Fprintln(os.Stderr, "faultsim: -resume requires -checkpoint")
 		os.Exit(2)
 	}
 	c, err := bmark.Load(*name)
@@ -82,9 +106,52 @@ func main() {
 		}
 		o = obs.New(obs.NewRegistry(), sink)
 	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	start := time.Now()
-	st, err := s.Run(tests, fs, fsim.Options{Obs: o, EmitBatchEvents: *progress, Workers: *workers})
+	opts := fsim.Options{Obs: o, EmitBatchEvents: *progress, Workers: *workers}
+	var st fsim.RunStats
+	if *ckPath != "" {
+		ck := fsim.SessionCheckpoint{
+			Meta: checkpoint.Meta{
+				Mode:        checkpoint.ModeFaultSim,
+				Circuit:     c.Name,
+				CircuitHash: checkpoint.CircuitHash(c),
+				PlanLen:     c.NumSV(),
+				LA:          *length,
+				LB:          *length,
+				N:           len(tests),
+				Seed:        *seed,
+				Transition:  *trans,
+			},
+			Path:        *ckPath,
+			Every:       *ckEvery,
+			ChunkFaults: *ckChunk,
+		}
+		var snap *checkpoint.Snapshot
+		if *resume {
+			snap, err = checkpoint.Load(*ckPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faultsim: resume: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		st, err = s.RunCheckpointed(ctx, tests, fs, snap, opts, ck)
+	} else {
+		opts.Ctx = ctx
+		st, err = s.Run(tests, fs, opts)
+	}
 	if err != nil {
+		var ie *checkpoint.InterruptedError
+		if errors.As(err, &ie) {
+			fmt.Fprintf(os.Stderr, "faultsim: %v\n", ie)
+			if ie.Path != "" {
+				fmt.Fprintf(os.Stderr, "faultsim: rerun with -resume to continue\n")
+			}
+			os.Exit(3)
+		}
 		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -96,10 +163,10 @@ func main() {
 		fmt.Printf("circuit %s: %d collapsed faults (%d uncollapsed)\n", c.Name, len(reps), total)
 	}
 	fmt.Printf("session: %d tests, %s clock cycles\n", len(tests), report.Cycles(st.Cycles))
-	fmt.Printf("detected %d/%d (%.2f%%) in %s (%.0f cycles/s simulated)\n",
-		st.Detected, len(reps), float64(st.Detected)/float64(len(reps))*100,
-		elapsed.Round(time.Millisecond),
-		float64(st.Cycles)/elapsed.Seconds())
+	fmt.Printf("detected %d/%d (%.2f%%)\n",
+		st.Detected, len(reps), float64(st.Detected)/float64(len(reps))*100)
+	fmt.Fprintf(os.Stderr, "faultsim: done in %s (%.0f cycles/s simulated)\n",
+		elapsed.Round(time.Millisecond), float64(st.Cycles)/elapsed.Seconds())
 	if o != nil {
 		fmt.Printf("detection sites: %d at POs, %d at limited scan-out, %d at complete scan-out\n",
 			st.DetectedAtPO, st.DetectedAtLimitedScan, st.DetectedAtScanOut)

@@ -9,18 +9,30 @@
 //	limscan -circuit s420 -auto        # search combinations in Ncyc0 order
 //	limscan -circuit s420 -progress -metrics out.json   # observe the campaign
 //	limscan -circuit s420 -debug-addr :6060             # /metrics + pprof while running
+//	limscan -circuit s5378 -checkpoint run.ck           # snapshot every iteration
+//	limscan -circuit s5378 -checkpoint run.ck -resume   # continue after a kill
 //	limscan -list                      # show the benchmark registry
+//
+// With -checkpoint, SIGINT/SIGTERM stop the campaign at the next
+// boundary, flush the last completed iteration to the snapshot file, and
+// exit with status 3; rerunning with -resume continues the campaign and
+// produces the identical final report.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"limscan/internal/bmark"
+	"limscan/internal/checkpoint"
 	"limscan/internal/circuit"
 	"limscan/internal/core"
 	"limscan/internal/obs"
@@ -44,12 +56,19 @@ func main() {
 		export  = flag.String("export", "", "write the selected test program (TS0 + all selected TS(I,D1)) to this file")
 		workers = flag.Int("workers", 0, "fault-simulation worker goroutines (0 = GOMAXPROCS; results are identical at any count)")
 
+		ckPath  = flag.String("checkpoint", "", "write campaign snapshots to this file (atomic rewrite; SIGINT/SIGTERM flush the last boundary)")
+		ckEvery = flag.Int("checkpoint-every", 1, "iterations between snapshots (the TS0 and final boundaries are always written)")
+		resume  = flag.Bool("resume", false, "resume the campaign from the -checkpoint snapshot")
+
 		progress  = flag.Bool("progress", false, "stream human-readable campaign progress to stderr")
 		metrics   = flag.String("metrics", "", "write the campaign metrics registry as JSON to this file at exit")
 		events    = flag.String("events", "", "write the structured campaign event stream (JSON lines) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while the campaign runs")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("unexpected arguments: %v (all options are flags)", flag.Args()))
+	}
 
 	if *list {
 		for _, nm := range bmark.Names() {
@@ -62,6 +81,15 @@ func main() {
 				nm, s.PIs, s.POs, s.FFs, s.Gates, s.Depth)
 		}
 		return
+	}
+
+	switch {
+	case *resume && *ckPath == "":
+		fail(fmt.Errorf("-resume requires -checkpoint"))
+	case *auto && (*ckPath != "" || *resume):
+		fail(fmt.Errorf("-checkpoint/-resume apply to single campaigns, not -auto searches"))
+	case *ckEvery < 1:
+		fail(fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", *ckEvery))
 	}
 
 	c := loadCircuit(*name, *path)
@@ -95,6 +123,11 @@ func main() {
 		serveDebug(*debugAddr, o.Metrics())
 	}
 
+	// SIGINT/SIGTERM cancel the campaign context; the runner flushes the
+	// last completed boundary to the checkpoint before unwinding.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	r := core.NewRunner(c)
 	r.SetObserver(o)
 	r.SetWorkers(*workers)
@@ -115,29 +148,42 @@ func main() {
 		}
 		fmt.Printf("searched %d combinations\n", out.Tried)
 	} else {
+		cfg := core.Config{LA: *la, LB: *lb, N: *n, Seed: *seed, D1Order: d1, Workers: *workers}
+		var ck *core.CheckpointOptions
+		if *ckPath != "" {
+			ck = &core.CheckpointOptions{Path: *ckPath, Every: *ckEvery}
+		}
 		var err error
-		res, err = r.RunProcedure2(core.Config{LA: *la, LB: *lb, N: *n, Seed: *seed, D1Order: d1, Workers: *workers})
+		if *resume {
+			snap, lerr := checkpoint.Load(*ckPath)
+			if lerr != nil {
+				fail(fmt.Errorf("resume: %w", lerr))
+			}
+			res, err = r.ResumeWithContext(ctx, cfg, snap, ck)
+		} else {
+			res, err = r.RunWithContext(ctx, cfg, ck)
+		}
 		if err != nil {
+			var ie *core.InterruptedError
+			if errors.As(err, &ie) {
+				fmt.Fprintf(os.Stderr, "limscan: %v\n", ie)
+				if ie.Path != "" {
+					fmt.Fprintf(os.Stderr, "limscan: rerun with -resume to continue\n")
+				}
+				os.Exit(3)
+			}
 			fail(err)
 		}
 	}
 
-	cfg := res.Config
-	fmt.Printf("circuit %s: %d PIs, %d POs, %d state variables\n",
-		c.Name, c.NumPI(), c.NumPO(), c.NumSV())
-	fmt.Printf("parameters LA=%d LB=%d N=%d seed=%d\n", cfg.LA, cfg.LB, cfg.N, cfg.Seed)
-	fmt.Printf("faults: %d collapsed, %d untestable, %d aborted\n",
-		res.TotalFaults, res.Untestable, res.Aborted)
-	fmt.Printf("TS0: %d detected, %s cycles\n",
-		res.InitialDetected, report.Cycles(res.InitialCycles))
-	fmt.Printf("with limited scan: %d pairs, %d detected, %s cycles, ls=%.2f\n",
-		len(res.Pairs), res.Detected, report.Cycles(res.TotalCycles), res.AvgLS)
-	fmt.Printf("coverage %.2f%% (complete=%v) in %s\n",
-		res.Coverage()*100, res.Complete, time.Since(start).Round(time.Millisecond))
+	if err := report.WriteCampaign(os.Stdout, c, res); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "limscan: done in %s\n", time.Since(start).Round(time.Millisecond))
 	if *verbose || *progress {
-		fmt.Printf("phases:\n")
+		fmt.Fprintf(os.Stderr, "phases:\n")
 		for _, p := range o.PhaseSummary() {
-			fmt.Printf("  %-12s %6d run(s)  %s\n", p.Name, p.Count, p.Total.Round(time.Microsecond))
+			fmt.Fprintf(os.Stderr, "  %-12s %6d run(s)  %s\n", p.Name, p.Count, p.Total.Round(time.Microsecond))
 		}
 	}
 	if *metrics != "" {

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var bin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "tables-test-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bin = filepath.Join(dir, "tables")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building tables: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var so, se bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return so.String(), se.String(), code
+}
+
+// TestGolden pins the table bodies byte for byte. The per-table timing
+// line lives on stderr so stdout is a pure function of the flags;
+// regenerate with `go test ./cmd/tables -run TestGolden -update`.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"table1", []string{"-table", "1", "-quick"}},
+		{"table2", []string{"-table", "2", "-quick"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := run(t, tc.args...)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+			}
+			if strings.Contains(stdout, "generated in") {
+				t.Errorf("stdout contains the timing line:\n%s", stdout)
+			}
+			if !strings.Contains(stderr, "generated in") {
+				t.Errorf("stderr lacks the timing line:\n%s", stderr)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if stdout != string(want) {
+				t.Errorf("output differs from %s:\ngot:\n%s\nwant:\n%s", golden, stdout, want)
+			}
+		})
+	}
+}
+
+// TestCLIErrors: usage errors print to stderr and exit nonzero with
+// nothing on stdout.
+func TestCLIErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"positional args", []string{"-table", "1", "stray"}},
+		{"bad table number", []string{"-table", "12"}},
+		{"unknown circuit", []string{"-circuits", "nope"}},
+		{"malformed int flag", []string{"-table", "one"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := run(t, tc.args...)
+			if code == 0 {
+				t.Errorf("exit 0, want nonzero")
+			}
+			if stderr == "" {
+				t.Errorf("empty stderr, want a diagnostic")
+			}
+			if stdout != "" {
+				t.Errorf("stdout not empty:\n%s", stdout)
+			}
+		})
+	}
+}

@@ -1,0 +1,348 @@
+package checkpoint
+
+import (
+	"encoding/base64"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/fault"
+)
+
+// sampleMeta is a representative Procedure 2 identity block.
+func sampleMeta() Meta {
+	return Meta{
+		Mode:          ModeProcedure2,
+		Circuit:       "s27",
+		CircuitHash:   "deadbeef",
+		PlanLen:       3,
+		LA:            100,
+		LB:            20,
+		N:             4,
+		Seed:          12345,
+		D1Order:       []int{1, 2, 4},
+		NSameFC:       3,
+		MaxIterations: 10,
+	}
+}
+
+// sampleSnapshot is a small but fully populated snapshot.
+func sampleSnapshot() *Snapshot {
+	states := []fault.Status{
+		fault.Undetected, fault.Detected, fault.Untestable, fault.Aborted,
+		fault.Detected, fault.Undetected,
+	}
+	return &Snapshot{
+		Version:         Version,
+		Meta:            sampleMeta(),
+		Iteration:       2,
+		NSame:           1,
+		InitialDetected: 3,
+		InitialCycles:   4096,
+		TotalCycles:     9000,
+		Untestable:      1,
+		Pairs: []Pair{
+			{I: 1, D1: 2, Detected: 1, Cycles: 2048},
+			{I: 2, D1: 4, Detected: 0, Cycles: 2856},
+		},
+		Curve: []CurvePoint{
+			{I: 1, D1: 2, Detected: 4, Cycles: 6144, Coverage: 0.8},
+		},
+		NumFaults: len(states),
+		States:    EncodeStates(states),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != s.Iteration || got.NSame != s.NSame ||
+		got.TotalCycles != s.TotalCycles || got.States != s.States ||
+		len(got.Pairs) != len(s.Pairs) || len(got.Curve) != len(s.Curve) {
+		t.Errorf("round trip changed snapshot: got %+v, want %+v", got, s)
+	}
+	if got.MetaHash != s.Meta.Hash() {
+		t.Errorf("MetaHash = %q, want %q", got.MetaHash, s.Meta.Hash())
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := sampleSnapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"not json", []byte("not json at all")},
+		{"truncated half", data[:len(data)/2]},
+		{"truncated tail", data[:len(data)-2]},
+	}
+	// Every single-byte substitution inside the body must be caught by
+	// JSON parsing, the checksum, or a field validator.
+	for _, i := range []int{10, len(data) / 3, len(data) / 2, len(data) - 10} {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		cases = append(cases, struct {
+			name string
+			data []byte
+		}{"flip byte " + string(rune('a'+i%26)), mut})
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.data); err == nil {
+			t.Errorf("%s: Decode accepted corrupted input", tc.name)
+		}
+	}
+}
+
+func TestDecodeRejectsVersionMismatch(t *testing.T) {
+	s := sampleSnapshot()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if bad == string(data) {
+		t.Fatal("test did not rewrite the version field")
+	}
+	if _, err := Decode([]byte(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("Decode of wrong version: err = %v, want version error", err)
+	}
+}
+
+func TestDecodeRejectsNegativeFields(t *testing.T) {
+	s := sampleSnapshot()
+	s.Iteration = -1
+	data, err := s.Encode() // Encode recomputes the checksum, so only the validator can object
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err == nil {
+		t.Error("Decode accepted negative iteration")
+	}
+}
+
+func TestDecodeRejectsBadPairs(t *testing.T) {
+	s := sampleSnapshot()
+	s.Pairs = append(s.Pairs, Pair{I: 0, D1: 2})
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err == nil {
+		t.Error("Decode accepted pair with I=0")
+	}
+}
+
+func TestStatesRoundTrip(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		st := make([]fault.Status, n)
+		for i := range st {
+			st[i] = fault.Status(i % 4)
+		}
+		got, err := DecodeStates(EncodeStates(st), n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range st {
+			if got[i] != st[i] {
+				t.Errorf("n=%d: state %d = %v, want %v", n, i, got[i], st[i])
+			}
+		}
+	}
+}
+
+func TestDecodeStatesRejectsBadInput(t *testing.T) {
+	st := []fault.Status{fault.Detected, fault.Undetected, fault.Untestable}
+	enc := EncodeStates(st)
+	if _, err := DecodeStates(enc, 5); err == nil {
+		t.Error("accepted wrong fault count")
+	}
+	if _, err := DecodeStates("!!!not base64!!!", 3); err == nil {
+		t.Error("accepted invalid base64")
+	}
+	if _, err := DecodeStates("", -1); err == nil {
+		t.Error("accepted negative count")
+	}
+	// Nonzero padding bits: 3 faults use 6 bits of the single byte; set
+	// the top two.
+	raw := base64.StdEncoding.EncodeToString([]byte{0b11_00_00_00})
+	if _, err := DecodeStates(raw, 3); err == nil {
+		t.Error("accepted nonzero padding bits")
+	}
+}
+
+func TestCheckMetaMessages(t *testing.T) {
+	want := sampleMeta()
+	s := sampleSnapshot()
+
+	cases := []struct {
+		name   string
+		mutate func(*Meta)
+		substr string
+	}{
+		{"mode", func(m *Meta) { m.Mode = ModeFaultSim }, "faultsim"},
+		{"circuit", func(m *Meta) { m.Circuit = "s344" }, "s344"},
+		{"structure", func(m *Meta) { m.CircuitHash = "00000000" }, "structurally"},
+		{"params", func(m *Meta) { m.LA = 999 }, "parameters"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := *s
+			snap.Meta = sampleMeta()
+			tc.mutate(&snap.Meta)
+			err := snap.CheckMeta(want)
+			if err == nil {
+				t.Fatal("CheckMeta accepted mismatched meta")
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Errorf("err = %q, want substring %q", err, tc.substr)
+			}
+		})
+	}
+	if err := s.CheckMeta(want); err != nil {
+		t.Errorf("CheckMeta rejected matching meta: %v", err)
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	s := sampleSnapshot()
+	n, err := Save(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(n) {
+		t.Fatalf("Stat = %v/%v, want size %d", fi, err, n)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.States != s.States || got.Iteration != s.Iteration {
+		t.Errorf("Load returned different snapshot")
+	}
+	// Save must not leave temp files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after Save, want 1", len(entries))
+	}
+	// Overwrite with a different snapshot: the file is replaced whole.
+	s2 := sampleSnapshot()
+	s2.Iteration = 7
+	if _, err := Save(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 7 {
+		t.Errorf("after overwrite Iteration = %d, want 7", got.Iteration)
+	}
+}
+
+func TestLoadRejectsPartialFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	data, err := sampleSnapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a prefix of the real encoding on disk.
+	for _, frac := range []int{4, 2} {
+		if err := os.WriteFile(path, data[:len(data)/frac], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("Load accepted a %d/%d prefix of the snapshot", 1, frac)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	if _, err := Save(filepath.Join(t.TempDir(), "no", "such", "dir", "ck.json"), sampleSnapshot()); err == nil {
+		t.Error("Save into missing directory succeeded")
+	}
+}
+
+func TestCircuitHashIgnoresNames(t *testing.T) {
+	c1, err := bmark.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := bmark.Load("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := CircuitHash(c1)
+	if h2 := CircuitHash(c2); h2 != h1 {
+		t.Fatalf("same circuit hashed differently: %s vs %s", h1, h2)
+	}
+	// Renaming a gate must not change the hash.
+	c2.Gates[0].Name = "renamed"
+	if h2 := CircuitHash(c2); h2 != h1 {
+		t.Errorf("rename changed hash: %s vs %s", h1, h2)
+	}
+	// A structural change must.
+	if len(c2.Gates[len(c2.Gates)-1].Fanin) > 0 {
+		c2.Gates[len(c2.Gates)-1].Fanin[0] ^= 1
+	}
+	if h2 := CircuitHash(c2); h2 == h1 {
+		t.Error("fanin rewiring did not change hash")
+	}
+	// Different circuits hash differently.
+	c3, err := bmark.Load("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CircuitHash(c3) == h1 {
+		t.Error("s27 and s344 share a circuit hash")
+	}
+}
+
+func TestMetaHashCoversEveryField(t *testing.T) {
+	base := sampleMeta().Hash()
+	muts := []func(*Meta){
+		func(m *Meta) { m.Mode = ModeFaultSim },
+		func(m *Meta) { m.Circuit = "x" },
+		func(m *Meta) { m.CircuitHash = "x" },
+		func(m *Meta) { m.PlanLen++ },
+		func(m *Meta) { m.LA++ },
+		func(m *Meta) { m.LB++ },
+		func(m *Meta) { m.N++ },
+		func(m *Meta) { m.Seed++ },
+		func(m *Meta) { m.D1Order = []int{9} },
+		func(m *Meta) { m.NSameFC++ },
+		func(m *Meta) { m.MaxIterations++ },
+		func(m *Meta) { m.ReseedPerTest = !m.ReseedPerTest },
+		func(m *Meta) { m.UseLFSR = !m.UseLFSR },
+		func(m *Meta) { m.LFSRDegree++ },
+		func(m *Meta) { m.Transition = !m.Transition },
+	}
+	for i, mut := range muts {
+		m := sampleMeta()
+		mut(&m)
+		if m.Hash() == base {
+			t.Errorf("mutation %d did not change Meta.Hash", i)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointRoundTrip drives Decode with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode and re-decode to
+// the same snapshot (decode/encode/decode identity). The seed corpus
+// holds a valid encoding plus near-valid mutations so the fuzzer starts
+// at the interesting boundary instead of random JSON.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	valid, err := sampleSnapshot().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"version":1}`))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+	empty := &Snapshot{Version: Version, Meta: sampleMeta()}
+	if data, err := empty.Encode(); err == nil {
+		f.Add(data)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		re, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		s2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		re2, err := s2.Encode()
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encode/decode/encode not a fixed point:\n%s\nvs\n%s", re, re2)
+		}
+		if s2.Iteration != s.Iteration || s2.States != s.States || s2.NumFaults != s.NumFaults {
+			t.Fatalf("round trip changed snapshot: %+v vs %+v", s, s2)
+		}
+	})
+}

@@ -19,10 +19,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"limscan/internal/atpg"
+	"limscan/internal/checkpoint"
 	"limscan/internal/circuit"
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
@@ -236,6 +238,16 @@ func InsertLimitedScansWithPlan(c *circuit.Circuit, plan scan.Plan, ts0 []scan.T
 	return out
 }
 
+// CoveragePoint is one sample of the campaign coverage curve, taken
+// when a pair was selected: the cumulative detections and cycle cost
+// after TS(I,D1) joined the program.
+type CoveragePoint struct {
+	I, D1    int
+	Detected int
+	Cycles   int64
+	Coverage float64
+}
+
 // PairResult records one selected (I,D1) pair.
 type PairResult struct {
 	I, D1 int
@@ -264,6 +276,8 @@ type Result struct {
 	// Pairs lists the selected (I,D1) pairs in selection order (the
 	// paper's ID1_PAIRS; "app" is len(Pairs)).
 	Pairs []PairResult
+	// Curve samples the coverage curve at each selected pair.
+	Curve []CoveragePoint
 	// Detected is the total number of detected faults after all pairs.
 	Detected int
 	// TotalCycles is the paper's ~N_cyc: N_cyc0 plus the cost of every
@@ -438,6 +452,17 @@ func (r *Runner) NewFaultSet() *fault.Set {
 // is established by simulating TS0 first and then ATPG-classifying only
 // the faults TS0 missed (anything TS0 detects is trivially testable).
 func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
+	return r.run(context.Background(), cfg, nil, nil)
+}
+
+// run is the shared Procedure 2 engine behind RunProcedure2,
+// RunWithContext and ResumeWithContext. A nil snap starts fresh; a
+// non-nil snap restores the fault set, selected pairs and accumulated
+// totals from a checkpoint and continues at the next iteration. Because
+// iteration I's schedule is a pure function of (Seed, I) and the fault
+// set at the iteration boundary, the continued run retraces exactly the
+// iterations the uninterrupted run would have executed.
+func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, snap *checkpoint.Snapshot) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -448,41 +473,82 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 	res := &Result{Config: cfg, TotalFaults: len(fs.Faults)}
 	o.Emit(obs.Event{Kind: obs.KindCampaignStart, Circuit: r.c.Name, Faults: res.TotalFaults})
 	o.Counter("campaign_runs_total").Inc()
+	ckw := &checkpointWriter{opts: ck, o: o}
 
-	// Step 2: generate and simulate TS0, dropping detected faults.
+	// Step 2: generate TS0. On resume this regenerates the identical
+	// test set (it is a pure function of the configured seed) without
+	// re-simulating it.
 	span := o.StartPhase("ts0_gen")
 	ts0 := GenerateTS0WithPlan(r.c, r.plan, cfg)
 	span.End()
-	span = o.StartPhase("ts0_sim")
-	st, err := r.sim.Run(ts0, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg)})
-	span.End()
-	if err != nil {
-		return nil, err
-	}
-	res.InitialDetected = st.Detected
-	res.InitialCycles = st.Cycles
-	res.TotalCycles = st.Cycles
-	o.Counter("campaign_cycles_total").Add(st.Cycles)
-	o.Counter("campaign_detected_total").Add(int64(st.Detected))
 
-	// Classify what TS0 missed so that "complete coverage" means "all
-	// detectable faults" exactly as the paper reports it.
-	span = o.StartPhase("classify")
-	res.Untestable, res.Aborted = r.classifyRemaining(fs)
-	span.End()
-	o.Counter("campaign_untestable_total").Add(int64(res.Untestable))
+	var running, nSame, startIter int
+	var selected [][]scan.Test
+	if snap == nil {
+		span = o.StartPhase("ts0_sim")
+		st, err := r.sim.Run(ts0, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg), Ctx: ctx})
+		span.End()
+		if err != nil {
+			if ctx.Err() != nil {
+				// Nothing completed: no snapshot to flush.
+				return nil, &InterruptedError{Err: ctx.Err()}
+			}
+			return nil, err
+		}
+		res.InitialDetected = st.Detected
+		res.InitialCycles = st.Cycles
+		res.TotalCycles = st.Cycles
+		o.Counter("campaign_cycles_total").Add(st.Cycles)
+		o.Counter("campaign_detected_total").Add(int64(st.Detected))
+
+		// Classify what TS0 missed so that "complete coverage" means
+		// "all detectable faults" exactly as the paper reports it.
+		span = o.StartPhase("classify")
+		res.Untestable, res.Aborted = r.classifyRemaining(fs)
+		span.End()
+		o.Counter("campaign_untestable_total").Add(int64(res.Untestable))
+		running = res.InitialDetected
+		startIter = 1
+		// The TS0 boundary is always worth a snapshot: the simulation
+		// and classification above are the campaign's fixed cost.
+		if err := ckw.boundary(r, cfg, res, fs, nSame, true); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		running, nSame, err = restore(snap, res, fs)
+		if err != nil {
+			return nil, err
+		}
+		startIter = snap.Iteration + 1
+		// Regenerate the selected test sets (pure functions of the
+		// stored (I, D1) pairs) so AvgLS is computed over the same sets
+		// the uninterrupted run accumulated.
+		span = o.StartPhase("resume_regen")
+		for _, p := range res.Pairs {
+			selected = append(selected, InsertLimitedScansWithPlan(r.c, r.plan, ts0, p.I, p.D1, cfg))
+		}
+		span.End()
+		o.Counter("checkpoint_resumes_total").Inc()
+		o.Emit(obs.Event{Kind: obs.KindResumed, Circuit: r.c.Name, I: snap.Iteration, Detected: running})
+		ckw.last = snap
+	}
 	detectable := res.TotalFaults - res.Untestable
 	o.Gauge("campaign_faults_detectable").Set(float64(detectable))
-	running := res.InitialDetected // detections so far, tracked cheaply
 
-	var selected [][]scan.Test
 	remaining := func() int {
 		return len(fs.Remaining())
 	}
 
-	// Steps 3-6: iterate I; for each I sweep the D1 schedule.
-	nSame := 0
-	for iter := 1; remaining() > 0 && iter <= cfg.MaxIterations; iter++ {
+	// Steps 3-6: iterate I; for each I sweep the D1 schedule. The
+	// no-improvement cutoff lives in the loop condition (nSame only
+	// changes at iteration boundaries, so this is the same break the
+	// classic loop takes — and it lets a resumed run that was already
+	// finished fall straight through to the report).
+	for iter := startIter; remaining() > 0 && iter <= cfg.MaxIterations && nSame < cfg.NSameFC; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, ckw.interrupt(err)
+		}
 		res.Iterations = iter
 		improved := false
 		for _, d1 := range cfg.D1Order {
@@ -498,11 +564,14 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 				o.Accumulate("procedure1", time.Since(t0))
 				t0 = time.Now()
 			}
-			st, err := r.sim.Run(ts, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg)})
+			st, err := r.sim.Run(ts, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg), Ctx: ctx})
 			if o != nil {
 				o.Accumulate("fault_sim", time.Since(t0))
 			}
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ckw.interrupt(ctx.Err())
+				}
 				return nil, err
 			}
 			o.Counter("campaign_pairs_tried_total").Inc()
@@ -526,9 +595,14 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 					Detected: st.Detected, Cycles: st.Cycles,
 				})
 				if detectable > 0 {
+					cov := float64(running) / float64(detectable)
+					res.Curve = append(res.Curve, CoveragePoint{
+						I: iter, D1: d1, Detected: running,
+						Cycles: res.TotalCycles, Coverage: cov,
+					})
 					o.Emit(obs.Event{
 						Kind: obs.KindCoverage, Detected: running, Cycles: res.TotalCycles,
-						Coverage: float64(running) / float64(detectable),
+						Coverage: cov,
 					})
 				}
 			}
@@ -542,9 +616,9 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 			nSame = 0
 		} else {
 			nSame++
-			if nSame >= cfg.NSameFC {
-				break
-			}
+		}
+		if err := ckw.boundary(r, cfg, res, fs, nSame, false); err != nil {
+			return nil, err
 		}
 	}
 
@@ -558,5 +632,10 @@ func (r *Runner) RunProcedure2(cfg Config) (*Result, error) {
 		Kind: obs.KindCampaignEnd, Circuit: r.c.Name,
 		Detected: res.Detected, Cycles: res.TotalCycles, Coverage: res.Coverage(),
 	})
+	// Leave the checkpoint file holding the final state: resuming a
+	// finished campaign reproduces its report without redoing work.
+	if err := ckw.boundary(r, cfg, res, fs, nSame, true); err != nil {
+		return nil, err
+	}
 	return res, nil
 }

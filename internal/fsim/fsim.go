@@ -16,6 +16,7 @@
 package fsim
 
 import (
+	"context"
 	"fmt"
 
 	"limscan/internal/circuit"
@@ -56,6 +57,15 @@ type Options struct {
 	// alias (probability about 2^-degree per fault), which is the point
 	// of exposing it.
 	MISRDegree int
+	// Ctx, when set, is polled between fault batches: a canceled context
+	// aborts the run with the context's error. On the serial path the
+	// batches merged before cancellation have already marked fs, so a
+	// canceled run leaves the fault set partially updated — callers that
+	// resume must rebuild their fault set from a checkpoint rather than
+	// reuse it. The sharded path discards all batch results on
+	// cancellation and never touches fs. A nil Ctx keeps the hot path
+	// free of polling.
+	Ctx context.Context
 	// Obs, when set, records per-run metrics (simulated cycles, tests,
 	// batches, lane utilization) and enables detection-site attribution
 	// in RunStats (exact-comparison mode only: under MISR compaction the
@@ -214,13 +224,20 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStat
 	stats := RunStats{Cycles: s.cost.SessionCycles(tests)}
 	rem := fs.Remaining()
 	if w := opts.effectiveWorkers((len(rem) + per - 1) / per); w > 1 {
-		s.runSharded(tests, fs, rem, per, w, opts, &stats)
+		if err := s.runSharded(tests, fs, rem, per, w, opts, &stats); err != nil {
+			return stats, err
+		}
 	} else {
 		var sites *[numSites]logic.Word
 		if opts.Obs != nil && opts.MISRDegree == 0 {
 			sites = new([numSites]logic.Word)
 		}
 		for start := 0; start < len(rem); start += per {
+			if opts.Ctx != nil {
+				if err := opts.Ctx.Err(); err != nil {
+					return stats, err
+				}
+			}
 			end := start + per
 			if end > len(rem) {
 				end = len(rem)

@@ -71,8 +71,10 @@ func (s *Simulator) worker(i int) *Simulator {
 
 // runSharded simulates the session with the batches sharded across
 // `workers` goroutines and merges the results deterministically into fs
-// and stats. Callers guarantee workers >= 2 and tests pre-validated.
-func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per, workers int, opts Options, stats *RunStats) {
+// and stats. Callers guarantee workers >= 2 and tests pre-validated. A
+// canceled Options.Ctx stops the workers at the next batch claim and
+// returns the context error without merging anything into fs.
+func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per, workers int, opts Options, stats *RunStats) error {
 	nb := (len(rem) + per - 1) / per
 	out := make([]batchOut, nb)
 	attrib := opts.Obs != nil && opts.MISRDegree == 0
@@ -91,6 +93,9 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 		go func(w int, ws *Simulator) {
 			defer wg.Done()
 			for {
+				if opts.Ctx != nil && opts.Ctx.Err() != nil {
+					break
+				}
 				bi := int(next.Add(1)) - 1
 				if bi >= nb {
 					break
@@ -111,6 +116,11 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 		}(w, ws)
 	}
 	wg.Wait()
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return err
+		}
+	}
 
 	// Deterministic merge: identical bookkeeping, in the same batch
 	// order, as the serial loop.
@@ -147,4 +157,5 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 			o.Emit(obs.Event{Kind: obs.KindFsimSharded, N: workers, Faults: nb})
 		}
 	}
+	return nil
 }

@@ -1,0 +1,189 @@
+package fsim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"limscan/internal/checkpoint"
+	"limscan/internal/fault"
+	"limscan/internal/obs"
+	"limscan/internal/scan"
+)
+
+// Checkpointed sessions.
+//
+// A plain Run is one shot: all remaining faults against one test
+// session. RunCheckpointed decomposes the same work along the fault
+// axis — consecutive index chunks of the fault list, each simulated
+// against the full test session — and snapshots the fault set between
+// chunks. Because every fault's verdict is a pure function of (tests,
+// fault), the chunk decomposition observes exactly the values a single
+// Run would, so an interrupted-and-resumed session reports the same
+// detections, sites and states as an uninterrupted one.
+
+// SessionCheckpoint configures checkpointing for RunCheckpointed.
+type SessionCheckpoint struct {
+	// Meta identifies the run; a resume snapshot must match it exactly.
+	Meta checkpoint.Meta
+	// Path is the snapshot file, rewritten atomically at chunk
+	// boundaries. Empty disables writing (cancellation still works).
+	Path string
+	// ChunkFaults is the number of consecutive faults per chunk. Zero
+	// means 16 batches' worth (16 * LanesPerWord). Chunks that are not
+	// a multiple of the pass width change batch packing (and the
+	// Batches stat) relative to a single Run; detections never change.
+	// On resume the snapshot's recorded chunk size wins over this
+	// field: the stored chunk cursor only means anything under the
+	// geometry it was written with.
+	ChunkFaults int
+	// Every writes a snapshot after every Every-th completed chunk.
+	// Zero means 1. The final chunk is always flushed.
+	Every int
+}
+
+// RunCheckpointed simulates the session in fault chunks with periodic
+// snapshots. A non-nil resume snapshot restores the fault states and
+// accumulated stats and continues at the next chunk; ctx cancellation
+// flushes the last completed chunk boundary and returns a
+// *checkpoint.InterruptedError. The final RunStats describe the whole
+// session — chunks completed before an interruption included.
+func (s *Simulator) RunCheckpointed(ctx context.Context, tests []scan.Test, fs *fault.Set, resume *checkpoint.Snapshot, opts Options, ck SessionCheckpoint) (RunStats, error) {
+	if err := opts.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.Ctx = ctx
+	chunk := ck.ChunkFaults
+	if chunk == 0 {
+		chunk = 16 * LanesPerWord
+	}
+	if chunk < 1 {
+		return RunStats{}, fmt.Errorf("fsim: ChunkFaults must be >= 1 (got %d)", chunk)
+	}
+	every := ck.Every
+	if every < 1 {
+		every = 1
+	}
+	n := len(fs.Faults)
+	nchunks := (n + chunk - 1) / chunk
+	stats := RunStats{Cycles: s.cost.SessionCycles(tests)}
+	o := opts.Obs
+
+	start := 0
+	var last *checkpoint.Snapshot
+	if resume != nil {
+		if err := resume.CheckMeta(ck.Meta); err != nil {
+			return stats, err
+		}
+		states, err := checkpoint.DecodeStates(resume.States, resume.NumFaults)
+		if err != nil {
+			return stats, err
+		}
+		if len(states) != n {
+			return stats, fmt.Errorf("fsim: snapshot holds %d faults, session has %d", len(states), n)
+		}
+		if resume.ChunkFaults > 0 {
+			chunk = resume.ChunkFaults
+			nchunks = (n + chunk - 1) / chunk
+		}
+		if resume.Iteration > nchunks {
+			return stats, fmt.Errorf("fsim: snapshot chunk cursor %d exceeds the session's %d chunks", resume.Iteration, nchunks)
+		}
+		copy(fs.State, states)
+		stats.Detected = resume.Detected
+		stats.Batches = resume.Batches
+		stats.DetectedAtPO = resume.SitePO
+		stats.DetectedAtLimitedScan = resume.SiteLimitedScan
+		stats.DetectedAtScanOut = resume.SiteScanOut
+		start = resume.Iteration
+		last = resume
+		o.Counter("checkpoint_resumes_total").Inc()
+		o.Emit(obs.Event{Kind: obs.KindResumed, Circuit: s.c.Name, I: start, Detected: stats.Detected})
+	}
+
+	// snap captures the boundary after `done` completed chunks. The
+	// encoding happens here, at the boundary, so a later mid-chunk
+	// cancellation cannot leak partially simulated states into it.
+	snap := func(done int) *checkpoint.Snapshot {
+		return &checkpoint.Snapshot{
+			Version:         checkpoint.Version,
+			Meta:            ck.Meta,
+			Iteration:       done,
+			ChunkFaults:     chunk,
+			Detected:        stats.Detected,
+			Batches:         stats.Batches,
+			TotalCycles:     stats.Cycles,
+			SitePO:          stats.DetectedAtPO,
+			SiteLimitedScan: stats.DetectedAtLimitedScan,
+			SiteScanOut:     stats.DetectedAtScanOut,
+			NumFaults:       n,
+			States:          checkpoint.EncodeStates(fs.State),
+		}
+	}
+	write := func(sn *checkpoint.Snapshot) error {
+		if ck.Path == "" || sn == nil {
+			return nil
+		}
+		t0 := time.Now()
+		size, err := checkpoint.Save(ck.Path, sn)
+		if err != nil {
+			return fmt.Errorf("fsim: checkpoint: %w", err)
+		}
+		o.Counter("checkpoint_writes_total").Inc()
+		o.Histogram("checkpoint_bytes", 1<<10, 1<<12, 1<<14, 1<<16, 1<<18, 1<<20, 1<<22).Observe(float64(size))
+		o.Histogram("checkpoint_write_seconds").Observe(time.Since(t0).Seconds())
+		o.Emit(obs.Event{Kind: obs.KindCheckpoint, I: sn.Iteration, N: size})
+		return nil
+	}
+	interrupt := func(cause error) error {
+		_ = write(last)
+		ie := &checkpoint.InterruptedError{Path: ck.Path, Err: cause}
+		if last != nil {
+			ie.Iteration = last.Iteration
+		}
+		return ie
+	}
+
+	for ci := start; ci < nchunks; ci++ {
+		if err := ctx.Err(); err != nil {
+			return stats, interrupt(err)
+		}
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		// The chunk view aliases the session fault set: statuses the
+		// chunk run marks land directly in fs.
+		sub := &fault.Set{Faults: fs.Faults[lo:hi], State: fs.State[lo:hi]}
+		st, err := s.Run(tests, sub, opts)
+		if err != nil {
+			if ctx.Err() != nil {
+				return stats, interrupt(ctx.Err())
+			}
+			return stats, err
+		}
+		stats.Detected += st.Detected
+		stats.Batches += st.Batches
+		stats.DetectedAtPO += st.DetectedAtPO
+		stats.DetectedAtLimitedScan += st.DetectedAtLimitedScan
+		stats.DetectedAtScanOut += st.DetectedAtScanOut
+		last = snap(ci + 1)
+		if (ci+1-start)%every == 0 || ci+1 == nchunks {
+			if err := write(last); err != nil {
+				return stats, err
+			}
+		}
+	}
+	// An empty fault list never enters the loop; still leave a valid
+	// final snapshot behind when checkpointing is on.
+	if nchunks == 0 && last == nil {
+		if err := write(snap(0)); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}

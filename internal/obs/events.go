@@ -40,6 +40,12 @@ const (
 	// KindTopOff closes a deterministic top-off pass (N = tests,
 	// Detected, Cycles).
 	KindTopOff Kind = "topoff"
+	// KindCheckpoint records a flushed campaign snapshot (I = last
+	// completed iteration captured, N = encoded bytes).
+	KindCheckpoint Kind = "checkpoint"
+	// KindResumed opens a campaign restored from a snapshot (Circuit,
+	// I = iteration restored from, Detected so far).
+	KindResumed Kind = "resumed"
 	// KindWarning flags a recoverable anomaly (Msg).
 	KindWarning Kind = "warning"
 	// KindCampaignEnd closes a campaign (Detected, Cycles, Coverage).

@@ -92,6 +92,10 @@ func (p *Progress) OnEvent(e Event) {
 		fmt.Fprintf(p.w, "baseline session: %d tests, %d detected, %d cycles\n", e.N, e.Detected, e.Cycles)
 	case KindTopOff:
 		fmt.Fprintf(p.w, "top-off: %d tests, %d detected, %d cycles\n", e.N, e.Detected, e.Cycles)
+	case KindCheckpoint:
+		fmt.Fprintf(p.w, "  checkpoint: iteration %d, %d bytes\n", e.I, e.N)
+	case KindResumed:
+		fmt.Fprintf(p.w, "campaign %s: resumed from iteration %d (%d detected)\n", e.Circuit, e.I, e.Detected)
 	case KindWarning:
 		fmt.Fprintf(p.w, "warning: %s\n", e.Msg)
 	case KindCampaignEnd:

@@ -1,0 +1,33 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"limscan/internal/circuit"
+	"limscan/internal/core"
+)
+
+// WriteCampaign renders the limscan result body: circuit interface,
+// parameters, fault accounting, TS0 and limited-scan summaries, and the
+// coverage verdict. It is a pure function of the circuit and result —
+// no wall-clock, no environment — so two runs that computed the same
+// campaign render byte-identical reports (the resume-equivalence tests
+// compare this output directly).
+func WriteCampaign(w io.Writer, c *circuit.Circuit, res *core.Result) error {
+	cfg := res.Config
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %s: %d PIs, %d POs, %d state variables\n",
+		c.Name, c.NumPI(), c.NumPO(), c.NumSV())
+	fmt.Fprintf(&b, "parameters LA=%d LB=%d N=%d seed=%d\n", cfg.LA, cfg.LB, cfg.N, cfg.Seed)
+	fmt.Fprintf(&b, "faults: %d collapsed, %d untestable, %d aborted\n",
+		res.TotalFaults, res.Untestable, res.Aborted)
+	fmt.Fprintf(&b, "TS0: %d detected, %s cycles\n",
+		res.InitialDetected, Cycles(res.InitialCycles))
+	fmt.Fprintf(&b, "with limited scan: %d pairs, %d detected, %s cycles, ls=%.2f\n",
+		len(res.Pairs), res.Detected, Cycles(res.TotalCycles), res.AvgLS)
+	fmt.Fprintf(&b, "coverage %.2f%% (complete=%v)\n", res.Coverage()*100, res.Complete)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,101 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"limscan/internal/core"
+)
+
+// TestRenderTable6SingleCircuit: a one-row table renders the title, the
+// header, the separator and exactly one data row with every column
+// populated.
+func TestRenderTable6SingleCircuit(t *testing.T) {
+	rows := []Row6{{
+		Circuit: "s27",
+		Result: &core.Result{
+			Config:          core.Config{LA: 10, LB: 5, N: 2},
+			TotalFaults:     35,
+			InitialDetected: 22,
+			InitialCycles:   45,
+			Pairs:           []core.PairResult{{I: 1, D1: 2, Detected: 13, Cycles: 289}},
+			Detected:        35,
+			TotalCycles:     334,
+			AvgLS:           0.47,
+			Complete:        true,
+		},
+		Complete: true,
+		Tried:    1,
+	}}
+	out := renderTable6("T", rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, separator, one row
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	row := lines[3]
+	for _, want := range []string{"s27", "10,5,2", "22", "45", "334", "0.47", "100.00", "true"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("data row missing %q: %q", want, row)
+		}
+	}
+}
+
+// TestRenderTable6ZeroPairs: a campaign that selected no (I,D1) pairs
+// renders app=0 with blank det/cycles/ls cells rather than misleading
+// zeros, and the coverage column falls back to the TS0 figure.
+func TestRenderTable6ZeroPairs(t *testing.T) {
+	rows := []Row6{{
+		Circuit: "s298",
+		Result: &core.Result{
+			Config:      core.Config{LA: 4, LB: 2, N: 1},
+			TotalFaults: 100,
+		},
+	}}
+	out := renderTable6("T", rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	row := lines[len(lines)-1]
+	cells := strings.Fields(row)
+	// With det/cycles/ls blank the row collapses to:
+	// circuit, LA,LB,N, init det, init cycles, app, cov%, complete.
+	want := []string{"s298", "4,2,1", "0", "0", "0", "0.00", "false"}
+	if len(cells) != len(want) {
+		t.Fatalf("zero-pair row has %d cells %v, want %d", len(cells), cells, len(want))
+	}
+	for i, w := range want {
+		if cells[i] != w {
+			t.Errorf("cell %d = %q, want %q (row %q)", i, cells[i], w, row)
+		}
+	}
+}
+
+// TestRenderTable6FullCoverage: the 100%-coverage row prints cov%
+// as 100.00 and complete as true even when it took several pairs.
+func TestRenderTable6FullCoverage(t *testing.T) {
+	rows := []Row6{{
+		Circuit: "s382",
+		Result: &core.Result{
+			Config:          core.Config{LA: 20, LB: 10, N: 4},
+			TotalFaults:     80,
+			Untestable:      5,
+			InitialDetected: 60,
+			InitialCycles:   12345,
+			Pairs: []core.PairResult{
+				{I: 1, D1: 3, Detected: 10, Cycles: 5000},
+				{I: 2, D1: 1, Detected: 5, Cycles: 6000},
+			},
+			Detected:    75,
+			TotalCycles: 23345,
+			AvgLS:       0.33,
+			Complete:    true,
+		},
+		Complete: true,
+		Tried:    3,
+	}}
+	out := renderTable6("T", rows)
+	row := strings.Split(strings.TrimRight(out, "\n"), "\n")[3]
+	for _, want := range []string{"s382", "20,10,4", "12.3K", "2", "75", "23.3K", "0.33", "100.00", "true"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("row missing %q: %q", want, row)
+		}
+	}
+}
