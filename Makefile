@@ -2,14 +2,15 @@
 # a full build, the race-enabled test suite (checking the concurrency
 # claims of internal/obs and the sharded fault simulator), the plain
 # tier-1 suite, the parallel-vs-serial differential suite under both a
-# single-core and a multi-core scheduler, short native-fuzz smokes, and
-# the checkpoint/resume kill-and-restart smoke.
+# single-core and a multi-core scheduler, short native-fuzz smokes, the
+# checkpoint/resume kill-and-restart smoke, and the chaos sweep (every
+# checkpoint I/O operation failure-injected in turn).
 
 GO ?= go
 
-.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke bench benchall
+.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos bench benchall
 
-ci: vet build race tier1 paradiff fuzz cksmoke
+ci: vet build race tier1 paradiff fuzz cksmoke chaos
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +41,7 @@ paradiff:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/fsim
 	$(GO) test -run '^$$' -fuzz FuzzBenchParse -fuzztime 10s ./internal/bench
+	$(GO) test -run '^$$' -fuzz FuzzBenchHostile -fuzztime 10s ./internal/bench
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointRoundTrip -fuzztime 10s ./internal/checkpoint
 
 # cksmoke interrupts a real checkpointed limscan process with SIGINT,
@@ -47,6 +49,14 @@ fuzz:
 # run byte for byte.
 cksmoke:
 	sh scripts/checkpoint_smoke.sh
+
+# chaos sweeps deterministic I/O fault injection (short writes, torn
+# renames, fsync errors, disk-full, ...) across EVERY checkpoint I/O
+# operation of a checkpointed campaign, plus the panic-containment
+# tests, under the race detector. LIMSCAN_CHAOS_FULL=1 upgrades the
+# default bounded sweep to every injection point.
+chaos:
+	LIMSCAN_CHAOS_FULL=1 $(GO) test -race -count=1 -run 'Chaos|Panic' ./internal/core ./internal/fsim ./internal/baseline ./internal/iofault
 
 # bench runs the fsim worker-scaling pair and writes the machine-readable
 # scaling report (ns/op and speedup vs Workers=1 on the largest bmark

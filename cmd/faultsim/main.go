@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"limscan/internal/bmark"
 	"limscan/internal/checkpoint"
 	"limscan/internal/core"
+	"limscan/internal/errs"
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
 	"limscan/internal/obs"
@@ -36,6 +38,15 @@ import (
 )
 
 func main() {
+	// A panic would make the Go runtime exit with status 2, colliding
+	// with the usage-error code; contain it and exit 1 (internal).
+	defer func() {
+		if r := recover(); r != nil {
+			pe := errs.NewPanic(r, debug.Stack())
+			fmt.Fprintf(os.Stderr, "faultsim: internal error: %v\n", pe)
+			os.Exit(errs.ExitCode(pe))
+		}
+	}()
 	var (
 		name       = flag.String("circuit", "", "registry circuit name")
 		n          = flag.Int("n", 32, "number of random tests")
@@ -65,12 +76,16 @@ func main() {
 	}
 	if *resume && *ckPath == "" {
 		fmt.Fprintln(os.Stderr, "faultsim: -resume requires -checkpoint")
-		os.Exit(2)
+		os.Exit(errs.ExitUsage)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "faultsim: -workers must be >= 0 (got %d; zero means GOMAXPROCS)\n", *workers)
+		os.Exit(errs.ExitUsage)
 	}
 	c, err := bmark.Load(*name)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-		os.Exit(1)
+		os.Exit(errs.ExitUsage)
 	}
 
 	// A session of 2n tests, half of each length (reusing the TS0
@@ -135,7 +150,7 @@ func main() {
 			snap, err = checkpoint.Load(*ckPath)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "faultsim: resume: %v\n", err)
-				os.Exit(1)
+				os.Exit(errs.ExitCode(err))
 			}
 		}
 		st, err = s.RunCheckpointed(ctx, tests, fs, snap, opts, ck)
@@ -153,7 +168,7 @@ func main() {
 			os.Exit(3)
 		}
 		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-		os.Exit(1)
+		os.Exit(errs.ExitCode(err))
 	}
 	elapsed := time.Since(start)
 
@@ -212,5 +227,11 @@ func main() {
 				}
 			}
 		}
+	}
+	if st.CheckpointDegraded {
+		// The report is complete, but the final snapshot write failed
+		// after retries: the checkpoint file is stale.
+		fmt.Fprintf(os.Stderr, "faultsim: WARNING: completed in checkpoint-degraded mode; %s is stale\n", *ckPath)
+		os.Exit(errs.ExitDegraded)
 	}
 }

@@ -87,8 +87,8 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// TestCLIErrors: usage errors print to stderr and exit nonzero with
-// nothing on stdout.
+// TestCLIErrors: usage errors print to stderr and exit with the
+// contract's usage code (2), with nothing on stdout.
 func TestCLIErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -99,14 +99,15 @@ func TestCLIErrors(t *testing.T) {
 		{"no circuit", nil},
 		{"unknown circuit", []string{"-circuit", "nope"}},
 		{"resume without checkpoint", []string{"-circuit", "s27", "-resume"}},
+		{"negative workers", []string{"-circuit", "s27", "-workers", "-1"}},
 		{"resume missing file", []string{"-circuit", "s27", "-checkpoint", "/no/such/ck.json", "-resume"}},
 		{"malformed int flag", []string{"-circuit", "s27", "-n", "eight"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			stdout, stderr, code := run(t, tc.args...)
-			if code == 0 {
-				t.Errorf("exit 0, want nonzero")
+			if code != 2 {
+				t.Errorf("exit %d, want 2 (usage)", code)
 			}
 			if stderr == "" {
 				t.Errorf("empty stderr, want a diagnostic")

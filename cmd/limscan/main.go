@@ -28,6 +28,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -35,12 +36,22 @@ import (
 	"limscan/internal/checkpoint"
 	"limscan/internal/circuit"
 	"limscan/internal/core"
+	"limscan/internal/errs"
 	"limscan/internal/obs"
 	"limscan/internal/report"
 	"limscan/internal/vectors"
 )
 
 func main() {
+	// A panic would make the Go runtime exit with status 2, colliding
+	// with the usage-error code; contain it and exit 1 (internal).
+	defer func() {
+		if r := recover(); r != nil {
+			pe := errs.NewPanic(r, debug.Stack())
+			fmt.Fprintf(os.Stderr, "limscan: internal error: %v\n", pe)
+			os.Exit(errs.ExitCode(pe))
+		}
+	}()
 	var (
 		name    = flag.String("circuit", "", "registry circuit name (see -list)")
 		path    = flag.String("bench", "", "path to a .bench netlist (alternative to -circuit)")
@@ -67,7 +78,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
-		fail(fmt.Errorf("unexpected arguments: %v (all options are flags)", flag.Args()))
+		failUsage(fmt.Errorf("unexpected arguments: %v (all options are flags)", flag.Args()))
 	}
 
 	if *list {
@@ -85,11 +96,13 @@ func main() {
 
 	switch {
 	case *resume && *ckPath == "":
-		fail(fmt.Errorf("-resume requires -checkpoint"))
+		failUsage(fmt.Errorf("-resume requires -checkpoint"))
 	case *auto && (*ckPath != "" || *resume):
-		fail(fmt.Errorf("-checkpoint/-resume apply to single campaigns, not -auto searches"))
+		failUsage(fmt.Errorf("-checkpoint/-resume apply to single campaigns, not -auto searches"))
 	case *ckEvery < 1:
-		fail(fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", *ckEvery))
+		failUsage(fmt.Errorf("-checkpoint-every must be >= 1 (got %d)", *ckEvery))
+	case *workers < 0:
+		failUsage(fmt.Errorf("-workers must be >= 0 (got %d; zero means GOMAXPROCS)", *workers))
 	}
 
 	c := loadCircuit(*name, *path)
@@ -204,6 +217,13 @@ func main() {
 		}
 		fmt.Printf("test program written to %s\n", *export)
 	}
+	if res.CheckpointDegraded {
+		// The campaign and report are complete, but the final snapshot
+		// write failed after retries: the checkpoint file is stale. The
+		// distinct exit code is the contract that makes scripts notice.
+		fmt.Fprintf(os.Stderr, "limscan: WARNING: completed in checkpoint-degraded mode; %s is stale\n", *ckPath)
+		os.Exit(errs.ExitDegraded)
+	}
 }
 
 // serveDebug exposes the metrics registry and the runtime profiler while
@@ -264,30 +284,37 @@ func exportProgram(path string, c *circuit.Circuit, res *core.Result) error {
 func loadCircuit(name, path string) *circuit.Circuit {
 	switch {
 	case name != "" && path != "":
-		fail(fmt.Errorf("use either -circuit or -bench, not both"))
+		failUsage(fmt.Errorf("use either -circuit or -bench, not both"))
 	case name != "":
 		c, err := bmark.Load(name)
 		if err != nil {
-			fail(err)
+			failUsage(err)
 		}
 		return c
 	case path != "":
 		f, err := os.Open(path)
 		if err != nil {
-			fail(err)
+			failUsage(err)
 		}
 		defer f.Close()
 		c, err := parseBench(path, f)
 		if err != nil {
-			fail(err)
+			failUsage(err)
 		}
 		return c
 	}
-	fail(fmt.Errorf("one of -circuit or -bench is required (try -list)"))
+	failUsage(fmt.Errorf("one of -circuit or -bench is required (try -list)"))
 	return nil
 }
 
+// fail reports err and exits with the code its kind maps to (see
+// internal/errs: 1 internal, 2 usage/input, 3 interrupted, 4 degraded).
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "limscan: %v\n", err)
-	os.Exit(1)
+	os.Exit(errs.ExitCode(err))
+}
+
+// failUsage is fail for command-line mistakes: always exit 2.
+func failUsage(err error) {
+	fail(errs.Wrap(errs.Input, err))
 }

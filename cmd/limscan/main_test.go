@@ -90,8 +90,8 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// TestCLIErrors: every usage error must land on stderr with a nonzero
-// exit and leave stdout empty.
+// TestCLIErrors: every usage error must land on stderr with the
+// contract's usage exit code (2) and leave stdout empty.
 func TestCLIErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -107,14 +107,15 @@ func TestCLIErrors(t *testing.T) {
 		{"auto with checkpoint", []string{"-circuit", "s27", "-auto", "-checkpoint", "x.ck"}},
 		{"auto with resume", []string{"-circuit", "s27", "-auto", "-checkpoint", "x.ck", "-resume"}},
 		{"checkpoint-every zero", []string{"-circuit", "s27", "-checkpoint", "x.ck", "-checkpoint-every", "0"}},
+		{"negative workers", []string{"-circuit", "s27", "-workers", "-2"}},
 		{"resume missing file", []string{"-circuit", "s27", "-checkpoint", "/no/such/ck.json", "-resume"}},
 		{"malformed int flag", []string{"-circuit", "s27", "-la", "ten"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			stdout, stderr, code := run(t, tc.args...)
-			if code == 0 {
-				t.Errorf("exit 0, want nonzero")
+			if code != 2 {
+				t.Errorf("exit %d, want 2 (usage)", code)
 			}
 			if stderr == "" {
 				t.Errorf("empty stderr, want a diagnostic")

@@ -12,14 +12,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strings"
 	"time"
 
 	"limscan/internal/bmark"
+	"limscan/internal/errs"
 	"limscan/internal/tables"
 )
 
 func main() {
+	// A panic would make the Go runtime exit with status 2, colliding
+	// with the usage-error code; contain it and exit 1 (internal).
+	defer func() {
+		if r := recover(); r != nil {
+			pe := errs.NewPanic(r, debug.Stack())
+			fmt.Fprintf(os.Stderr, "tables: internal error: %v\n", pe)
+			os.Exit(errs.ExitCode(pe))
+		}
+	}()
 	var (
 		table     = flag.Int("table", 0, "table to regenerate (1-9); 0 means all")
 		circuits  = flag.String("circuits", "", "comma-separated circuit names (default: per-table lists)")

@@ -16,11 +16,13 @@ package baseline
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"limscan/internal/circuit"
+	"limscan/internal/errs"
 	"limscan/internal/fault"
 	"limscan/internal/lfsr"
 	"limscan/internal/logic"
@@ -88,6 +90,11 @@ type test struct {
 	si logic.Vec
 	t  []logic.Vec
 }
+
+// panicHook, when non-nil, is called with the batch index just before a
+// worker simulates that batch — the test seam for forcing worker panics
+// (see internal/fsim.PanicHook). Production code never sets it.
+var panicHook func(batch int)
 
 // Sim runs baseline campaigns for one circuit. Not safe for concurrent
 // use.
@@ -228,8 +235,14 @@ func Run(c *circuit.Circuit, fs *fault.Set, cfg Config) (Result, error) {
 		// Shard the batches: they partition rem, so each fault is
 		// simulated by exactly one worker against the full test list, and
 		// the ordered merge below reproduces the serial result exactly.
+		// A panicking worker is contained at its goroutine boundary: the
+		// first panic is kept (with its stack), siblings stop at the next
+		// batch claim, and the session fails with a typed error before
+		// anything is merged into fs.
 		var next atomic.Int64
 		var wg sync.WaitGroup
+		var panicErr atomic.Pointer[errs.PanicError]
+		var stop atomic.Bool
 		for w := 0; w < workers; w++ {
 			ws := s
 			if w > 0 {
@@ -238,7 +251,13 @@ func Run(c *circuit.Circuit, fs *fault.Set, cfg Config) (Result, error) {
 			wg.Add(1)
 			go func(ws *Sim) {
 				defer wg.Done()
-				for {
+				defer func() {
+					if r := recover(); r != nil {
+						panicErr.CompareAndSwap(nil, errs.NewPanic(r, debug.Stack()))
+						stop.Store(true)
+					}
+				}()
+				for !stop.Load() {
 					bi := int(next.Add(1)) - 1
 					if bi >= nb {
 						return
@@ -247,11 +266,17 @@ func Run(c *circuit.Circuit, fs *fault.Set, cfg Config) (Result, error) {
 					if hi > len(rem) {
 						hi = len(rem)
 					}
+					if h := panicHook; h != nil {
+						h(bi)
+					}
 					dets[bi] = ws.runBatch(tests, fs.Faults, rem[lo:hi])
 				}
 			}(ws)
 		}
 		wg.Wait()
+		if pe := panicErr.Load(); pe != nil {
+			return Result{}, fmt.Errorf("baseline: worker panic: %w", pe)
+		}
 	} else {
 		for bi := 0; bi < nb; bi++ {
 			lo, hi := bi*63, bi*63+63

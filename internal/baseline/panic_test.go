@@ -1,0 +1,68 @@
+package baseline
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"limscan/internal/bmark"
+	"limscan/internal/errs"
+	"limscan/internal/fault"
+)
+
+// TestWorkerPanicContained: a panic inside a baseline shard worker comes
+// back as a typed errs.InternalPanic error with the captured stack, the
+// sibling workers stop (Run returns, no goroutine leak), and the fault
+// set stays untouched — the merge never runs.
+func TestWorkerPanicContained(t *testing.T) {
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	fs := fault.NewSet(reps)
+	base := runtime.NumGoroutine()
+
+	var calls atomic.Int64
+	panicHook = func(batch int) {
+		if calls.Add(1) == 2 {
+			panic("baseline chaos")
+		}
+	}
+	defer func() { panicHook = nil }()
+
+	_, err = Run(c, fs, Config{Budget: 4000, Seed: 11, Workers: 4})
+	if err == nil {
+		t.Fatal("Run with a panicking worker returned nil error")
+	}
+	if !errs.Is(err, errs.InternalPanic) {
+		t.Fatalf("error %v does not match errs.InternalPanic", err)
+	}
+	var pe *errs.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v carries no *errs.PanicError", err)
+	}
+	if pe.Value != "baseline chaos" {
+		t.Errorf("PanicError.Value = %v, want baseline chaos", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Errorf("PanicError.Stack does not look like a stack:\n%s", pe.Stack)
+	}
+
+	for i, st := range fs.State {
+		if st != fault.Undetected {
+			t.Fatalf("fault %s marked %v after panicked run", reps[i].Pretty(c), st)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > base {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutines leaked: %d, started with %d", n, base)
+	}
+}

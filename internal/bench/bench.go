@@ -14,11 +14,13 @@ package bench
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 
 	"limscan/internal/circuit"
+	"limscan/internal/errs"
 )
 
 var typeByName = map[string]circuit.GateType{
@@ -28,13 +30,57 @@ var typeByName = map[string]circuit.GateType{
 	"DFF": circuit.DFF, "CONST0": circuit.Const0, "CONST1": circuit.Const1,
 }
 
-// Parse reads a .bench netlist. The circuit is named name (the format
-// itself carries no name).
+// Limits caps what a netlist may ask the parser to build, so a hostile
+// or corrupt file fails with a clear error instead of exhausting
+// memory. The zero value means the defaults.
+type Limits struct {
+	// MaxLineBytes caps one physical line. Zero means 1 MiB. A longer
+	// line is reported with its line number instead of the opaque
+	// bufio.ErrTooLong.
+	MaxLineBytes int
+	// MaxGates caps the number of gate and input definitions. Zero
+	// means 1<<24 (~16.7M — an order of magnitude above the largest
+	// ITC-99 circuit).
+	MaxGates int
+	// MaxFanin caps one gate's fan-in list. Zero means 4096.
+	MaxFanin int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxLineBytes == 0 {
+		l.MaxLineBytes = 1 << 20
+	}
+	if l.MaxGates == 0 {
+		l.MaxGates = 1 << 24
+	}
+	if l.MaxFanin == 0 {
+		l.MaxFanin = 4096
+	}
+	return l
+}
+
+// Parse reads a .bench netlist with the default Limits. The circuit is
+// named name (the format itself carries no name).
 func Parse(name string, r io.Reader) (*circuit.Circuit, error) {
+	return ParseLimited(name, r, Limits{})
+}
+
+// ParseLimited is Parse under explicit resource limits. Every error —
+// syntax, semantics, or an exceeded limit — matches errs.Input and
+// carries the offending line number.
+func ParseLimited(name string, r io.Reader, lim Limits) (*circuit.Circuit, error) {
+	lim = lim.withDefaults()
 	b := circuit.NewBuilder(name)
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	// The scanner's max token size is max(cap(buf), limit), so the
+	// initial buffer must not exceed the limit.
+	bufSize := 64 * 1024
+	if bufSize > lim.MaxLineBytes {
+		bufSize = lim.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, bufSize), lim.MaxLineBytes)
 	lineNo := 0
+	gates := 0
 	for sc.Scan() {
 		lineNo++
 		line := sc.Text()
@@ -47,14 +93,31 @@ func Parse(name string, r io.Reader) (*circuit.Circuit, error) {
 		if line == "" {
 			continue
 		}
-		if err := parseLine(b, line); err != nil {
-			return nil, fmt.Errorf("bench %s:%d: %w", name, lineNo, err)
+		defined, err := parseLine(b, line, lim)
+		if err != nil {
+			return nil, errs.Wrap(errs.Input, fmt.Errorf("bench %s:%d: %w", name, lineNo, err))
+		}
+		if defined {
+			if gates++; gates > lim.MaxGates {
+				return nil, errs.Newf(errs.Input, "bench %s:%d: more than %d gate definitions (MaxGates)",
+					name, lineNo, lim.MaxGates)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bench %s: %w", name, err)
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stops at the first over-long line; lineNo still
+			// counts the lines that parsed before it.
+			return nil, errs.Newf(errs.Input, "bench %s:%d: line exceeds %d bytes (MaxLineBytes)",
+				name, lineNo+1, lim.MaxLineBytes)
+		}
+		return nil, errs.Wrap(errs.Input, fmt.Errorf("bench %s: %w", name, err))
 	}
-	return b.Finalize()
+	c, err := b.Finalize()
+	if err != nil {
+		return nil, errs.Wrap(errs.Input, err)
+	}
+	return c, nil
 }
 
 // ParseString is Parse over an in-memory netlist.
@@ -79,28 +142,30 @@ func validName(s string) bool {
 	return true
 }
 
-func parseLine(b *circuit.Builder, line string) error {
+// parseLine handles one stripped, non-empty line; defined reports
+// whether it added a gate or input (for the MaxGates accounting).
+func parseLine(b *circuit.Builder, line string, lim Limits) (defined bool, err error) {
 	open := strings.IndexByte(line, '(')
 	close := strings.LastIndexByte(line, ')')
 	if eq := strings.IndexByte(line, '='); eq >= 0 {
 		// name = TYPE(args)
 		name := strings.TrimSpace(line[:eq])
 		if !validName(name) {
-			return fmt.Errorf("invalid signal name %q in %q", name, line)
+			return false, fmt.Errorf("invalid signal name %q in %q", name, line)
 		}
 		rest := strings.TrimSpace(line[eq+1:])
 		open = strings.IndexByte(rest, '(')
 		close = strings.LastIndexByte(rest, ')')
 		if open < 0 || close < open {
-			return fmt.Errorf("malformed gate definition %q", line)
+			return false, fmt.Errorf("malformed gate definition %q", line)
 		}
 		if strings.TrimSpace(rest[close+1:]) != "" {
-			return fmt.Errorf("trailing junk after %q", line)
+			return false, fmt.Errorf("trailing junk after %q", line)
 		}
 		typName := strings.ToUpper(strings.TrimSpace(rest[:open]))
 		typ, ok := typeByName[typName]
 		if !ok {
-			return fmt.Errorf("unknown gate type %q", typName)
+			return false, fmt.Errorf("unknown gate type %q", typName)
 		}
 		var fanin []string
 		args := strings.TrimSpace(rest[open+1 : close])
@@ -108,40 +173,44 @@ func parseLine(b *circuit.Builder, line string) error {
 			for _, a := range strings.Split(args, ",") {
 				a = strings.TrimSpace(a)
 				if a == "" {
-					return fmt.Errorf("empty fanin in %q", line)
+					return false, fmt.Errorf("empty fanin in %q", line)
 				}
 				if !validName(a) {
-					return fmt.Errorf("invalid fanin name %q in %q", a, line)
+					return false, fmt.Errorf("invalid fanin name %q in %q", a, line)
 				}
 				fanin = append(fanin, a)
+				if len(fanin) > lim.MaxFanin {
+					return false, fmt.Errorf("gate %q has more than %d fanins (MaxFanin)", name, lim.MaxFanin)
+				}
 			}
 		}
 		b.AddGate(name, typ, fanin...)
-		return nil
+		return true, nil
 	}
 	if open < 0 || close < open {
-		return fmt.Errorf("malformed line %q", line)
+		return false, fmt.Errorf("malformed line %q", line)
 	}
 	kw := strings.ToUpper(strings.TrimSpace(line[:open]))
 	if strings.TrimSpace(line[close+1:]) != "" {
-		return fmt.Errorf("trailing junk after %q", line)
+		return false, fmt.Errorf("trailing junk after %q", line)
 	}
 	arg := strings.TrimSpace(line[open+1 : close])
 	if arg == "" {
-		return fmt.Errorf("empty signal name in %q", line)
+		return false, fmt.Errorf("empty signal name in %q", line)
 	}
 	if !validName(arg) {
-		return fmt.Errorf("invalid signal name %q in %q", arg, line)
+		return false, fmt.Errorf("invalid signal name %q in %q", arg, line)
 	}
 	switch kw {
 	case "INPUT":
 		b.AddInput(arg)
+		return true, nil
 	case "OUTPUT":
 		b.MarkOutput(arg)
 	default:
-		return fmt.Errorf("unknown directive %q", kw)
+		return false, fmt.Errorf("unknown directive %q", kw)
 	}
-	return nil
+	return false, nil
 }
 
 // Write emits c in .bench format: inputs, outputs, DFFs (in scan order),

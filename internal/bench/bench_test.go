@@ -2,10 +2,12 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
 	"limscan/internal/circuit"
+	"limscan/internal/errs"
 )
 
 const s27Text = `
@@ -75,9 +77,55 @@ func TestParseErrors(t *testing.T) {
 		{"undefined", "INPUT(A)\nOUTPUT(Z)\nZ = AND(A, B)\n", "undefined signal"},
 	}
 	for _, c := range cases {
-		if _, err := ParseString("t", c.text); err == nil || !strings.Contains(err.Error(), c.want) {
+		_, err := ParseString("t", c.text)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: got error %v, want substring %q", c.name, err, c.want)
 		}
+		if !errors.Is(err, errs.Input) {
+			t.Errorf("%s: error %v is not errs.Input", c.name, err)
+		}
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	long := "INPUT(A)\nOUTPUT(A)\n# " + strings.Repeat("x", 200) + "\n"
+	cases := []struct {
+		name string
+		text string
+		lim  Limits
+		want string // error substring; "" means parse must succeed
+	}{
+		{"line too long", long, Limits{MaxLineBytes: 64}, "exceeds 64 bytes"},
+		{"line within limit", long, Limits{MaxLineBytes: 512}, ""},
+		{"too many gates", "INPUT(A)\nINPUT(B)\nOUTPUT(Z)\nZ = AND(A, B)\n",
+			Limits{MaxGates: 2}, "more than 2 gate definitions"},
+		{"gates within limit", "INPUT(A)\nINPUT(B)\nOUTPUT(Z)\nZ = AND(A, B)\n",
+			Limits{MaxGates: 3}, ""},
+		{"fanin too wide", "INPUT(A)\nOUTPUT(Z)\nZ = AND(A, A, A, A)\n",
+			Limits{MaxFanin: 3}, "more than 3 fanins"},
+		{"fanin within limit", "INPUT(A)\nOUTPUT(Z)\nZ = AND(A, A, A)\n",
+			Limits{MaxFanin: 3}, ""},
+	}
+	for _, c := range cases {
+		_, err := ParseLimited(c.name, strings.NewReader(c.text), c.lim)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got error %v, want substring %q", c.name, err, c.want)
+		}
+		if !errors.Is(err, errs.Input) {
+			t.Errorf("%s: error %v is not errs.Input", c.name, err)
+		}
+	}
+	// The error for an over-long line names the first line that did not
+	// fit, not line 1.
+	_, err := ParseLimited("t", strings.NewReader(long), Limits{MaxLineBytes: 64})
+	if err == nil || !strings.Contains(err.Error(), "t:3:") {
+		t.Errorf("over-long line error lacks its line number: %v", err)
 	}
 }
 
@@ -155,6 +203,27 @@ func TestInvalidNamesRejected(t *testing.T) {
 			t.Errorf("accepted %q, want error", text)
 		}
 	}
+}
+
+// FuzzBenchHostile feeds the parser hostile input under tight limits:
+// whatever the bytes, the parser must return (never panic or hang), and
+// any failure must be a typed errs.Input error. The tight limits make
+// the caps themselves part of the fuzzed surface.
+func FuzzBenchHostile(f *testing.F) {
+	f.Add(s27Text)
+	f.Add(strings.Repeat("x", 300))                                            // one over-long line
+	f.Add("INPUT(A)\nOUTPUT(Z)\nZ = AND(" + strings.Repeat("A,", 40) + "A)\n") // wide fanin
+	f.Add(strings.Repeat("INPUT(A)\n", 40))                                    // many definitions
+	f.Add("Z = AND(\x00, \xff)\n")                                             // binary garbage in names
+	f.Add("Z = AND(A, B")                                                      // unterminated
+	f.Add("= = = (((\n)))\n")                                                  // delimiter soup
+	lim := Limits{MaxLineBytes: 256, MaxGates: 32, MaxFanin: 8}
+	f.Fuzz(func(t *testing.T, text string) {
+		_, err := ParseLimited("hostile", strings.NewReader(text), lim)
+		if err != nil && !errors.Is(err, errs.Input) {
+			t.Fatalf("error %v is not errs.Input (input %q)", err, text)
+		}
+	})
 }
 
 // FuzzBenchParse feeds the parser arbitrary netlist text; whenever a

@@ -11,10 +11,15 @@
 // exactly as the uninterrupted run would have (see DESIGN.md).
 //
 // Snapshots carry a CRC32 of their canonical encoding. Load rejects any
-// truncated or corrupted file with an error; writers go through Save,
-// which writes a temporary file in the destination directory, fsyncs it,
-// and renames it into place so a crash mid-write can never leave a
-// half-written snapshot where a loader would accept it.
+// truncated or corrupted file with an errs.CorruptSnapshot error;
+// writers go through Save, which writes a temporary file in the
+// destination directory, fsyncs it, and renames it into place so a
+// crash mid-write can never leave a half-written snapshot where a
+// loader would accept it. All file I/O goes through an iofault.FS —
+// the real filesystem in production, an injector in chaos tests — and
+// transient write failures (EINTR, ENOSPC after the temp file is
+// cleaned up, fsync errors) are retried with capped exponential
+// backoff before the writer gives up with an errs.TransientIO error.
 package checkpoint
 
 import (
@@ -22,11 +27,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 
 	"limscan/internal/circuit"
+	"limscan/internal/errs"
 	"limscan/internal/fault"
+	"limscan/internal/iofault"
 )
 
 // Version is the snapshot format version. Load rejects any other value:
@@ -50,6 +56,10 @@ func (e *InterruptedError) Error() string {
 }
 
 func (e *InterruptedError) Unwrap() error { return e.Err }
+
+// Is matches the errs.Interrupted kind, so the CLIs can map any
+// interruption — runner or simulator — onto exit code 3 with one check.
+func (e *InterruptedError) Is(target error) bool { return target == errs.Interrupted }
 
 // Campaign modes recorded in Meta. A snapshot from one mode never
 // resumes a run of another.
@@ -208,24 +218,25 @@ func EncodeStates(st []fault.Status) string {
 	return base64.StdEncoding.EncodeToString(packed)
 }
 
-// DecodeStates unpacks an EncodeStates string of exactly n faults.
+// DecodeStates unpacks an EncodeStates string of exactly n faults. Any
+// inconsistency is an errs.CorruptSnapshot error.
 func DecodeStates(s string, n int) ([]fault.Status, error) {
 	if n < 0 {
-		return nil, fmt.Errorf("checkpoint: negative fault count %d", n)
+		return nil, errs.Newf(errs.CorruptSnapshot, "checkpoint: negative fault count %d", n)
 	}
 	packed, err := base64.StdEncoding.DecodeString(s)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: fault states: %w", err)
+		return nil, errs.Wrap(errs.CorruptSnapshot, fmt.Errorf("checkpoint: fault states: %w", err))
 	}
 	if len(packed) != (n+3)/4 {
-		return nil, fmt.Errorf("checkpoint: fault states hold %d bytes, want %d for %d faults",
+		return nil, errs.Newf(errs.CorruptSnapshot, "checkpoint: fault states hold %d bytes, want %d for %d faults",
 			len(packed), (n+3)/4, n)
 	}
 	// Trailing pad bits beyond fault n-1 must be zero, so every valid
 	// state vector has exactly one encoding.
 	if n%4 != 0 && len(packed) > 0 {
 		if packed[len(packed)-1]>>uint((n%4)*2) != 0 {
-			return nil, fmt.Errorf("checkpoint: fault states have nonzero padding bits")
+			return nil, errs.Newf(errs.CorruptSnapshot, "checkpoint: fault states have nonzero padding bits")
 		}
 	}
 	out := make([]fault.Status, n)
@@ -256,9 +267,18 @@ func (s *Snapshot) Encode() ([]byte, error) {
 
 // Decode parses and validates an encoded snapshot. Any truncation or
 // corruption — bad JSON, a version mismatch, a checksum mismatch, an
-// inconsistent fault-state block — returns an error; Decode never
-// panics and never returns a silently wrong snapshot.
+// inconsistent fault-state block — returns an errs.CorruptSnapshot
+// error; Decode never panics and never returns a silently wrong
+// snapshot.
 func Decode(data []byte) (*Snapshot, error) {
+	s, err := decode(data)
+	if err != nil {
+		return nil, errs.Wrap(errs.CorruptSnapshot, err)
+	}
+	return s, nil
+}
+
+func decode(data []byte) (*Snapshot, error) {
 	var s Snapshot
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
@@ -296,7 +316,8 @@ func Decode(data []byte) (*Snapshot, error) {
 }
 
 // CheckMeta verifies that the snapshot belongs to the given run
-// identity. It returns a descriptive error naming the first divergence.
+// identity. It returns a descriptive errs.Input error naming the first
+// divergence: the snapshot is valid, the invocation is what's wrong.
 func (s *Snapshot) CheckMeta(want Meta) error {
 	if s.Meta.Hash() == want.Hash() {
 		return nil
@@ -304,58 +325,96 @@ func (s *Snapshot) CheckMeta(want Meta) error {
 	got := s.Meta
 	switch {
 	case got.Mode != want.Mode:
-		return fmt.Errorf("checkpoint: snapshot is a %s checkpoint, this run is %s", got.Mode, want.Mode)
+		return errs.Newf(errs.Input, "checkpoint: snapshot is a %s checkpoint, this run is %s", got.Mode, want.Mode)
 	case got.Circuit != want.Circuit:
-		return fmt.Errorf("checkpoint: snapshot was written for circuit %s, this run is %s", got.Circuit, want.Circuit)
+		return errs.Newf(errs.Input, "checkpoint: snapshot was written for circuit %s, this run is %s", got.Circuit, want.Circuit)
 	case got.CircuitHash != want.CircuitHash:
-		return fmt.Errorf("checkpoint: circuit %s changed structurally since the snapshot was written", want.Circuit)
+		return errs.Newf(errs.Input, "checkpoint: circuit %s changed structurally since the snapshot was written", want.Circuit)
 	default:
-		return fmt.Errorf("checkpoint: snapshot parameters %+v do not match this run's %+v", got, want)
+		return errs.Newf(errs.Input, "checkpoint: snapshot parameters %+v do not match this run's %+v", got, want)
 	}
 }
 
-// Save atomically writes the snapshot to path: encode, write to a
+// Save atomically writes the snapshot to path through the real
+// filesystem with the default retry policy. It returns the encoded
+// size.
+func Save(path string, s *Snapshot) (int, error) {
+	return SaveFS(nil, path, s, nil)
+}
+
+// SaveFS is Save through an explicit filesystem and retry policy (nil
+// means iofault.OS and the default policy): encode, write to a
 // temporary file in the same directory, fsync, rename over path, fsync
 // the directory. A reader either sees the previous complete snapshot or
-// the new one, never a partial write. It returns the encoded size.
-func Save(path string, s *Snapshot) (int, error) {
+// the new one, never a partial write. Transient failures — EINTR,
+// ENOSPC (the temp file is removed before each retry), fsync errors —
+// are retried with capped exponential backoff; when the budget is spent
+// the error is tagged errs.TransientIO so callers can enter degraded
+// mode instead of aborting.
+func SaveFS(fsys iofault.FS, path string, s *Snapshot, retry *iofault.Retry) (int, error) {
 	data, err := s.Encode()
 	if err != nil {
-		return 0, err
+		return 0, err // an unmarshalable snapshot is a bug, not an I/O fault
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return 0, err
+	if fsys == nil {
+		fsys = iofault.OS
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return 0, err
-	}
-	if err := tmp.Close(); err != nil {
-		return 0, err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return 0, err
-	}
-	if d, err := os.Open(dir); err == nil {
-		// Directory fsync is advisory on some filesystems; ignore errors.
-		_ = d.Sync()
-		_ = d.Close()
+	if err := retry.Do(func() error { return writeAtomic(fsys, path, data) }); err != nil {
+		return 0, errs.Wrap(errs.TransientIO, fmt.Errorf("checkpoint: save %s: %w", path, err))
 	}
 	return len(data), nil
 }
 
-// Load reads and validates the snapshot at path.
-func Load(path string) (*Snapshot, error) {
-	data, err := os.ReadFile(path)
+// writeAtomic is one attempt at the temp+fsync+rename dance. Each
+// attempt cleans its temp file up on the way out, so a retry after
+// ENOSPC starts with the space it had reclaimed.
+func writeAtomic(fsys iofault.FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return nil, err
+		return err
+	}
+	name := tmp.Name()
+	defer fsys.Remove(name) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		// An fsync failure says nothing durable about the next attempt:
+		// mark it transient so the retry policy takes a fresh swing.
+		return iofault.MarkTransient(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(name, path); err != nil {
+		return err
+	}
+	if d, err := fsys.OpenDir(dir); err == nil {
+		// Directory fsync is advisory on some filesystems; ignore errors.
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Load reads and validates the snapshot at path. A missing or
+// unreadable file is an errs.Input error; a file that fails validation
+// is errs.CorruptSnapshot.
+func Load(path string) (*Snapshot, error) {
+	return LoadFS(nil, path)
+}
+
+// LoadFS is Load through an explicit filesystem (nil means iofault.OS).
+func LoadFS(fsys iofault.FS, path string) (*Snapshot, error) {
+	if fsys == nil {
+		fsys = iofault.OS
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, errs.Wrap(errs.Input, err)
 	}
 	return Decode(data)
 }

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"limscan/internal/checkpoint"
+	"limscan/internal/errs"
 	"limscan/internal/fault"
+	"limscan/internal/iofault"
 	"limscan/internal/obs"
 )
 
@@ -22,6 +24,13 @@ type CheckpointOptions struct {
 	// context cancellation flushes the last iteration boundary
 	// regardless of cadence.
 	Every int
+	// FS routes the snapshot I/O; nil means the real filesystem. Chaos
+	// tests substitute an iofault.Injector here.
+	FS iofault.FS
+	// Retry overrides the transient-failure retry policy for snapshot
+	// writes; nil means the iofault defaults (4 attempts, capped
+	// exponential backoff).
+	Retry *iofault.Retry
 }
 
 // InterruptedError is the error RunWithContext returns on cancellation:
@@ -113,7 +122,16 @@ func restore(snap *checkpoint.Snapshot, res *Result, fs *fault.Set) (running, nS
 }
 
 // checkpointWriter bundles the write-side bookkeeping of a run: cadence,
-// metrics and the checkpoint event.
+// metrics, the checkpoint event, and the degraded-mode state machine.
+//
+// Degraded mode: a snapshot write that still fails after the retry
+// policy's budget does NOT abort the campaign. Checkpointing is purely
+// observational — Procedure 2's greedy accumulation never reads the
+// snapshot back — so losing a boundary costs only resume granularity,
+// never correctness. The writer raises the checkpoint_degraded gauge,
+// counts the failure, emits a loud event, and simply tries again at the
+// next boundary; a later success clears the state. Only a campaign that
+// ends with its final snapshot unwritten reports degraded completion.
 type checkpointWriter struct {
 	opts *CheckpointOptions
 	o    *obs.Campaign
@@ -123,6 +141,14 @@ type checkpointWriter struct {
 	// iteration mirrors the last completed iteration even when
 	// checkpointing is disabled (for the InterruptedError report).
 	iteration int
+	// degraded is set while the most recent write attempt exhausted its
+	// retries; failures counts the consecutive failed boundaries.
+	degraded bool
+	failures int
+	// wroteIter is the iteration of the last snapshot that actually
+	// reached disk (-1 before any write) — what an interruption during
+	// degraded mode can truthfully report.
+	wroteIter int
 }
 
 // enabled reports whether boundary snapshots are being collected.
@@ -162,21 +188,47 @@ func (w *checkpointWriter) note(s *checkpoint.Snapshot, force bool) error {
 	return w.flush()
 }
 
-// flush writes the last noted snapshot unconditionally.
+// flush writes the last noted snapshot unconditionally. An I/O failure
+// that survived the retry policy degrades the writer instead of failing
+// the campaign; only a snapshot that cannot be encoded (a bug) is
+// returned as an error.
 func (w *checkpointWriter) flush() error {
 	if w.opts == nil || w.opts.Path == "" || w.last == nil {
 		return nil
 	}
 	t0 := time.Now()
-	n, err := checkpoint.Save(w.opts.Path, w.last)
+	n, err := checkpoint.SaveFS(w.opts.FS, w.opts.Path, w.last, w.opts.Retry)
 	if err != nil {
+		if errs.Is(err, errs.TransientIO) {
+			w.degrade(err)
+			return nil
+		}
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
+	if w.degraded {
+		w.degraded = false
+		w.failures = 0
+		w.o.Gauge("checkpoint_degraded").Set(0)
+		w.o.Emit(obs.Event{Kind: obs.KindWarning,
+			Msg: fmt.Sprintf("checkpoint writes recovered at iteration %d; snapshot is fresh again", w.last.Iteration)})
+	}
+	w.wroteIter = w.last.Iteration
 	w.o.Counter("checkpoint_writes_total").Inc()
 	w.o.Histogram("checkpoint_bytes", 1<<10, 1<<12, 1<<14, 1<<16, 1<<18, 1<<20, 1<<22).Observe(float64(n))
 	w.o.Histogram("checkpoint_write_seconds").Observe(time.Since(t0).Seconds())
 	w.o.Emit(obs.Event{Kind: obs.KindCheckpoint, I: w.last.Iteration, N: n})
 	return nil
+}
+
+// degrade records one exhausted-retries write failure and keeps the
+// campaign running.
+func (w *checkpointWriter) degrade(err error) {
+	w.degraded = true
+	w.failures++
+	w.o.Counter("checkpoint_write_failures_total").Inc()
+	w.o.Gauge("checkpoint_degraded").Set(1)
+	w.o.Emit(obs.Event{Kind: obs.KindDegraded, N: w.failures,
+		Msg: fmt.Sprintf("checkpoint write failed after retries (campaign continues; on-disk snapshot is stale): %v", err)})
 }
 
 // interrupt flushes the last boundary snapshot and wraps the context
@@ -189,6 +241,11 @@ func (w *checkpointWriter) interrupt(cause error) error {
 	ie := &InterruptedError{Iteration: w.iteration, Err: cause}
 	if w.last != nil {
 		ie.Iteration = w.last.Iteration
+	}
+	if w.degraded && w.wroteIter >= 0 {
+		// The flush above failed too: the file still holds the older
+		// snapshot, so report the iteration that is actually on disk.
+		ie.Iteration = w.wroteIter
 	}
 	if w.opts != nil {
 		ie.Path = w.opts.Path

@@ -26,6 +26,7 @@ import (
 	"limscan/internal/atpg"
 	"limscan/internal/checkpoint"
 	"limscan/internal/circuit"
+	"limscan/internal/errs"
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
 	"limscan/internal/lfsr"
@@ -294,6 +295,13 @@ type Result struct {
 	Complete bool
 	// Iterations is the number of I values Procedure 2 consumed.
 	Iterations int
+	// CheckpointDegraded reports that the campaign finished while the
+	// checkpoint writer was degraded: the final snapshot write failed
+	// even after retries, so the on-disk snapshot (if any) is stale. The
+	// result itself is complete and correct — checkpointing never feeds
+	// back into Procedure 2 — but the CLIs exit with a distinct code so
+	// operators notice.
+	CheckpointDegraded bool
 }
 
 // Coverage returns detected / (total - untestable).
@@ -473,7 +481,7 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 	res := &Result{Config: cfg, TotalFaults: len(fs.Faults)}
 	o.Emit(obs.Event{Kind: obs.KindCampaignStart, Circuit: r.c.Name, Faults: res.TotalFaults})
 	o.Counter("campaign_runs_total").Inc()
-	ckw := &checkpointWriter{opts: ck, o: o}
+	ckw := &checkpointWriter{opts: ck, o: o, wroteIter: -1}
 
 	// Step 2: generate TS0. On resume this regenerates the identical
 	// test set (it is a pure function of the configured seed) without
@@ -572,6 +580,12 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 				if ctx.Err() != nil {
 					return nil, ckw.interrupt(ctx.Err())
 				}
+				if errs.Is(err, errs.InternalPanic) {
+					// A contained simulator panic aborts the campaign, but
+					// the last completed iteration boundary is still good:
+					// flush it so -resume can pick up there.
+					_ = ckw.flush()
+				}
 				return nil, err
 			}
 			o.Counter("campaign_pairs_tried_total").Inc()
@@ -637,5 +651,6 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 	if err := ckw.boundary(r, cfg, res, fs, nSame, true); err != nil {
 		return nil, err
 	}
+	res.CheckpointDegraded = ckw.degraded
 	return res, nil
 }

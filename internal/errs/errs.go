@@ -1,0 +1,132 @@
+// Package errs is the repository's error taxonomy: a small set of
+// sentinel kinds that every subsystem tags its failures with, and the
+// exit-code contract the CLIs map those kinds onto.
+//
+// The kinds partition failures by what the operator should do next:
+//
+//   - Input: the caller handed us something unacceptable — a hostile
+//     netlist, an out-of-range flag, a snapshot from a different run.
+//     Fix the invocation and retry; nothing inside the process is wrong.
+//   - TransientIO: an I/O operation failed after retries. The campaign
+//     state in memory is intact; the environment (disk, filesystem) is
+//     the problem.
+//   - CorruptSnapshot: a checkpoint file failed validation (truncated,
+//     torn, bit-flipped). It must never be resumed from; rerun without
+//     -resume or restore a good copy.
+//   - InternalPanic: a bug. A worker goroutine panicked; the panic was
+//     contained at the goroutine boundary and converted into an error
+//     carrying the captured stack.
+//   - Interrupted: the run was cancelled (SIGINT/SIGTERM) and flushed
+//     its last completed checkpoint boundary before unwinding.
+//   - Degraded: the run completed, but its final checkpoint write
+//     failed, so the on-disk snapshot lags the reported result.
+//
+// The exit-code contract (documented in the README "Failure modes &
+// exit codes" table):
+//
+//	0  success
+//	1  internal error (bugs, contained panics, exhausted I/O retries)
+//	2  usage or input error (bad flags, hostile netlist, corrupt or
+//	   mismatched snapshot)
+//	3  interrupted with the last boundary flushed to the checkpoint
+//	4  degraded completion (result is valid; final snapshot write failed)
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The sentinel kinds. Test with errors.Is (or the Is alias below):
+// every error built by Wrap/Newf matches exactly one kind.
+var (
+	Input           = errors.New("input error")
+	TransientIO     = errors.New("transient I/O error")
+	CorruptSnapshot = errors.New("corrupt snapshot")
+	InternalPanic   = errors.New("internal panic")
+	Interrupted     = errors.New("interrupted")
+	Degraded        = errors.New("degraded")
+)
+
+// The exit-code contract.
+const (
+	ExitOK          = 0
+	ExitInternal    = 1
+	ExitUsage       = 2
+	ExitInterrupted = 3
+	ExitDegraded    = 4
+)
+
+// kindError tags err with a kind; errors.Is matches both the kind and
+// anything err wraps.
+type kindError struct {
+	kind error
+	err  error
+}
+
+func (e *kindError) Error() string { return e.err.Error() }
+
+func (e *kindError) Unwrap() []error { return []error{e.kind, e.err} }
+
+// Wrap tags err with the given kind sentinel. A nil err returns nil.
+func Wrap(kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &kindError{kind: kind, err: err}
+}
+
+// Newf builds a fresh error of the given kind.
+func Newf(kind error, format string, args ...any) error {
+	return &kindError{kind: kind, err: fmt.Errorf(format, args...)}
+}
+
+// Is is errors.Is, re-exported so call sites read errs.Is(err, errs.Input).
+func Is(err, kind error) bool { return errors.Is(err, kind) }
+
+// PanicError is a panic contained at a goroutine boundary: the recovered
+// value plus the stack captured at the recovery site. It matches
+// InternalPanic under errors.Is.
+type PanicError struct {
+	// Value is the value the goroutine panicked with.
+	Value any
+	// Stack is the goroutine stack captured by runtime/debug.Stack at
+	// the recover site.
+	Stack []byte
+}
+
+// NewPanic builds a PanicError from a recovered value and stack. If the
+// recovered value is itself a *PanicError (a re-panic of a contained
+// panic), it is returned unchanged so the original stack survives.
+func NewPanic(value any, stack []byte) *PanicError {
+	if pe, ok := value.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: value, Stack: stack}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Is matches the InternalPanic kind.
+func (e *PanicError) Is(target error) bool { return target == InternalPanic }
+
+// ExitCode maps an error onto the documented exit-code contract. The
+// order matters: an interrupted run that also saw degraded checkpoint
+// writes still reports "interrupted" — the operator's next action is
+// the same (-resume).
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.Is(err, Interrupted):
+		return ExitInterrupted
+	case errors.Is(err, Degraded):
+		return ExitDegraded
+	case errors.Is(err, Input), errors.Is(err, CorruptSnapshot):
+		return ExitUsage
+	default:
+		return ExitInternal
+	}
+}

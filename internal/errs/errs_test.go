@@ -1,0 +1,81 @@
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestWrapMatchesKindAndCause(t *testing.T) {
+	cause := os.ErrNotExist
+	err := Wrap(Input, fmt.Errorf("loading netlist: %w", cause))
+	if !errors.Is(err, Input) {
+		t.Error("wrapped error does not match its kind")
+	}
+	if !errors.Is(err, cause) {
+		t.Error("wrapped error lost its cause")
+	}
+	for _, other := range []error{TransientIO, CorruptSnapshot, InternalPanic, Interrupted, Degraded} {
+		if errors.Is(err, other) {
+			t.Errorf("Input-tagged error also matches %v", other)
+		}
+	}
+	if Wrap(Input, nil) != nil {
+		t.Error("Wrap(kind, nil) != nil")
+	}
+}
+
+func TestNewf(t *testing.T) {
+	err := Newf(CorruptSnapshot, "byte %d flipped", 17)
+	if !errors.Is(err, CorruptSnapshot) {
+		t.Error("Newf error does not match its kind")
+	}
+	if got := err.Error(); got != "byte 17 flipped" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	pe := NewPanic("boom", []byte("goroutine 7 [running]:\nmain.crash()"))
+	if !errors.Is(pe, InternalPanic) {
+		t.Error("PanicError does not match InternalPanic")
+	}
+	if !strings.Contains(pe.Error(), "boom") || !strings.Contains(pe.Error(), "goroutine 7") {
+		t.Errorf("Error() lacks value or stack: %q", pe.Error())
+	}
+	// Wrapping with %w must preserve the kind.
+	wrapped := fmt.Errorf("fsim: worker 3: %w", pe)
+	if !errors.Is(wrapped, InternalPanic) {
+		t.Error("fmt-wrapped PanicError lost InternalPanic")
+	}
+	// A re-panic of a contained panic keeps the original.
+	if again := NewPanic(pe, []byte("outer stack")); again != pe {
+		t.Error("NewPanic of a *PanicError built a new error")
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("plain"), ExitInternal},
+		{Newf(Input, "bad flag"), ExitUsage},
+		{Newf(CorruptSnapshot, "torn"), ExitUsage},
+		{Newf(TransientIO, "disk"), ExitInternal},
+		{NewPanic("x", nil), ExitInternal},
+		{Newf(Interrupted, "sigint"), ExitInterrupted},
+		{Newf(Degraded, "final write failed"), ExitDegraded},
+		// Interrupted wins over degraded: the next action is -resume.
+		{Wrap(Interrupted, Newf(Degraded, "both")), ExitInterrupted},
+		{fmt.Errorf("outer: %w", Newf(Input, "inner")), ExitUsage},
+	}
+	for _, tc := range cases {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

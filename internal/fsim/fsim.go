@@ -18,8 +18,10 @@ package fsim
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 
 	"limscan/internal/circuit"
+	"limscan/internal/errs"
 	"limscan/internal/fault"
 	"limscan/internal/logic"
 	"limscan/internal/misr"
@@ -125,6 +127,11 @@ type RunStats struct {
 	DetectedAtPO          int
 	DetectedAtLimitedScan int
 	DetectedAtScanOut     int
+	// CheckpointDegraded reports that a checkpointed session finished
+	// with its final snapshot write failed (see SessionCheckpoint): the
+	// stats are complete and correct, but the on-disk snapshot is stale.
+	// Plain Run never sets it.
+	CheckpointDegraded bool
 }
 
 // Simulator simulates test sessions for one circuit. It is not safe for
@@ -208,7 +215,24 @@ func (s *Simulator) Plan() scan.Plan { return s.plan }
 // remaining faults of fs, marks newly detected faults in fs (fault
 // dropping), and returns the session statistics. Faults already Detected
 // or Untestable are skipped.
-func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStats, error) {
+//
+// A panic anywhere in the simulation — serial loop or sharded worker —
+// is contained at this boundary and returned as an error matching
+// errs.InternalPanic, carrying the panicking goroutine's stack. On the
+// serial path batches merged before the panic have already marked fs
+// (like cancellation); the sharded path never touches fs.
+func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (stats RunStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := errs.NewPanic(r, debug.Stack())
+			err = fmt.Errorf("fsim: contained panic: %w", pe)
+			if o := opts.Obs; o != nil {
+				o.Counter("fsim_worker_panics_total").Inc()
+				o.Emit(obs.Event{Kind: obs.KindWarning,
+					Msg: fmt.Sprintf("fault simulation panicked (run aborted): %v", pe.Value)})
+			}
+		}
+	}()
 	if err := opts.Validate(); err != nil {
 		return RunStats{}, err
 	}
@@ -221,7 +245,7 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStat
 			return RunStats{}, fmt.Errorf("fsim: test %d: %w", i, err)
 		}
 	}
-	stats := RunStats{Cycles: s.cost.SessionCycles(tests)}
+	stats = RunStats{Cycles: s.cost.SessionCycles(tests)}
 	rem := fs.Remaining()
 	if w := opts.effectiveWorkers((len(rem) + per - 1) / per); w > 1 {
 		if err := s.runSharded(tests, fs, rem, per, w, opts, &stats); err != nil {
@@ -245,6 +269,9 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (RunStat
 			batch := rem[start:end]
 			if sites != nil {
 				*sites = [numSites]logic.Word{}
+			}
+			if h := PanicHook; h != nil {
+				h(start / per)
 			}
 			det := s.runBatch(tests, fs.Faults, batch, opts, sites)
 			s.mergeBatch(&stats, fs, batch, det, sites, opts)

@@ -1,0 +1,10 @@
+package fsim
+
+// PanicHook, when non-nil, is called with the batch index just before
+// each fault batch is simulated — on the serial path and inside every
+// sharded worker. It exists so tests can force a panic at an exact
+// point in the pipeline and assert that containment holds: the run
+// returns a typed error carrying the stack, sibling workers stop, and
+// checkpointed campaigns keep their last completed boundary on disk.
+// Production code never sets it; the nil check is the only cost.
+var PanicHook func(batch int)

@@ -1,11 +1,14 @@
 package fsim
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"limscan/internal/errs"
 	"limscan/internal/fault"
 	"limscan/internal/logic"
 	"limscan/internal/obs"
@@ -84,6 +87,14 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 	// results.
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	// Panic containment: a worker that panics stores the first
+	// *errs.PanicError (with its captured stack) and raises stop, so the
+	// siblings drain at their next batch claim instead of wasting work —
+	// or worse, publishing results a caller might merge. The run then
+	// fails with a typed error and fs is never touched, exactly like the
+	// cancellation path.
+	var panicErr atomic.Pointer[errs.PanicError]
+	var stop atomic.Bool
 	batchesBy := make([]int, workers)
 	doneAt := make([]time.Time, workers)
 	start := time.Now()
@@ -92,7 +103,17 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 		wg.Add(1)
 		go func(w int, ws *Simulator) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicErr.CompareAndSwap(nil, errs.NewPanic(r, debug.Stack()))
+					stop.Store(true)
+				}
+				doneAt[w] = time.Now()
+			}()
 			for {
+				if stop.Load() {
+					break
+				}
 				if opts.Ctx != nil && opts.Ctx.Err() != nil {
 					break
 				}
@@ -109,13 +130,23 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 				if attrib {
 					sites = &out[bi].sites
 				}
+				if h := PanicHook; h != nil {
+					h(bi)
+				}
 				out[bi].det = ws.runBatch(tests, fs.Faults, rem[lo:hi], opts, sites)
 				batchesBy[w]++
 			}
-			doneAt[w] = time.Now()
 		}(w, ws)
 	}
 	wg.Wait()
+	if pe := panicErr.Load(); pe != nil {
+		if o := opts.Obs; o != nil {
+			o.Counter("fsim_worker_panics_total").Inc()
+			o.Emit(obs.Event{Kind: obs.KindWarning,
+				Msg: fmt.Sprintf("fault-simulation worker panicked (run aborted, fault set untouched): %v", pe.Value)})
+		}
+		return fmt.Errorf("fsim: worker panic: %w", pe)
+	}
 	if opts.Ctx != nil {
 		if err := opts.Ctx.Err(); err != nil {
 			return err

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"limscan/internal/checkpoint"
+	"limscan/internal/errs"
 	"limscan/internal/fault"
+	"limscan/internal/iofault"
 	"limscan/internal/obs"
 	"limscan/internal/scan"
 )
@@ -40,6 +42,12 @@ type SessionCheckpoint struct {
 	// Every writes a snapshot after every Every-th completed chunk.
 	// Zero means 1. The final chunk is always flushed.
 	Every int
+	// FS routes the snapshot I/O; nil means the real filesystem. Chaos
+	// tests substitute an iofault.Injector here.
+	FS iofault.FS
+	// Retry overrides the transient-failure retry policy for snapshot
+	// writes; nil means the iofault defaults.
+	Retry *iofault.Retry
 }
 
 // RunCheckpointed simulates the session in fault chunks with periodic
@@ -123,14 +131,37 @@ func (s *Simulator) RunCheckpointed(ctx context.Context, tests []scan.Test, fs *
 			States:          checkpoint.EncodeStates(fs.State),
 		}
 	}
+	// write flushes a boundary snapshot. A write that still fails after
+	// the retry budget degrades the session instead of aborting it:
+	// checkpointing is observational, so the simulation keeps going and
+	// the next boundary tries again (see checkpointWriter in
+	// internal/core for the full rationale).
+	degraded := false
+	failures := 0
 	write := func(sn *checkpoint.Snapshot) error {
 		if ck.Path == "" || sn == nil {
 			return nil
 		}
 		t0 := time.Now()
-		size, err := checkpoint.Save(ck.Path, sn)
+		size, err := checkpoint.SaveFS(ck.FS, ck.Path, sn, ck.Retry)
 		if err != nil {
+			if errs.Is(err, errs.TransientIO) {
+				degraded = true
+				failures++
+				o.Counter("checkpoint_write_failures_total").Inc()
+				o.Gauge("checkpoint_degraded").Set(1)
+				o.Emit(obs.Event{Kind: obs.KindDegraded, N: failures,
+					Msg: fmt.Sprintf("checkpoint write failed after retries (session continues; on-disk snapshot is stale): %v", err)})
+				return nil
+			}
 			return fmt.Errorf("fsim: checkpoint: %w", err)
+		}
+		if degraded {
+			degraded = false
+			failures = 0
+			o.Gauge("checkpoint_degraded").Set(0)
+			o.Emit(obs.Event{Kind: obs.KindWarning,
+				Msg: fmt.Sprintf("checkpoint writes recovered at chunk %d; snapshot is fresh again", sn.Iteration)})
 		}
 		o.Counter("checkpoint_writes_total").Inc()
 		o.Histogram("checkpoint_bytes", 1<<10, 1<<12, 1<<14, 1<<16, 1<<18, 1<<20, 1<<22).Observe(float64(size))
@@ -164,6 +195,12 @@ func (s *Simulator) RunCheckpointed(ctx context.Context, tests []scan.Test, fs *
 			if ctx.Err() != nil {
 				return stats, interrupt(ctx.Err())
 			}
+			if errs.Is(err, errs.InternalPanic) {
+				// A contained panic aborts the session, but the last
+				// completed chunk boundary is still good: flush it so a
+				// resume can pick up there.
+				_ = write(last)
+			}
 			return stats, err
 		}
 		stats.Detected += st.Detected
@@ -185,5 +222,6 @@ func (s *Simulator) RunCheckpointed(ctx context.Context, tests []scan.Test, fs *
 			return stats, err
 		}
 	}
+	stats.CheckpointDegraded = degraded
 	return stats, nil
 }

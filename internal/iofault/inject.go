@@ -1,0 +1,217 @@
+package iofault
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+)
+
+// Mode selects which operation class an Injector attacks and how.
+type Mode int
+
+const (
+	// WriteErr fails a Write with EIO (non-transient: retries give up
+	// immediately and the caller must degrade or abort).
+	WriteErr Mode = iota
+	// WriteShort writes half the buffer, then fails with EIO — the
+	// classic torn write.
+	WriteShort
+	// WriteEINTR fails a Write with EINTR (transient: a retry succeeds
+	// unless Persistent).
+	WriteEINTR
+	// WriteENOSPC fails a Write with ENOSPC (transient by policy: the
+	// writer frees its temp file before retrying).
+	WriteENOSPC
+	// SyncErr fails a File.Sync with EIO.
+	SyncErr
+	// RenameErr fails a Rename with EIO, leaving the destination
+	// untouched (the previous snapshot survives).
+	RenameErr
+	// TornRename models a crash mid-rename: the destination is replaced
+	// with a truncated prefix of the source, and the call fails with
+	// EIO. The on-disk snapshot is now corrupt; loaders must reject it.
+	TornRename
+	// CreateErr fails CreateTemp with EACCES.
+	CreateErr
+	numModes
+)
+
+// Modes lists every injection mode, for sweeps.
+var Modes = []Mode{WriteErr, WriteShort, WriteEINTR, WriteENOSPC, SyncErr, RenameErr, TornRename, CreateErr}
+
+func (m Mode) String() string {
+	switch m {
+	case WriteErr:
+		return "write-eio"
+	case WriteShort:
+		return "short-write"
+	case WriteEINTR:
+		return "write-eintr"
+	case WriteENOSPC:
+		return "disk-full"
+	case SyncErr:
+		return "fsync-error"
+	case RenameErr:
+		return "rename-error"
+	case TornRename:
+		return "torn-rename"
+	case CreateErr:
+		return "create-error"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Injector is an FS that deterministically injects one class of fault
+// at the At-th eligible operation. With At == 0 it injects nothing and
+// only counts — run a workload once in counting mode, read Eligible(),
+// and sweep At over [1, Eligible()] to hit every injection point.
+//
+// The counters are atomic, so an Injector can sit under concurrent
+// writers; a given sweep is deterministic whenever the workload issues
+// its checkpoint I/O from one goroutine (as this repository does).
+type Injector struct {
+	// Base is the underlying filesystem. Nil means OS.
+	Base FS
+	// Mode is the fault class to inject.
+	Mode Mode
+	// At is the 1-based index among Mode-eligible operations at which
+	// injection happens. Zero disables injection (counting mode).
+	At int64
+	// Persistent injects at every eligible operation from At onward,
+	// not just the At-th — the "disk stays broken" scenario that drives
+	// a run into degraded mode.
+	Persistent bool
+
+	eligible atomic.Int64
+	hits     atomic.Int64
+}
+
+// Eligible returns how many Mode-eligible operations have been seen.
+func (in *Injector) Eligible() int64 { return in.eligible.Load() }
+
+// Hits returns how many operations were actually injected.
+func (in *Injector) Hits() int64 { return in.hits.Load() }
+
+func (in *Injector) base() FS {
+	if in.Base == nil {
+		return OS
+	}
+	return in.Base
+}
+
+// fire advances the eligible-op counter and reports whether this
+// operation gets the fault.
+func (in *Injector) fire() bool {
+	n := in.eligible.Add(1)
+	if in.At <= 0 {
+		return false
+	}
+	if n == in.At || (in.Persistent && n > in.At) {
+		in.hits.Add(1)
+		return true
+	}
+	return false
+}
+
+func injected(m Mode, errno syscall.Errno) error {
+	return fmt.Errorf("iofault: injected %s: %w", m, errno)
+}
+
+// CreateTemp injects CreateErr; other modes wrap the returned file so
+// its Write/Sync calls can be attacked.
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if in.Mode == CreateErr && in.fire() {
+		return nil, injected(in.Mode, syscall.EACCES)
+	}
+	f, err := in.base().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{File: f, in: in}, nil
+}
+
+// Rename injects RenameErr and TornRename.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	switch in.Mode {
+	case RenameErr:
+		if in.fire() {
+			return injected(in.Mode, syscall.EIO)
+		}
+	case TornRename:
+		if in.fire() {
+			in.tear(oldpath, newpath)
+			return injected(in.Mode, syscall.EIO)
+		}
+	}
+	return in.base().Rename(oldpath, newpath)
+}
+
+// tear replaces newpath with a truncated prefix of oldpath — the state
+// a crash between the data blocks and the rename commit can leave on a
+// non-atomic filesystem. Best-effort: a tear that fails to land just
+// degenerates into RenameErr.
+func (in *Injector) tear(oldpath, newpath string) {
+	data, err := in.base().ReadFile(oldpath)
+	if err != nil || len(data) == 0 {
+		return
+	}
+	f, err := in.base().CreateTemp(filepath.Dir(newpath), ".iofault-torn*")
+	if err != nil {
+		return
+	}
+	_, werr := f.Write(data[:len(data)/2])
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		_ = in.base().Remove(f.Name())
+		return
+	}
+	if err := in.base().Rename(f.Name(), newpath); err != nil {
+		_ = in.base().Remove(f.Name())
+	}
+}
+
+// Remove passes through (never injected: the writer's temp-file cleanup
+// must stay reliable so ENOSPC retries can make progress).
+func (in *Injector) Remove(name string) error { return in.base().Remove(name) }
+
+// ReadFile passes through.
+func (in *Injector) ReadFile(name string) ([]byte, error) { return in.base().ReadFile(name) }
+
+// OpenDir passes through (directory fsync is advisory; its errors are
+// ignored by the writer anyway, so injecting here proves nothing).
+func (in *Injector) OpenDir(name string) (File, error) { return in.base().OpenDir(name) }
+
+// injFile intercepts Write and Sync on files the Injector handed out.
+type injFile struct {
+	File
+	in *Injector
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	switch f.in.Mode {
+	case WriteErr, WriteShort, WriteEINTR, WriteENOSPC:
+		if f.in.fire() {
+			switch f.in.Mode {
+			case WriteShort:
+				n, _ := f.File.Write(p[:len(p)/2])
+				return n, injected(f.in.Mode, syscall.EIO)
+			case WriteEINTR:
+				return 0, injected(f.in.Mode, syscall.EINTR)
+			case WriteENOSPC:
+				return 0, injected(f.in.Mode, syscall.ENOSPC)
+			default:
+				return 0, injected(f.in.Mode, syscall.EIO)
+			}
+		}
+	}
+	return f.File.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if f.in.Mode == SyncErr && f.in.fire() {
+		return injected(f.in.Mode, syscall.EIO)
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,162 @@
+// Package iofault abstracts the handful of filesystem operations the
+// checkpoint writer performs, so that (a) transient failures can be
+// retried with capped exponential backoff behind one policy, and (b) a
+// deterministic fault injector can stand in for the real filesystem in
+// chaos tests — short writes, torn renames, fsync errors, disk-full —
+// at an exactly chosen operation.
+//
+// The real path (OS) adds no behavior: every method is the obvious
+// os-package call. Production code never pays for the abstraction
+// beyond one interface dispatch per checkpoint write.
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+	"time"
+)
+
+// File is the slice of *os.File behavior atomic snapshot writing needs.
+type File interface {
+	io.Writer
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface checkpoint I/O goes through. A nil FS in
+// any API of this repository means OS.
+type FS interface {
+	// CreateTemp creates a unique temporary file in dir (os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath (os.Rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (os.Remove).
+	Remove(name string) error
+	// ReadFile reads a whole file (os.ReadFile).
+	ReadFile(name string) ([]byte, error)
+	// OpenDir opens a directory for fsync. Directory sync is advisory
+	// on some filesystems; callers ignore its errors.
+	OpenDir(name string) (File, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) OpenDir(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// TransientError marks an error as retry-worthy regardless of its
+// errno — the policy hook for failures like fsync errors, where the
+// write path knows a retry of the whole operation has a chance even
+// though the underlying error code alone does not say so.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// MarkTransient tags err as transient. A nil err returns nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// Transient reports whether err is worth retrying: an interrupted or
+// would-block syscall, a disk-full condition (space may be reclaimed
+// between attempts — the writer cleans its own temp file up first), or
+// anything explicitly marked with MarkTransient.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN) || errors.Is(err, syscall.ENOSPC) {
+		return true
+	}
+	var t *TransientError
+	return errors.As(err, &t)
+}
+
+// Retry is a capped-exponential-backoff policy over Transient errors.
+// The zero value (and a nil *Retry) uses the defaults: 4 attempts,
+// 10ms base delay doubling to a 250ms cap.
+type Retry struct {
+	// Attempts is the total number of tries (not re-tries). Zero means 4.
+	Attempts int
+	// Base is the delay before the first retry; it doubles per retry.
+	// Zero means 10ms.
+	Base time.Duration
+	// Max caps the per-retry delay. Zero means 250ms.
+	Max time.Duration
+	// Sleep replaces time.Sleep (tests inject a no-op). Nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (r *Retry) attempts() int {
+	if r == nil || r.Attempts < 1 {
+		return 4
+	}
+	return r.Attempts
+}
+
+func (r *Retry) delays() (base, max time.Duration, sleep func(time.Duration)) {
+	base, max, sleep = 10*time.Millisecond, 250*time.Millisecond, time.Sleep
+	if r == nil {
+		return
+	}
+	if r.Base > 0 {
+		base = r.Base
+	}
+	if r.Max > 0 {
+		max = r.Max
+	}
+	if r.Sleep != nil {
+		sleep = r.Sleep
+	}
+	return
+}
+
+// Do runs op, retrying on Transient errors with capped exponential
+// backoff until the attempt budget is spent. The last error is
+// returned; non-transient errors return immediately.
+func (r *Retry) Do(op func() error) error {
+	attempts := r.attempts()
+	delay, max, sleep := r.delays()
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil || !Transient(err) {
+			return err
+		}
+		if i < attempts-1 {
+			sleep(delay)
+			delay *= 2
+			if delay > max {
+				delay = max
+			}
+		}
+	}
+	return err
+}

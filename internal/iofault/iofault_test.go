@@ -1,0 +1,220 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{syscall.ENOSPC, true},
+		{fmt.Errorf("write: %w", syscall.EINTR), true},
+		{syscall.EIO, false},
+		{MarkTransient(syscall.EIO), true},
+		{fmt.Errorf("sync: %w", MarkTransient(errors.New("fsync"))), true},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+	if MarkTransient(nil) != nil {
+		t.Error("MarkTransient(nil) != nil")
+	}
+}
+
+func TestRetryBackoffAndGiveUp(t *testing.T) {
+	var slept []time.Duration
+	r := &Retry{Attempts: 4, Base: 10 * time.Millisecond, Max: 25 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+
+	// Persistent transient failure: all attempts spent, delays doubled
+	// then capped.
+	calls := 0
+	err := r.Do(func() error { calls++; return syscall.ENOSPC })
+	if !errors.Is(err, syscall.ENOSPC) || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want ENOSPC after 4", err, calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("delay %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+
+	// Non-transient: no retries.
+	calls = 0
+	if err := r.Do(func() error { calls++; return syscall.EIO }); !errors.Is(err, syscall.EIO) || calls != 1 {
+		t.Errorf("EIO: err=%v calls=%d, want immediate give-up", err, calls)
+	}
+
+	// Transient once, then success.
+	calls = 0
+	err = r.Do(func() error {
+		calls++
+		if calls == 1 {
+			return syscall.EINTR
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Errorf("recover: err=%v calls=%d, want nil after 2", err, calls)
+	}
+
+	// Nil receiver uses defaults and still works.
+	var nilR *Retry
+	if err := (nilR).Do(func() error { return nil }); err != nil {
+		t.Errorf("nil retry: %v", err)
+	}
+}
+
+// writeThrough performs the same atomic-write shape checkpoint uses,
+// through an arbitrary FS.
+func writeThrough(fsys FS, path string, data []byte) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), "t*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	defer fsys.Remove(name)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(name, path)
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.json")
+	if err := writeThrough(OS, path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+}
+
+func TestInjectorCountingAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	payload := []byte(`{"snapshot": "payload long enough to halve"}`)
+
+	for _, m := range Modes {
+		// Counting pass: no injection, records eligible ops.
+		count := &Injector{Mode: m}
+		if err := writeThrough(count, path, payload); err != nil {
+			t.Fatalf("%v counting pass failed: %v", m, err)
+		}
+		n := count.Eligible()
+		if n < 1 {
+			t.Fatalf("%v: no eligible ops in an atomic write", m)
+		}
+		// Every injection point must actually fire and fail the write.
+		for at := int64(1); at <= n; at++ {
+			inj := &Injector{Mode: m, At: at}
+			err := writeThrough(inj, path, payload)
+			if err == nil {
+				t.Errorf("%v at op %d: write succeeded, want injected failure", m, at)
+			}
+			if inj.Hits() != 1 {
+				t.Errorf("%v at op %d: %d hits, want 1", m, at, inj.Hits())
+			}
+		}
+		// One op past the end: nothing fires, the write succeeds.
+		inj := &Injector{Mode: m, At: n + 1}
+		if err := writeThrough(inj, path, payload); err != nil {
+			t.Errorf("%v past-the-end: %v", m, err)
+		}
+		if inj.Hits() != 0 {
+			t.Errorf("%v past-the-end: %d hits, want 0", m, inj.Hits())
+		}
+	}
+}
+
+func TestInjectorErrnos(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	payload := []byte("0123456789abcdef")
+	cases := []struct {
+		mode  Mode
+		errno syscall.Errno
+	}{
+		{WriteErr, syscall.EIO},
+		{WriteEINTR, syscall.EINTR},
+		{WriteENOSPC, syscall.ENOSPC},
+		{SyncErr, syscall.EIO},
+		{RenameErr, syscall.EIO},
+		{TornRename, syscall.EIO},
+		{CreateErr, syscall.EACCES},
+	}
+	for _, tc := range cases {
+		inj := &Injector{Mode: tc.mode, At: 1}
+		err := writeThrough(inj, path, payload)
+		if !errors.Is(err, tc.errno) {
+			t.Errorf("%v: err = %v, want errno %v", tc.mode, err, tc.errno)
+		}
+	}
+}
+
+func TestTornRenameLeavesTruncatedDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	full := []byte("a full snapshot body that will be torn in half")
+	if err := writeThrough(OS, path, []byte("previous")); err != nil {
+		t.Fatal(err)
+	}
+	inj := &Injector{Mode: TornRename, At: 1}
+	if err := writeThrough(inj, path, full); err == nil {
+		t.Fatal("torn rename reported success")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(full[:len(full)/2]) {
+		t.Errorf("destination = %q, want the torn prefix %q", got, full[:len(full)/2])
+	}
+}
+
+func TestRetryAbsorbsOneShotTransientInjection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	inj := &Injector{Mode: WriteEINTR, At: 1}
+	r := &Retry{Sleep: func(time.Duration) {}}
+	err := r.Do(func() error { return writeThrough(inj, path, []byte("payload")) })
+	if err != nil {
+		t.Fatalf("retry did not absorb a one-shot EINTR: %v", err)
+	}
+	if inj.Hits() != 1 {
+		t.Errorf("hits = %d, want 1", inj.Hits())
+	}
+	// Persistent injection exhausts the budget.
+	inj = &Injector{Mode: WriteEINTR, At: 1, Persistent: true}
+	err = r.Do(func() error { return writeThrough(inj, path, []byte("payload")) })
+	if !errors.Is(err, syscall.EINTR) {
+		t.Errorf("persistent EINTR: err = %v, want EINTR after retries", err)
+	}
+}

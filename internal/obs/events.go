@@ -48,6 +48,10 @@ const (
 	KindResumed Kind = "resumed"
 	// KindWarning flags a recoverable anomaly (Msg).
 	KindWarning Kind = "warning"
+	// KindDegraded marks a checkpoint-degraded transition: a snapshot
+	// write exhausted its retries and the campaign keeps running without
+	// a fresh checkpoint (Msg; N = consecutive failed boundaries).
+	KindDegraded Kind = "degraded"
 	// KindCampaignEnd closes a campaign (Detected, Cycles, Coverage).
 	KindCampaignEnd Kind = "campaign_end"
 )

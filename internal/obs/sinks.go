@@ -98,6 +98,8 @@ func (p *Progress) OnEvent(e Event) {
 		fmt.Fprintf(p.w, "campaign %s: resumed from iteration %d (%d detected)\n", e.Circuit, e.I, e.Detected)
 	case KindWarning:
 		fmt.Fprintf(p.w, "warning: %s\n", e.Msg)
+	case KindDegraded:
+		fmt.Fprintf(p.w, "DEGRADED: %s\n", e.Msg)
 	case KindCampaignEnd:
 		fmt.Fprintf(p.w, "campaign %s: done — %d detected, %d cycles, coverage %.2f%%\n",
 			e.Circuit, e.Detected, e.Cycles, e.Coverage*100)
