@@ -3,14 +3,15 @@
 # claims of internal/obs and the sharded fault simulator), the plain
 # tier-1 suite, the parallel-vs-serial differential suite under both a
 # single-core and a multi-core scheduler, short native-fuzz smokes, the
-# checkpoint/resume kill-and-restart smoke, and the chaos sweep (every
-# checkpoint I/O operation failure-injected in turn).
+# checkpoint/resume kill-and-restart smoke, the chaos sweep (every
+# checkpoint I/O operation failure-injected in turn), and the
+# performance-observability smoke (profiles, ledger, regression gate).
 
 GO ?= go
 
-.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos bench benchall
+.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos perfsmoke bench benchall
 
-ci: vet build race tier1 paradiff fuzz cksmoke chaos
+ci: vet build race tier1 paradiff fuzz cksmoke chaos perfsmoke
 
 vet:
 	$(GO) vet ./...
@@ -58,12 +59,21 @@ cksmoke:
 chaos:
 	LIMSCAN_CHAOS_FULL=1 $(GO) test -race -count=1 -run 'Chaos|Panic' ./internal/core ./internal/fsim ./internal/baseline ./internal/iofault
 
-# bench runs the fsim worker-scaling pair and writes the machine-readable
+# perfsmoke is the performance-observability end-to-end gate: a tiny
+# profiled s298 campaign run twice, per-phase pprof files checked with
+# `go tool pprof`, two ledger records compared with `perf diff`, and the
+# latest gated with `perf check` against the committed generous-tolerance
+# baseline (scripts/perf_baseline.json).
+perfsmoke:
+	sh scripts/perf_smoke.sh
+
+# bench runs the fsim worker-scaling pair, writes the machine-readable
 # scaling report (ns/op and speedup vs Workers=1 on the largest bmark
-# circuit) to BENCH_fsim.json.
+# circuit) to BENCH_fsim.json, and appends the sweep to the performance
+# ledger (PERF_ledger.jsonl) for perf diff / perf check.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFsimWorkers' -benchmem .
-	$(GO) run ./cmd/benchfsim -o BENCH_fsim.json
+	$(GO) run ./cmd/benchfsim -o BENCH_fsim.json -ledger PERF_ledger.jsonl
 
 # benchall is the full benchmark sweep (paper tables + ablations).
 benchall:

@@ -1,10 +1,12 @@
 // Command benchfsim measures fault-simulation throughput across worker
-// counts and writes a machine-readable scaling report — the perf
-// regression artifact behind `make bench` (BENCH_fsim.json).
+// counts, writes a machine-readable scaling report (BENCH_fsim.json, a
+// latest-snapshot view), and appends the same measurements as a
+// schema-versioned record to the performance ledger — the append-only
+// history `perf diff` and `perf check` compare against (see cmd/perf).
 //
 // Usage:
 //
-//	benchfsim [-circuit s35932] [-n 8 -len 8] [-workers 1,2,4,8] [-rounds 3] [-o BENCH_fsim.json]
+//	benchfsim [-circuit s35932] [-n 8 -len 8] [-workers 1,2,4,8] [-rounds 3] [-o BENCH_fsim.json] [-ledger PERF_ledger.jsonl]
 //
 // Each worker count is timed over `rounds` full sessions on a fresh
 // fault set and the best round is kept (standard best-of-N to shed
@@ -29,6 +31,7 @@ import (
 	"limscan/internal/core"
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
+	"limscan/internal/ledger"
 )
 
 type workerPoint struct {
@@ -59,6 +62,7 @@ func main() {
 		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
 		rounds  = flag.Int("rounds", 3, "timed rounds per worker count (best kept)")
 		out     = flag.String("o", "BENCH_fsim.json", "output JSON path (- for stdout)")
+		ledPath = flag.String("ledger", "PERF_ledger.jsonl", "append the sweep to this JSON-lines performance ledger (empty to skip)")
 	)
 	flag.Parse()
 
@@ -94,6 +98,7 @@ func main() {
 	}
 	baseDetected := -1
 	var baseNs int64
+	start := time.Now()
 	for _, w := range sweep {
 		best := int64(-1)
 		detected := 0
@@ -139,12 +144,42 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("scaling report written to %s\n", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fail(err)
+
+	// The -o file is a latest-snapshot view (clobbered each run); the
+	// ledger record is the history. The worker sweep lands in Points,
+	// whose per-count ns_per_op values are what perf check gates.
+	if *ledPath != "" {
+		rec := &ledger.Record{
+			Kind:    ledger.KindBenchFsim,
+			Circuit: c.Name,
+			ParamsHash: ledger.HashParams(map[string]any{
+				"n": len(tests), "len": *length, "seed": *seed,
+				"workers": sweep, "rounds": *rounds,
+			}),
+			Seed:        *seed,
+			Faults:      len(reps),
+			Detected:    baseDetected,
+			Coverage:    float64(baseDetected) / float64(len(reps)),
+			TotalCycles: rep.Cycles,
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		for _, p := range rep.Points {
+			rec.Points = append(rec.Points, ledger.BenchPoint{
+				Workers: p.Workers, NsPerOp: p.NsPerOp, Speedup: p.Speedup,
+			})
+		}
+		rec.Stamp()
+		if err := ledger.Append(*ledPath, rec, nil); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ledger record appended to %s\n", *ledPath)
 	}
-	fmt.Printf("scaling report written to %s\n", *out)
 }
 
 func fail(err error) {

@@ -6,6 +6,9 @@
 //
 //	faultsim -circuit s298 -n 32 -len 16 [-seed 1] [-undetected] [-classify]
 //	faultsim -circuit s1423 -progress -metrics out.json
+//	faultsim -circuit s1423 -debug-addr :6060             # /metrics + pprof while running
+//	faultsim -circuit s1423 -profile-dir prof             # session CPU/heap/alloc profiles
+//	faultsim -circuit s1423 -ledger PERF_ledger.jsonl     # append a performance record (see cmd/perf)
 //	faultsim -circuit s35932 -checkpoint run.ck           # snapshot per fault chunk
 //	faultsim -circuit s35932 -checkpoint run.ck -resume   # continue after a kill
 //
@@ -28,14 +31,32 @@ import (
 	"limscan/internal/atpg"
 	"limscan/internal/bmark"
 	"limscan/internal/checkpoint"
+	"limscan/internal/cliobs"
 	"limscan/internal/core"
+	"limscan/internal/debugsrv"
 	"limscan/internal/errs"
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
+	"limscan/internal/ledger"
 	"limscan/internal/obs"
+	"limscan/internal/prof"
 	"limscan/internal/report"
 	"limscan/internal/stafan"
 )
+
+// cleanup tears the observability stack down before any early exit; set
+// once the stack exists.
+var cleanup func()
+
+// fail reports err and exits with its errs code, flushing the
+// observability stack first.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+	if cleanup != nil {
+		cleanup()
+	}
+	os.Exit(errs.ExitCode(err))
+}
 
 func main() {
 	// A panic would make the Go runtime exit with status 2, colliding
@@ -57,8 +78,13 @@ func main() {
 		estimate   = flag.Bool("estimate", false, "print STAFAN detection-probability estimates for undetected faults")
 		trans      = flag.Bool("trans", false, "simulate the transition (gross-delay) fault universe instead of stuck-at")
 		progress   = flag.Bool("progress", false, "stream per-batch progress to stderr")
-		metrics    = flag.String("metrics", "", "write the simulation metrics registry as JSON to this file at exit")
+		metrics    = flag.String("metrics", "", "write the simulation metrics registry as JSON to this file at exit (\"-\" for stdout)")
 		workers    = flag.Int("workers", 0, "fault-simulation worker goroutines (0 = GOMAXPROCS; results are identical at any count)")
+
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while the session runs")
+		profileDir  = flag.String("profile-dir", "", "capture the session's CPU/heap/alloc pprof profiles into this directory")
+		sampleEvery = flag.Duration("sample-every", prof.DefaultSampleEvery, "runtime telemetry sampling cadence (heap, goroutines, GC gauges)")
+		ledgerPath  = flag.String("ledger", "", "append this session's performance record to this JSON-lines ledger (see cmd/perf)")
 
 		ckPath  = flag.String("checkpoint", "", "write fault-chunk snapshots to this file (atomic rewrite; SIGINT/SIGTERM flush the last chunk)")
 		ckEvery = flag.Int("checkpoint-every", 1, "fault chunks between snapshots")
@@ -112,7 +138,9 @@ func main() {
 	fs := fault.NewSet(reps)
 	s := fsim.New(c)
 	var o *obs.Campaign
-	if *progress || *metrics != "" {
+	observing := *progress || *metrics != "" || *debugAddr != "" || *profileDir != "" || *ledgerPath != ""
+	stack := &cliobs.Stack{MetricsPath: *metrics}
+	if observing {
 		var sink obs.Sink
 		if *progress {
 			p := obs.NewProgress(os.Stderr)
@@ -120,7 +148,27 @@ func main() {
 			sink = p
 		}
 		o = obs.New(obs.NewRegistry(), sink)
+		stack.Obs = o
 	}
+	if *profileDir != "" {
+		p, perr := prof.New(*profileDir)
+		if perr != nil {
+			fail(perr)
+		}
+		stack.Profiler = p
+		o.SetPhaseHook(p)
+	}
+	if observing {
+		stack.Sampler = prof.StartSampler(o, *sampleEvery)
+	}
+	if *debugAddr != "" {
+		srv, serr := debugsrv.Start(*debugAddr, o.Metrics())
+		if serr != nil {
+			fail(errs.Wrap(errs.Input, fmt.Errorf("-debug-addr: %w", serr)))
+		}
+		stack.Debug = srv
+	}
+	cleanup = func() { cliobs.Report(os.Stderr, "faultsim", stack.Shutdown()) }
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -128,6 +176,10 @@ func main() {
 	start := time.Now()
 	opts := fsim.Options{Obs: o, EmitBatchEvents: *progress, Workers: *workers}
 	var st fsim.RunStats
+	// One "session" span brackets the whole simulation: it is what gives
+	// -profile-dir a capture window (fsim.Run itself uses the quiet
+	// Accumulate path) and the phase summary a single headline number.
+	span := o.StartPhase("session")
 	if *ckPath != "" {
 		ck := fsim.SessionCheckpoint{
 			Meta: checkpoint.Meta{
@@ -158,6 +210,7 @@ func main() {
 		opts.Ctx = ctx
 		st, err = s.Run(tests, fs, opts)
 	}
+	span.End()
 	if err != nil {
 		var ie *checkpoint.InterruptedError
 		if errors.As(err, &ie) {
@@ -165,10 +218,14 @@ func main() {
 			if ie.Path != "" {
 				fmt.Fprintf(os.Stderr, "faultsim: rerun with -resume to continue\n")
 			}
+			// Flush partial observability, but append no ledger record:
+			// partial timings would poison perf comparisons.
+			if cleanup != nil {
+				cleanup()
+			}
 			os.Exit(3)
 		}
-		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-		os.Exit(errs.ExitCode(err))
+		fail(err)
 	}
 	elapsed := time.Since(start)
 
@@ -186,19 +243,34 @@ func main() {
 		fmt.Printf("detection sites: %d at POs, %d at limited scan-out, %d at complete scan-out\n",
 			st.DetectedAtPO, st.DetectedAtLimitedScan, st.DetectedAtScanOut)
 	}
-	if *metrics != "" {
-		f, err := os.Create(*metrics)
-		if err == nil {
-			err = o.Metrics().WriteJSON(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-			os.Exit(1)
-		}
+	// Tear the stack down before reading its numbers: the sampler's
+	// final sample and the metrics dump land first, so the ledger record
+	// below sees the session's true peaks.
+	cleanup()
+	if *metrics != "" && *metrics != "-" {
 		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+	if *ledgerPath != "" {
+		rec := &ledger.Record{
+			Kind:    ledger.KindFaultSim,
+			Circuit: c.Name,
+			ParamsHash: ledger.HashParams(map[string]any{
+				"n": len(tests), "len": *length, "seed": *seed, "trans": *trans,
+			}),
+			Seed:        *seed,
+			Workers:     *workers,
+			Faults:      len(reps),
+			Detected:    st.Detected,
+			Coverage:    float64(st.Detected) / float64(len(reps)),
+			TotalCycles: st.Cycles,
+			WallSeconds: elapsed.Seconds(),
+		}
+		rec.FromObs(o)
+		rec.Stamp()
+		if err := ledger.Append(*ledgerPath, rec, nil); err != nil {
+			fail(err)
+		}
+		fmt.Printf("ledger record appended to %s\n", *ledgerPath)
 	}
 
 	if *classify {

@@ -9,6 +9,8 @@
 //	limscan -circuit s420 -auto        # search combinations in Ncyc0 order
 //	limscan -circuit s420 -progress -metrics out.json   # observe the campaign
 //	limscan -circuit s420 -debug-addr :6060             # /metrics + pprof while running
+//	limscan -circuit s298 -profile-dir prof -metrics -  # per-phase pprof files, metrics JSON on stdout
+//	limscan -circuit s298 -ledger PERF_ledger.jsonl     # append a performance record (see cmd/perf)
 //	limscan -circuit s5378 -checkpoint run.ck           # snapshot every iteration
 //	limscan -circuit s5378 -checkpoint run.ck -resume   # continue after a kill
 //	limscan -list                      # show the benchmark registry
@@ -24,8 +26,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -35,12 +35,21 @@ import (
 	"limscan/internal/bmark"
 	"limscan/internal/checkpoint"
 	"limscan/internal/circuit"
+	"limscan/internal/cliobs"
 	"limscan/internal/core"
+	"limscan/internal/debugsrv"
 	"limscan/internal/errs"
+	"limscan/internal/ledger"
 	"limscan/internal/obs"
+	"limscan/internal/prof"
 	"limscan/internal/report"
 	"limscan/internal/vectors"
 )
+
+// cleanup tears the observability stack down before any early exit;
+// fail routes through it so -metrics/-events/-profile-dir outputs are
+// flushed even when the run dies. Set once the stack exists.
+var cleanup func()
 
 func main() {
 	// A panic would make the Go runtime exit with status 2, colliding
@@ -72,9 +81,13 @@ func main() {
 		resume  = flag.Bool("resume", false, "resume the campaign from the -checkpoint snapshot")
 
 		progress  = flag.Bool("progress", false, "stream human-readable campaign progress to stderr")
-		metrics   = flag.String("metrics", "", "write the campaign metrics registry as JSON to this file at exit")
+		metrics   = flag.String("metrics", "", "write the campaign metrics registry as JSON to this file at exit (\"-\" for stdout)")
 		events    = flag.String("events", "", "write the structured campaign event stream (JSON lines) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while the campaign runs")
+
+		profileDir  = flag.String("profile-dir", "", "capture per-phase CPU/heap/alloc pprof profiles into this directory")
+		sampleEvery = flag.Duration("sample-every", prof.DefaultSampleEvery, "runtime telemetry sampling cadence (heap, goroutines, GC gauges)")
+		ledgerPath  = flag.String("ledger", "", "append this run's performance record to this JSON-lines ledger (see cmd/perf)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -112,11 +125,13 @@ func main() {
 	}
 
 	// One observer feeds every surface: the -v / -progress narration,
-	// the -events JSON-lines record, the -metrics snapshot, and the
-	// -debug-addr exposition share a single code path.
-	observing := *verbose || *progress || *metrics != "" || *events != "" || *debugAddr != ""
+	// the -events JSON-lines record, the -metrics snapshot, the
+	// -debug-addr exposition, the -profile-dir captures and the -ledger
+	// record share a single code path.
+	observing := *verbose || *progress || *metrics != "" || *events != "" ||
+		*debugAddr != "" || *profileDir != "" || *ledgerPath != ""
 	var o *obs.Campaign
-	var eventsFile *os.File
+	stack := &cliobs.Stack{MetricsPath: *metrics}
 	if observing {
 		var sinks []obs.Sink
 		if *verbose || *progress {
@@ -127,14 +142,33 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			eventsFile = f
+			stack.EventsFile = f
 			sinks = append(sinks, obs.NewJSONLines(f))
 		}
 		o = obs.New(obs.NewRegistry(), obs.Multi(sinks...))
+		stack.Obs = o
+	}
+	if *profileDir != "" {
+		p, err := prof.New(*profileDir)
+		if err != nil {
+			fail(err)
+		}
+		stack.Profiler = p
+		o.SetPhaseHook(p)
+	}
+	if observing {
+		stack.Sampler = prof.StartSampler(o, *sampleEvery)
 	}
 	if *debugAddr != "" {
-		serveDebug(*debugAddr, o.Metrics())
+		srv, err := debugsrv.Start(*debugAddr, o.Metrics())
+		if err != nil {
+			failUsage(fmt.Errorf("-debug-addr: %w", err))
+		}
+		stack.Debug = srv
 	}
+	// Every exit path flushes the stack: the normal return below, the
+	// interrupt's exit(3), and fail's error exits.
+	cleanup = func() { cliobs.Report(os.Stderr, "limscan", stack.Shutdown()) }
 
 	// SIGINT/SIGTERM cancel the campaign context; the runner flushes the
 	// last completed boundary to the checkpoint before unwinding.
@@ -183,6 +217,11 @@ func main() {
 				if ie.Path != "" {
 					fmt.Fprintf(os.Stderr, "limscan: rerun with -resume to continue\n")
 				}
+				// An interrupted run still flushes its observability
+				// (partial metrics and profiles are exactly what you want
+				// after killing a hung campaign) but appends no ledger
+				// record: partial timings would poison perf comparisons.
+				cleanup()
 				os.Exit(3)
 			}
 			fail(err)
@@ -192,24 +231,43 @@ func main() {
 	if err := report.WriteCampaign(os.Stdout, c, res); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "limscan: done in %s\n", time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	fmt.Fprintf(os.Stderr, "limscan: done in %s\n", wall.Round(time.Millisecond))
 	if *verbose || *progress {
 		fmt.Fprintf(os.Stderr, "phases:\n")
 		for _, p := range o.PhaseSummary() {
 			fmt.Fprintf(os.Stderr, "  %-12s %6d run(s)  %s\n", p.Name, p.Count, p.Total.Round(time.Microsecond))
 		}
 	}
-	if *metrics != "" {
-		if err := writeMetrics(*metrics, o.Metrics()); err != nil {
-			fail(err)
-		}
+	// Tear the stack down before reading its numbers: the sampler's
+	// final sample and the metrics dump land first, so the ledger record
+	// below sees the run's true peaks.
+	cleanup()
+	if *metrics != "" && *metrics != "-" {
 		fmt.Printf("metrics written to %s\n", *metrics)
 	}
-	if eventsFile != nil {
-		if err := eventsFile.Close(); err != nil {
+	if stack.EventsFile != nil {
+		fmt.Printf("events written to %s\n", *events)
+	}
+	if *ledgerPath != "" {
+		rec := &ledger.Record{
+			Kind:        ledger.KindCampaign,
+			Circuit:     c.Name,
+			ParamsHash:  r.ParamsHash(res.Config),
+			Seed:        *seed,
+			Workers:     *workers,
+			Faults:      res.TotalFaults,
+			Detected:    res.Detected,
+			Coverage:    res.Coverage(),
+			TotalCycles: res.TotalCycles,
+			WallSeconds: wall.Seconds(),
+		}
+		rec.FromObs(o)
+		rec.Stamp()
+		if err := ledger.Append(*ledgerPath, rec, nil); err != nil {
 			fail(err)
 		}
-		fmt.Printf("events written to %s\n", *events)
+		fmt.Printf("ledger record appended to %s\n", *ledgerPath)
 	}
 	if *export != "" {
 		if err := exportProgram(*export, c, res); err != nil {
@@ -224,40 +282,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "limscan: WARNING: completed in checkpoint-degraded mode; %s is stale\n", *ckPath)
 		os.Exit(errs.ExitDegraded)
 	}
-}
-
-// serveDebug exposes the metrics registry and the runtime profiler while
-// a long campaign runs: `go tool pprof http://addr/debug/pprof/profile`
-// answers "where do the cycles go" for the software the same way the
-// metrics answer it for the simulated hardware.
-func serveDebug(addr string, reg *obs.Registry) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
-			fmt.Fprintf(os.Stderr, "limscan: debug server: %v\n", err)
-		}
-	}()
-}
-
-func writeMetrics(path string, reg *obs.Registry) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := reg.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 // exportProgram regenerates the full selected test program — TS0 followed
@@ -308,9 +332,13 @@ func loadCircuit(name, path string) *circuit.Circuit {
 }
 
 // fail reports err and exits with the code its kind maps to (see
-// internal/errs: 1 internal, 2 usage/input, 3 interrupted, 4 degraded).
+// internal/errs: 1 internal, 2 usage/input, 3 interrupted, 4 degraded),
+// flushing the observability stack first.
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "limscan: %v\n", err)
+	if cleanup != nil {
+		cleanup()
+	}
 	os.Exit(errs.ExitCode(err))
 }
 

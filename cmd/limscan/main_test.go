@@ -229,9 +229,9 @@ func TestResumeRejectsChangedParameters(t *testing.T) {
 		t.Fatalf("exit %d: %s", code, stderr)
 	}
 	cases := [][]string{
-		{"-circuit", "s27", "-la", "12", "-lb", "5", "-n", "2", "-seed", "17"},  // LA changed
-		{"-circuit", "s27", "-la", "10", "-lb", "5", "-n", "2", "-seed", "18"},  // seed changed
-		{"-circuit", "s344", "-la", "10", "-lb", "5", "-n", "2", "-seed", "17"}, // circuit changed
+		{"-circuit", "s27", "-la", "12", "-lb", "5", "-n", "2", "-seed", "17"},          // LA changed
+		{"-circuit", "s27", "-la", "10", "-lb", "5", "-n", "2", "-seed", "18"},          // seed changed
+		{"-circuit", "s344", "-la", "10", "-lb", "5", "-n", "2", "-seed", "17"},         // circuit changed
 		{"-circuit", "s27", "-la", "10", "-lb", "5", "-n", "2", "-seed", "17", "-desc"}, // D1 order changed
 	}
 	for _, args := range cases {

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"limscan/internal/ledger"
+)
+
+var bin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "perf-test-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bin = filepath.Join(dir, "perf")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building perf: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var so, se bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &so, &se
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return so.String(), se.String(), code
+}
+
+// writeLedger builds a two-record history: a 1.0s run and a 1.5s run.
+func writeLedger(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	for i, wall := range []float64{1.0, 1.5} {
+		r := &ledger.Record{
+			Kind: ledger.KindCampaign, Circuit: "s298", ParamsHash: "cafe",
+			Coverage: 0.95, TotalCycles: 1000, WallSeconds: wall,
+			Phases: []ledger.PhaseSeconds{{Name: "search", Count: 1, Seconds: wall * 0.8}},
+		}
+		r.Stamp()
+		if err := ledger.Append(path, r, nil); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	return path
+}
+
+func writeBaseline(t *testing.T, wallLimitValue float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	content := fmt.Sprintf(`{
+  "schema": 1, "kind": "campaign", "circuit": "s298",
+  "metrics": {
+    "wall_seconds": {"value": %g, "rel_tol": 0.2},
+    "coverage": {"value": 0.95, "abs_tol": 0.01, "higher_is_better": true}
+  }
+}`, wallLimitValue)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestList(t *testing.T) {
+	led := writeLedger(t)
+	so, se, code := run(t, "list", "-ledger", led)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, se)
+	}
+	if !strings.Contains(so, "campaign") || !strings.Contains(so, "s298") {
+		t.Errorf("list output:\n%s", so)
+	}
+	if lines := strings.Count(so, "\n"); lines != 3 { // header + 2 rows
+		t.Errorf("want 3 lines, got %d:\n%s", lines, so)
+	}
+}
+
+func TestDiffDefaultLastTwo(t *testing.T) {
+	led := writeLedger(t)
+	so, se, code := run(t, "diff", "-ledger", led)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, se)
+	}
+	if !strings.Contains(so, "wall_seconds") || !strings.Contains(so, "1.500x") {
+		t.Errorf("diff output missing wall_seconds ratio:\n%s", so)
+	}
+	if !strings.Contains(so, "phase_seconds/search") {
+		t.Errorf("diff output missing phase row:\n%s", so)
+	}
+}
+
+func TestDiffByIndex(t *testing.T) {
+	led := writeLedger(t)
+	if _, se, code := run(t, "diff", "-ledger", led, "1", "0"); code != 0 {
+		t.Fatalf("diff 1 0: exit %d, stderr: %s", code, se)
+	}
+	if _, _, code := run(t, "diff", "-ledger", led, "0", "9"); code != 2 {
+		t.Errorf("out-of-range index: exit %d, want 2", code)
+	}
+	if _, _, code := run(t, "diff", "-ledger", led, "-1", "0"); code != 2 {
+		t.Errorf("negative index: exit %d, want 2", code)
+	}
+}
+
+func TestCheckPassAndFail(t *testing.T) {
+	led := writeLedger(t) // latest record: wall 1.5
+
+	pass := writeBaseline(t, 1.5) // limit 1.8
+	so, se, code := run(t, "check", "-ledger", led, "-baseline", pass)
+	if code != 0 {
+		t.Fatalf("pass case: exit %d, stderr: %s\n%s", code, se, so)
+	}
+	if !strings.Contains(so, "PASS") {
+		t.Errorf("pass output:\n%s", so)
+	}
+
+	regress := writeBaseline(t, 1.0) // limit 1.2 < 1.5
+	so, _, code = run(t, "check", "-ledger", led, "-baseline", regress)
+	if code != 1 {
+		t.Fatalf("regression must exit 1, got %d:\n%s", code, so)
+	}
+	if !strings.Contains(so, "REGRESSION") || !strings.Contains(so, "wall_seconds") {
+		t.Errorf("regression output:\n%s", so)
+	}
+}
+
+func TestCheckUsageErrors(t *testing.T) {
+	led := writeLedger(t)
+	if _, _, code := run(t, "check", "-ledger", led); code != 2 {
+		t.Errorf("missing -baseline: exit %d, want 2", code)
+	}
+	base := writeBaseline(t, 1.5)
+	if _, _, code := run(t, "check", "-ledger", led, "-baseline", base, "-circuit", "s9999"); code != 2 {
+		t.Errorf("no matching record: exit %d, want 2", code)
+	}
+	if _, _, code := run(t, "bogus"); code != 2 {
+		t.Errorf("unknown command: exit %d, want 2", code)
+	}
+}

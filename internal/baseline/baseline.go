@@ -230,6 +230,9 @@ func Run(c *circuit.Circuit, fs *fault.Set, cfg Config) (Result, error) {
 	if workers > nb {
 		workers = nb
 	}
+	if o := cfg.Observer; o != nil {
+		o.Gauge("baseline_workers").Set(float64(workers))
+	}
 	dets := make([]logic.Word, nb)
 	if workers > 1 {
 		// Shard the batches: they partition rem, so each fault is
@@ -251,6 +254,12 @@ func Run(c *circuit.Circuit, fs *fault.Set, cfg Config) (Result, error) {
 			wg.Add(1)
 			go func(ws *Sim) {
 				defer wg.Done()
+				if o := cfg.Observer; o != nil {
+					w0 := time.Now()
+					defer func() {
+						o.Histogram("baseline_worker_busy_seconds").Observe(time.Since(w0).Seconds())
+					}()
+				}
 				defer func() {
 					if r := recover(); r != nil {
 						panicErr.CompareAndSwap(nil, errs.NewPanic(r, debug.Stack()))

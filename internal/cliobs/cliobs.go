@@ -1,0 +1,95 @@
+// Package cliobs is the shared lifecycle glue between the CLIs and the
+// observability stack: one Stack holds whatever pieces the flags turned
+// on (runtime sampler, per-phase profiler, debug HTTP server, metrics
+// dump, events file) and tears them down in dependency order from every
+// exit path — the normal return, the interrupt's exit(3), and the
+// degraded exit(4). Before this existed, limscan's interrupt path
+// abandoned the sinks mid-write and the debug server died with the
+// process, whichever request it was serving.
+package cliobs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"limscan/internal/debugsrv"
+	"limscan/internal/obs"
+	"limscan/internal/prof"
+)
+
+// Stack is the set of observability resources a CLI opened at startup.
+// Nil fields are simply skipped, so a run with no flags pays nothing.
+type Stack struct {
+	Obs      *obs.Campaign
+	Sampler  *prof.Sampler
+	Profiler *prof.Profiler
+	Debug    *debugsrv.Server
+
+	// MetricsPath is where the final registry dump goes: "" for nowhere,
+	// "-" for stdout, anything else a file path.
+	MetricsPath string
+	// EventsFile is the open -events sink, closed (flushed) last so the
+	// teardown itself can still emit events.
+	EventsFile *os.File
+
+	once sync.Once
+}
+
+// Shutdown releases everything in dependency order: stop the sampler
+// (its final sample makes the gauges current), close the profiler
+// (stopping any CPU capture an interrupt left running), shut the debug
+// server down gracefully, write the metrics dump from the now-final
+// registry, and close the events file. Idempotent — main can defer it
+// and still call it explicitly on the interrupt path. The returned
+// errors are reportable, not fatal: observability must never turn a
+// finished run into a failed one.
+func (s *Stack) Shutdown() []error {
+	var errs []error
+	s.once.Do(func() {
+		s.Sampler.Stop()
+		if err := s.Profiler.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := s.Debug.Shutdown(0); err != nil {
+			errs = append(errs, fmt.Errorf("debug server: %w", err))
+		}
+		if s.MetricsPath != "" && s.Obs != nil {
+			if err := WriteMetrics(s.MetricsPath, s.Obs.Metrics()); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if s.EventsFile != nil {
+			if err := s.EventsFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("events: %w", err))
+			}
+		}
+	})
+	return errs
+}
+
+// WriteMetrics dumps the registry as JSON to path, with "-" meaning
+// stdout (the scripting-friendly spelling: pipe straight into jq).
+func WriteMetrics(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Report prints each shutdown error prefixed with the tool name —
+// observability failures are worth a line on stderr, never an exit code.
+func Report(w io.Writer, tool string, errs []error) {
+	for _, err := range errs {
+		fmt.Fprintf(w, "%s: %v\n", tool, err)
+	}
+}

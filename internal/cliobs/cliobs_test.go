@@ -1,0 +1,103 @@
+package cliobs
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"limscan/internal/debugsrv"
+	"limscan/internal/obs"
+	"limscan/internal/prof"
+)
+
+func TestShutdownOrderAndIdempotence(t *testing.T) {
+	dir := t.TempDir()
+	o := obs.New(nil, nil)
+	p, err := prof.New(filepath.Join(dir, "prof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SetPhaseHook(p)
+	srv, err := debugsrv.Start("127.0.0.1:0", o.Metrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evPath := filepath.Join(dir, "events.jsonl")
+	ev, err := os.Create(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.StartPhase("interrupted") // left open, like a SIGINT mid-phase
+	s := &Stack{
+		Obs:         o,
+		Sampler:     prof.StartSampler(o, 0),
+		Profiler:    p,
+		Debug:       srv,
+		MetricsPath: filepath.Join(dir, "metrics.json"),
+		EventsFile:  ev,
+	}
+	if errs := s.Shutdown(); len(errs) != 0 {
+		t.Fatalf("Shutdown: %v", errs)
+	}
+	// Second call is a no-op, not a double close.
+	if errs := s.Shutdown(); len(errs) != 0 {
+		t.Fatalf("second Shutdown: %v", errs)
+	}
+
+	// The metrics dump happened after the sampler's final sample.
+	data, err := os.ReadFile(s.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), prof.GaugeHeapBytes) {
+		t.Errorf("metrics dump missing sampler gauges:\n%s", data)
+	}
+	// The debug server is down.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("debug server survived Shutdown")
+	}
+	// The interrupted phase's CPU profile was released: a fresh profiler
+	// can start one.
+	p2, err := prof.New(filepath.Join(dir, "prof2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.PhaseStart("next")
+	p2.PhaseEnd("next")
+	if err := p2.Close(); err != nil {
+		t.Errorf("CPU profile not released by Shutdown: %v", err)
+	}
+}
+
+func TestEmptyStack(t *testing.T) {
+	var s Stack
+	if errs := s.Shutdown(); len(errs) != 0 {
+		t.Errorf("empty stack Shutdown: %v", errs)
+	}
+}
+
+func TestWriteMetricsStdout(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total").Inc()
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	werr := WriteMetrics("-", reg)
+	w.Close()
+	os.Stdout = old
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	buf := make([]byte, 4096)
+	n, _ := r.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total") {
+		t.Errorf("stdout dump missing metric: %s", buf[:n])
+	}
+}

@@ -65,6 +65,16 @@ func (r *Runner) CheckpointMeta(cfg Config) checkpoint.Meta {
 	}
 }
 
+// ParamsHash digests every result-affecting parameter of a campaign
+// into a short hex string — the run-identity key the performance ledger
+// records, so `perf diff` can tell "same work, different speed" apart
+// from "different work". It is the checkpoint Meta hash: the two
+// subsystems agreeing on one identity means a ledger record and a
+// checkpoint from the same run are cross-referencable.
+func (r *Runner) ParamsHash(cfg Config) string {
+	return r.CheckpointMeta(cfg).Hash()
+}
+
 // snapshot captures the campaign state at an iteration boundary. The
 // fault set is copied bit-packed; everything else is already scalar.
 func (r *Runner) snapshot(cfg Config, res *Result, fs *fault.Set, nSame int) *checkpoint.Snapshot {

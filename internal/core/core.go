@@ -553,6 +553,22 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 	// changes at iteration boundaries, so this is the same break the
 	// classic loop takes — and it lets a resumed run that was already
 	// finished fall straight through to the report).
+	//
+	// The whole loop is one "search" phase span: procedure1/fault_sim
+	// below use the quiet Accumulate path (they run thousands of times),
+	// so this span is what gives the dominant cost a StartPhase bracket —
+	// and with it a profile capture when a PhaseHook is attached. The
+	// endSearch closure ends it exactly once whichever exit path runs,
+	// including the error returns inside the loop (via the defer).
+	searchSpan := o.StartPhase("search")
+	searchEnded := false
+	endSearch := func() {
+		if !searchEnded {
+			searchEnded = true
+			searchSpan.End()
+		}
+	}
+	defer endSearch()
 	for iter := startIter; remaining() > 0 && iter <= cfg.MaxIterations && nSame < cfg.NSameFC; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, ckw.interrupt(err)
@@ -635,6 +651,8 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 			return nil, err
 		}
 	}
+
+	endSearch()
 
 	res.Detected = fs.Count(fault.Detected)
 	res.Aborted = fs.Count(fault.Aborted) // aborts that also evaded detection

@@ -1,0 +1,102 @@
+// Package debugsrv is the CLIs' shared -debug-addr server: /metrics in
+// Prometheus text form plus the runtime's /debug/pprof endpoints, with
+// the two properties the old fire-and-forget goroutine lacked — the
+// listen error surfaces synchronously (a typo'd address is a usage
+// error, not a log line racing process exit), and shutdown is graceful
+// and bounded (an in-flight scrape gets a moment to finish; a hung one
+// cannot wedge exit).
+package debugsrv
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"limscan/internal/obs"
+)
+
+// Server is a running debug HTTP server. The zero value and nil are
+// inert; use Start.
+type Server struct {
+	srv  *http.Server
+	addr string
+	done chan struct{} // closed when Serve returns
+	err  error         // Serve's verdict, readable after done
+}
+
+// DefaultShutdownTimeout bounds Shutdown when callers pass zero.
+const DefaultShutdownTimeout = 2 * time.Second
+
+// Start listens on addr and serves in the background. The Listen call
+// is synchronous so an unusable address fails here, at flag-handling
+// time. An empty addr returns (nil, nil): the nil *Server is a no-op,
+// so call sites need no "enabled?" branches.
+func Start(addr string, reg *obs.Registry) (*Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		srv:  &http.Server{Handler: mux},
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0"), "" for nil.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Shutdown stops accepting connections and waits up to timeout (zero
+// means DefaultShutdownTimeout) for in-flight requests; past the
+// deadline remaining connections are closed hard. Nil-safe, idempotent
+// enough for defer+explicit call sites.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = DefaultShutdownTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// A wedged handler (an abandoned /debug/pprof/profile scrape, say)
+		// must not hold the process hostage.
+		err = s.srv.Close()
+	}
+	<-s.done
+	if s.err != nil {
+		return s.err
+	}
+	return err
+}

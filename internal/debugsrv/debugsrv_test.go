@@ -1,0 +1,72 @@
+package debugsrv
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"limscan/internal/obs"
+)
+
+func TestServeMetricsAndShutdown(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("campaign_runs_total").Inc()
+
+	s, err := Start("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "campaign_runs_total 1") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + s.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status = %d", resp.StatusCode)
+	}
+
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+}
+
+func TestStartBadAddr(t *testing.T) {
+	if _, err := Start("definitely-not-an-addr:99999", obs.NewRegistry()); err == nil {
+		t.Error("bad address must fail synchronously")
+	}
+}
+
+func TestEmptyAddrAndNil(t *testing.T) {
+	s, err := Start("", obs.NewRegistry())
+	if err != nil || s != nil {
+		t.Fatalf("empty addr: s=%v err=%v, want nil/nil", s, err)
+	}
+	if s.Addr() != "" {
+		t.Error("nil Addr not empty")
+	}
+	if err := s.Shutdown(0); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
+	}
+}

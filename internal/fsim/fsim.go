@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"limscan/internal/circuit"
 	"limscan/internal/errs"
@@ -235,6 +236,14 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (stats R
 	}()
 	if err := opts.Validate(); err != nil {
 		return RunStats{}, err
+	}
+	if o := opts.Obs; o != nil {
+		// Accumulate, not StartPhase: Run fires thousands of times per
+		// campaign, so a span (event + profile capture) per call would
+		// drown the observability it feeds. The campaign-level "search"
+		// span brackets these from above.
+		t0 := time.Now()
+		defer func() { o.Accumulate("fsim_run", time.Since(t0)) }()
 	}
 	per := opts.FaultsPerPass
 	if per == 0 {

@@ -1,0 +1,106 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineSchema versions the baseline file format independently of the
+// record schema.
+const BaselineSchema = 1
+
+// Tolerance bounds one metric against its baseline value. The allowed
+// band is Value*(1±RelTol) widened by ±AbsTol; which edge is the
+// regression edge depends on HigherIsBetter. AbsTol exists because
+// relative bands collapse near zero (a 0.02s phase doubling to 0.04s is
+// noise, not a regression).
+type Tolerance struct {
+	Value          float64 `json:"value"`
+	RelTol         float64 `json:"rel_tol"`
+	AbsTol         float64 `json:"abs_tol,omitempty"`
+	HigherIsBetter bool    `json:"higher_is_better,omitempty"`
+}
+
+// Limit returns the threshold the observed value must not cross.
+func (t Tolerance) Limit() float64 {
+	if t.HigherIsBetter {
+		return t.Value*(1-t.RelTol) - t.AbsTol
+	}
+	return t.Value*(1+t.RelTol) + t.AbsTol
+}
+
+// Violates reports whether an observed value crosses the limit.
+func (t Tolerance) Violates(got float64) bool {
+	if t.HigherIsBetter {
+		return got < t.Limit()
+	}
+	return got > t.Limit()
+}
+
+// Baseline is the committed reference a run is gated against (perf
+// check). Only metrics named here are checked: the gate is opt-in per
+// metric, so adding a new ledger field never retroactively fails CI.
+type Baseline struct {
+	Schema  int    `json:"schema"`
+	Kind    string `json:"kind,omitempty"`
+	Circuit string `json:"circuit,omitempty"`
+
+	Metrics map[string]Tolerance `json:"metrics"`
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("baseline %s: schema %d, this build reads %d", path, b.Schema, BaselineSchema)
+	}
+	if len(b.Metrics) == 0 {
+		return nil, fmt.Errorf("baseline %s: no metrics to check", path)
+	}
+	return &b, nil
+}
+
+// Violation is one failed check.
+type Violation struct {
+	Name    string
+	Got     float64
+	Limit   float64
+	Missing bool // the record lacks the metric entirely
+}
+
+func (v Violation) String() string {
+	if v.Missing {
+		return fmt.Sprintf("%s: missing from record (baseline expects it)", v.Name)
+	}
+	return fmt.Sprintf("%s: %g exceeds limit %g", v.Name, v.Got, v.Limit)
+}
+
+// Check gates a record against the baseline and returns every violation,
+// sorted by metric name. A metric the baseline names but the record
+// lacks is a violation: silently skipping it would let a regression hide
+// behind a dropped measurement.
+func (b *Baseline) Check(r *Record) []Violation {
+	got := r.Metrics()
+	var out []Violation
+	for name, tol := range b.Metrics {
+		v, ok := got[name]
+		if !ok {
+			out = append(out, Violation{Name: name, Missing: true})
+			continue
+		}
+		if tol.Violates(v) {
+			out = append(out, Violation{Name: name, Got: v, Limit: tol.Limit()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,41 @@
+package ledger
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLedgerRecord throws arbitrary bytes at the tolerant parser: it
+// must never panic, never return an outright error on in-memory input,
+// and every record it does accept must carry the current schema and
+// survive a marshal/parse round trip.
+func FuzzLedgerRecord(f *testing.F) {
+	good, _ := json.Marshal(&Record{Schema: Schema, Kind: KindCampaign, Circuit: "s298", WallSeconds: 1.5})
+	f.Add(append(good, '\n'))
+	f.Add([]byte("{not json\n" + string(good) + "\n"))
+	f.Add([]byte(`{"schema":99}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Add([]byte(`{"schema":1,"phases":[{"name":"x","seconds":1e308}]}` + "\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, skipped, err := Parse(data)
+		if err != nil {
+			t.Fatalf("Parse returned a hard error on in-memory input: %v", err)
+		}
+		for _, r := range recs {
+			if r.Schema != Schema {
+				t.Fatalf("accepted record with schema %d", r.Schema)
+			}
+			line, err := json.Marshal(&r)
+			if err != nil {
+				t.Fatalf("accepted record does not re-marshal: %v", err)
+			}
+			again, skips, err := Parse(append(line, '\n'))
+			if err != nil || len(skips) != 0 || len(again) != 1 {
+				t.Fatalf("round trip failed: err=%v skips=%v n=%d", err, skips, len(again))
+			}
+		}
+		_ = skipped
+	})
+}

@@ -14,10 +14,31 @@ type Campaign struct {
 	reg  *Registry
 	sink Sink
 	now  func() time.Time
+	hook PhaseHook
 
 	mu     sync.Mutex
 	phases map[string]*PhaseSpan
 	order  []string
+}
+
+// PhaseHook observes the explicit phase spans of a campaign — the
+// StartPhase/End brackets, not the quiet Accumulate path. It is the seam
+// per-phase profilers (internal/prof) plug into without obs depending on
+// them. Implementations must tolerate PhaseEnd calls for phases they
+// never saw start and must be safe for concurrent use.
+type PhaseHook interface {
+	PhaseStart(name string)
+	PhaseEnd(name string)
+}
+
+// SetPhaseHook attaches a hook that is called at every StartPhase /
+// Span.End bracket. Nil detaches. Call it before the campaign starts:
+// the hook field is not synchronized against in-flight spans.
+func (o *Campaign) SetPhaseHook(h PhaseHook) {
+	if o == nil {
+		return
+	}
+	o.hook = h
 }
 
 // PhaseSpan is the accumulated wall-clock time of one named phase.
@@ -88,6 +109,9 @@ func (o *Campaign) StartPhase(name string) *Span {
 		return nil
 	}
 	o.Emit(Event{Kind: KindPhaseStart, Phase: name})
+	if o.hook != nil {
+		o.hook.PhaseStart(name)
+	}
 	return &Span{o: o, name: name, start: o.now()}
 }
 
@@ -99,6 +123,9 @@ func (s *Span) End() time.Duration {
 		return 0
 	}
 	d := s.o.now().Sub(s.start)
+	if s.o.hook != nil {
+		s.o.hook.PhaseEnd(s.name)
+	}
 	s.o.Accumulate(s.name, d)
 	s.o.Emit(Event{Kind: KindPhaseEnd, Phase: s.name, Seconds: d.Seconds()})
 	return d
@@ -111,7 +138,7 @@ func (o *Campaign) Accumulate(name string, d time.Duration) {
 	if o == nil {
 		return
 	}
-	o.Gauge(`phase_seconds{phase="` + name + `"}`).Add(d.Seconds())
+	o.Gauge(Label("phase_seconds", "phase", name)).Add(d.Seconds())
 	o.mu.Lock()
 	p := o.phases[name]
 	if p == nil {

@@ -301,24 +301,93 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// Label renders `family{key="value"}` — the one-label metric-name
+// convention this registry uses (names are flat strings, so the label is
+// baked into the name). The value is escaped per the Prometheus text
+// format: backslash, double quote and newline become \\, \" and \n, so a
+// hostile phase name can never break the exposition or smuggle in a
+// second series.
+func Label(family, key, value string) string {
+	return family + "{" + key + "=\"" + escapeLabelValue(value) + "\"}"
+}
+
+func escapeLabelValue(v string) string {
+	// The common case has nothing to escape; scan first, copy lazily.
+	clean := true
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c == '\n' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return v
+	}
+	out := make([]byte, 0, len(v)+8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// family returns the metric-family part of a (possibly labeled) name:
+// everything before the first '{'. TYPE comments name families, never
+// individual labeled series.
+func family(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
 // WritePrometheus writes the registry in the Prometheus text exposition
-// format (version 0.0.4): TYPE comments, cumulative histogram buckets
-// with `le` labels, `_sum` and `_count` series.
+// format (version 0.0.4): one TYPE comment per metric family (labeled
+// series of one family share it), cumulative histogram buckets with `le`
+// labels, `_sum` and `_count` series. Names and series are emitted in
+// sorted order, so the exposition is byte-stable for a given snapshot.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
-	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
-			return err
+	writeFamilies := func(names []string, typ string, series func(name string) error) error {
+		lastFamily := ""
+		for _, name := range names {
+			if f := family(name); f != lastFamily {
+				lastFamily = f
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f, typ); err != nil {
+					return err
+				}
+			}
+			if err := series(name); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	for _, name := range sortedKeys(s.Gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[name]); err != nil {
-			return err
-		}
+	if err := writeFamilies(sortedByFamily(s.Counters), "counter", func(name string) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name])
+		return err
+	}); err != nil {
+		return err
 	}
-	for _, name := range sortedKeys(s.Histograms) {
+	if err := writeFamilies(sortedByFamily(s.Gauges), "gauge", func(name string) error {
+		_, err := fmt.Fprintf(w, "%s %g\n", name, s.Gauges[name])
+		return err
+	}); err != nil {
+		return err
+	}
+	for _, name := range sortedByFamily(s.Histograms) {
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", family(name)); err != nil {
 			return err
 		}
 		cum := int64(0)
@@ -338,11 +407,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
 
-func sortedKeys[V any](m map[string]V) []string {
+// sortedByFamily orders names by (family, full name), so every labeled
+// series of a family is adjacent to its TYPE line even when an unrelated
+// name would sort between the bare family and its '{'-suffixed series.
+func sortedByFamily[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool {
+		fi, fj := family(keys[i]), family(keys[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return keys[i] < keys[j]
+	})
 	return keys
 }

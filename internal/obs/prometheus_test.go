@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full text exposition byte for byte:
+// sorted family order, one TYPE line per family shared by its labeled
+// series, label-value escaping, and the histogram bucket/sum/count
+// layout. Any change to the exposition format must update this golden.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fsim_runs_total").Add(3)
+	reg.Counter("campaign_runs_total").Inc()
+	reg.Gauge("campaign_coverage").Set(0.875)
+	// Two labeled series of one family plus a value needing every escape.
+	reg.Gauge(Label("phase_seconds", "phase", "ts0_sim")).Set(1.5)
+	reg.Gauge(Label("phase_seconds", "phase", `a"b\c`+"\n")).Set(2)
+	// A bare name that sorts between `phase_seconds` and `phase_seconds{`
+	// must not split the family from its TYPE line.
+	reg.Gauge("phase_secondsx").Set(9)
+	h := reg.Histogram("lane_util", 0.5, 1)
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE campaign_runs_total counter
+campaign_runs_total 1
+# TYPE fsim_runs_total counter
+fsim_runs_total 3
+# TYPE campaign_coverage gauge
+campaign_coverage 0.875
+# TYPE phase_seconds gauge
+phase_seconds{phase="a\"b\\c\n"} 2
+phase_seconds{phase="ts0_sim"} 1.5
+# TYPE phase_secondsx gauge
+phase_secondsx 9
+# TYPE lane_util histogram
+lane_util_bucket{le="0.5"} 1
+lane_util_bucket{le="1"} 2
+lane_util_bucket{le="+Inf"} 3
+lane_util_sum 3
+lane_util_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", `m{k="plain"}`},
+		{`back\slash`, `m{k="back\\slash"}`},
+		{`quo"te`, `m{k="quo\"te"}`},
+		{"new\nline", `m{k="new\nline"}`},
+	} {
+		if got := Label("m", "k", tc.in); got != tc.want {
+			t.Errorf("Label(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// recordingHook collects PhaseStart/PhaseEnd calls.
+type recordingHook struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (h *recordingHook) PhaseStart(name string) {
+	h.mu.Lock()
+	h.calls = append(h.calls, "start:"+name)
+	h.mu.Unlock()
+}
+
+func (h *recordingHook) PhaseEnd(name string) {
+	h.mu.Lock()
+	h.calls = append(h.calls, "end:"+name)
+	h.mu.Unlock()
+}
+
+func TestPhaseHook(t *testing.T) {
+	o := New(nil, nil)
+	h := &recordingHook{}
+	o.SetPhaseHook(h)
+	o.StartPhase("alpha").End()
+	o.Accumulate("quiet", 1) // the quiet path never reaches the hook
+	o.StartPhase("beta").End()
+	want := []string{"start:alpha", "end:alpha", "start:beta", "end:beta"}
+	if len(h.calls) != len(want) {
+		t.Fatalf("hook calls = %v, want %v", h.calls, want)
+	}
+	for i := range want {
+		if h.calls[i] != want[i] {
+			t.Fatalf("hook calls = %v, want %v", h.calls, want)
+		}
+	}
+
+	// Nil campaign and nil hook stay no-ops.
+	var nilC *Campaign
+	nilC.SetPhaseHook(h)
+	nilC.StartPhase("x").End()
+	o.SetPhaseHook(nil)
+	o.StartPhase("gamma").End()
+	if len(h.calls) != len(want) {
+		t.Errorf("detached hook still called: %v", h.calls)
+	}
+}

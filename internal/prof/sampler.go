@@ -1,0 +1,142 @@
+package prof
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"limscan/internal/obs"
+)
+
+// Runtime gauge names the sampler maintains. They answer "where did the
+// memory go" for the software the way the campaign metrics answer the
+// paper's cost question for the hardware (DESIGN.md §7).
+const (
+	// GaugeHeapBytes is the live heap at the last sample (MemStats.HeapAlloc).
+	GaugeHeapBytes = "runtime_heap_bytes"
+	// GaugeHeapBytesPeak is the high-water mark of GaugeHeapBytes over the
+	// run — the number capacity planning wants, which a last-sample gauge
+	// alone cannot answer.
+	GaugeHeapBytesPeak = "runtime_heap_bytes_peak"
+	// GaugeGoroutines is runtime.NumGoroutine at the last sample.
+	GaugeGoroutines = "runtime_goroutines"
+	// GaugeGCPauseSecondsTotal is cumulative stop-the-world pause time.
+	GaugeGCPauseSecondsTotal = "runtime_gc_pause_seconds_total"
+	// GaugeAllocBytesTotal is cumulative bytes allocated (MemStats.TotalAlloc).
+	GaugeAllocBytesTotal = "runtime_alloc_bytes_total"
+	// GaugeGCTotal is the number of completed GC cycles.
+	GaugeGCTotal = "runtime_gc_total"
+)
+
+// RuntimeStats is the sampler's final accounting, for callers that
+// persist it (the run ledger) after the run.
+type RuntimeStats struct {
+	PeakHeapBytes       uint64
+	AllocBytesTotal     uint64
+	GCPauseSecondsTotal float64
+	NumGC               uint32
+}
+
+// Sampler periodically reads the Go runtime's memory and scheduler state
+// into obs gauges. Each sample is one runtime.ReadMemStats call — a
+// brief stop-the-world — so the default 250ms cadence costs well under
+// 0.1% of a core (see BenchmarkSamplerSample); it never touches the
+// simulation hot paths.
+type Sampler struct {
+	o        *obs.Campaign
+	every    time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu    sync.Mutex
+	stats RuntimeStats
+}
+
+// DefaultSampleEvery is the sampling cadence when callers pass zero.
+const DefaultSampleEvery = 250 * time.Millisecond
+
+// StartSampler begins background sampling into o's registry at the given
+// cadence (zero means DefaultSampleEvery) and takes one immediate
+// sample, so even a run shorter than the cadence reports its gauges. A
+// nil observer returns a nil Sampler whose methods are no-ops — the
+// zero-overhead unobserved path.
+func StartSampler(o *obs.Campaign, every time.Duration) *Sampler {
+	if o == nil {
+		return nil
+	}
+	if every <= 0 {
+		every = DefaultSampleEvery
+	}
+	s := &Sampler{
+		o:     o,
+		every: every,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	s.sample()
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample takes one reading and publishes it.
+func (s *Sampler) sample() {
+	if s == nil {
+		return
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.mu.Lock()
+	if m.HeapAlloc > s.stats.PeakHeapBytes {
+		s.stats.PeakHeapBytes = m.HeapAlloc
+	}
+	s.stats.AllocBytesTotal = m.TotalAlloc
+	s.stats.GCPauseSecondsTotal = float64(m.PauseTotalNs) / 1e9
+	s.stats.NumGC = m.NumGC
+	peak := s.stats.PeakHeapBytes
+	s.mu.Unlock()
+
+	s.o.Gauge(GaugeHeapBytes).Set(float64(m.HeapAlloc))
+	s.o.Gauge(GaugeHeapBytesPeak).Set(float64(peak))
+	s.o.Gauge(GaugeGoroutines).Set(float64(runtime.NumGoroutine()))
+	s.o.Gauge(GaugeGCPauseSecondsTotal).Set(float64(m.PauseTotalNs) / 1e9)
+	s.o.Gauge(GaugeAllocBytesTotal).Set(float64(m.TotalAlloc))
+	s.o.Gauge(GaugeGCTotal).Set(float64(m.NumGC))
+}
+
+// Stop ends background sampling, takes one final sample (so the gauges
+// and Stats reflect the run's end state, not the last tick), and waits
+// for the loop goroutine to exit. Safe to call more than once.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+	s.sample()
+}
+
+// Stats returns the accumulated runtime accounting. Call after Stop for
+// the final numbers; calling mid-run returns the latest sample's view.
+func (s *Sampler) Stats() RuntimeStats {
+	if s == nil {
+		return RuntimeStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
