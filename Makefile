@@ -9,9 +9,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos perfsmoke bench benchall
+.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke bench benchall
 
-ci: vet build race tier1 paradiff fuzz cksmoke chaos perfsmoke
+ci: vet build race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke
 
 vet:
 	$(GO) vet ./...
@@ -66,6 +66,13 @@ chaos:
 # baseline (scripts/perf_baseline.json).
 perfsmoke:
 	sh scripts/perf_smoke.sh
+
+# tracesmoke is the execution-tracing end-to-end gate: a tiny s298
+# campaign recorded with -trace at -workers 4, the trace checked for one
+# named track per worker and analyzed with `perf trace`, and the
+# campaign report verified byte-identical with tracing on and off.
+tracesmoke:
+	sh scripts/trace_smoke.sh
 
 # bench runs the fsim worker-scaling pair, writes the machine-readable
 # scaling report (ns/op and speedup vs Workers=1 on the largest bmark

@@ -7,14 +7,24 @@
 // Usage:
 //
 //	benchfsim [-circuit s35932] [-n 8 -len 8] [-workers 1,2,4,8] [-rounds 3] [-o BENCH_fsim.json] [-ledger PERF_ledger.jsonl]
+//	benchfsim -trace bench-trace.json    # record + analyze an execution trace of the sweep
 //
 // Each worker count is timed over `rounds` full sessions on a fresh
 // fault set and the best round is kept (standard best-of-N to shed
 // scheduler noise); speedup is relative to Workers=1. Detections are
 // cross-checked against the serial run, so the report doubles as a
 // coarse correctness gate. Speedup beyond 1x requires actual hardware
-// parallelism: the report records GOMAXPROCS and NumCPU so a flat curve
-// on a one-core host reads as the host's fault, not the simulator's.
+// parallelism: the report records GOMAXPROCS and NumCPU, and a sweep
+// that cannot actually run its workers in parallel (one-core host, or
+// GOMAXPROCS below the widest point) is flagged degenerate — loudly on
+// stderr and as `degenerate_parallelism` in the report and the ledger
+// record — because its speedup column measures goroutine scheduling
+// overhead, not scaling.
+//
+// With -trace the sweep also records an execution trace (per-worker
+// batch spans, merge barriers; see internal/trace), writes it as Chrome
+// trace-event JSON, and folds the trace's Amdahl decomposition — serial
+// fraction and the speedup ceiling it implies — into the ledger record.
 package main
 
 import (
@@ -28,10 +38,12 @@ import (
 	"time"
 
 	"limscan/internal/bmark"
+	"limscan/internal/cliobs"
 	"limscan/internal/core"
 	"limscan/internal/fault"
 	"limscan/internal/fsim"
 	"limscan/internal/ledger"
+	"limscan/internal/trace"
 )
 
 type workerPoint struct {
@@ -42,27 +54,32 @@ type workerPoint struct {
 }
 
 type report struct {
-	Circuit    string        `json:"circuit"`
-	Gates      int           `json:"gates"`
-	Faults     int           `json:"faults"`
-	Tests      int           `json:"tests"`
-	Cycles     int64         `json:"cycles"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Rounds     int           `json:"rounds"`
-	Points     []workerPoint `json:"points"`
+	Circuit    string `json:"circuit"`
+	Gates      int    `json:"gates"`
+	Faults     int    `json:"faults"`
+	Tests      int    `json:"tests"`
+	Cycles     int64  `json:"cycles"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Rounds     int    `json:"rounds"`
+	// DegenerateParallelism marks a sweep whose host could not actually
+	// run the workers in parallel; the speedup column is then scheduling
+	// overhead, not scaling (see the package comment).
+	DegenerateParallelism bool          `json:"degenerate_parallelism,omitempty"`
+	Points                []workerPoint `json:"points"`
 }
 
 func main() {
 	var (
-		name    = flag.String("circuit", "s35932", "registry circuit name")
-		n       = flag.Int("n", 8, "number of random tests")
-		length  = flag.Int("len", 8, "vectors per test")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
-		rounds  = flag.Int("rounds", 3, "timed rounds per worker count (best kept)")
-		out     = flag.String("o", "BENCH_fsim.json", "output JSON path (- for stdout)")
-		ledPath = flag.String("ledger", "PERF_ledger.jsonl", "append the sweep to this JSON-lines performance ledger (empty to skip)")
+		name      = flag.String("circuit", "s35932", "registry circuit name")
+		n         = flag.Int("n", 8, "number of random tests")
+		length    = flag.Int("len", 8, "vectors per test")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+		rounds    = flag.Int("rounds", 3, "timed rounds per worker count (best kept)")
+		out       = flag.String("o", "BENCH_fsim.json", "output JSON path (- for stdout)")
+		ledPath   = flag.String("ledger", "PERF_ledger.jsonl", "append the sweep to this JSON-lines performance ledger (empty to skip)")
+		tracePath = flag.String("trace", "", "record an execution trace of the sweep and write Chrome trace-event JSON to this file; its serial-fraction analysis lands in the ledger record")
 	)
 	flag.Parse()
 
@@ -71,12 +88,32 @@ func main() {
 		fail(err)
 	}
 	var sweep []int
+	maxWorkers := 0
 	for _, tok := range strings.Split(*workers, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil || w < 1 {
 			fail(fmt.Errorf("bad -workers entry %q", tok))
 		}
 		sweep = append(sweep, w)
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+	}
+
+	// A sweep the host cannot actually parallelize still runs — the
+	// determinism cross-check is host-independent — but its timing
+	// columns must not be mistaken for a scaling measurement.
+	degenerate := runtime.NumCPU() < 2 || runtime.GOMAXPROCS(0) < maxWorkers
+	if degenerate {
+		fmt.Fprintf(os.Stderr,
+			"benchfsim: WARNING: degenerate parallelism — NumCPU=%d, GOMAXPROCS=%d, widest sweep point %d workers;\n"+
+				"benchfsim: WARNING: the speedup column measures scheduling overhead, not scaling, and is flagged degenerate_parallelism in the report\n",
+			runtime.NumCPU(), runtime.GOMAXPROCS(0), maxWorkers)
+	}
+
+	var tracer *trace.Recorder
+	if *tracePath != "" {
+		tracer = trace.New()
 	}
 
 	cfg := core.Config{LA: *length, LB: *length, N: (*n + 1) / 2, Seed: *seed}
@@ -88,13 +125,14 @@ func main() {
 	s := fsim.New(c)
 
 	rep := report{
-		Circuit:    c.Name,
-		Gates:      c.Stats().Gates,
-		Faults:     len(reps),
-		Tests:      len(tests),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Rounds:     *rounds,
+		Circuit:               c.Name,
+		Gates:                 c.Stats().Gates,
+		Faults:                len(reps),
+		Tests:                 len(tests),
+		GOMAXPROCS:            runtime.GOMAXPROCS(0),
+		NumCPU:                runtime.NumCPU(),
+		Rounds:                *rounds,
+		DegenerateParallelism: degenerate,
 	}
 	baseDetected := -1
 	var baseNs int64
@@ -105,7 +143,7 @@ func main() {
 		for r := 0; r < *rounds; r++ {
 			fs := fault.NewSet(reps)
 			t0 := time.Now()
-			st, err := s.Run(tests, fs, fsim.Options{Workers: w})
+			st, err := s.Run(tests, fs, fsim.Options{Workers: w, Trace: tracer})
 			el := time.Since(t0).Nanoseconds()
 			if err != nil {
 				fail(err)
@@ -151,6 +189,20 @@ func main() {
 		fmt.Printf("scaling report written to %s\n", *out)
 	}
 
+	// The trace is analyzed in-process (the recorder's model is the same
+	// one `perf trace` builds from the file), so the ledger record below
+	// carries the sweep's serial fraction without a second tool run.
+	var analysis *trace.Analysis
+	if tracer != nil {
+		if err := cliobs.WriteTrace(*tracePath, tracer); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace written to %s (analyze with `perf trace`, or load in Perfetto)\n", *tracePath)
+		analysis = trace.Analyze(tracer.Model())
+		fmt.Fprintf(os.Stderr, "benchfsim: trace: serial fraction %.1f%%, Amdahl max speedup %.2fx\n",
+			analysis.SerialFraction*100, analysis.MaxSpeedup)
+	}
+
 	// The -o file is a latest-snapshot view (clobbered each run); the
 	// ledger record is the history. The worker sweep lands in Points,
 	// whose per-count ns_per_op values are what perf check gates.
@@ -162,12 +214,17 @@ func main() {
 				"n": len(tests), "len": *length, "seed": *seed,
 				"workers": sweep, "rounds": *rounds,
 			}),
-			Seed:        *seed,
-			Faults:      len(reps),
-			Detected:    baseDetected,
-			Coverage:    float64(baseDetected) / float64(len(reps)),
-			TotalCycles: rep.Cycles,
-			WallSeconds: time.Since(start).Seconds(),
+			Seed:                  *seed,
+			Faults:                len(reps),
+			Detected:              baseDetected,
+			Coverage:              float64(baseDetected) / float64(len(reps)),
+			TotalCycles:           rep.Cycles,
+			WallSeconds:           time.Since(start).Seconds(),
+			DegenerateParallelism: degenerate,
+		}
+		if analysis != nil {
+			rec.SerialFraction = analysis.SerialFraction
+			rec.MaxSpeedup = analysis.MaxSpeedup
 		}
 		for _, p := range rep.Points {
 			rec.Points = append(rec.Points, ledger.BenchPoint{

@@ -42,6 +42,7 @@ import (
 	"limscan/internal/prof"
 	"limscan/internal/report"
 	"limscan/internal/stafan"
+	"limscan/internal/trace"
 )
 
 // cleanup tears the observability stack down before any early exit; set
@@ -81,6 +82,7 @@ func main() {
 		metrics    = flag.String("metrics", "", "write the simulation metrics registry as JSON to this file at exit (\"-\" for stdout)")
 		workers    = flag.Int("workers", 0, "fault-simulation worker goroutines (0 = GOMAXPROCS; results are identical at any count)")
 
+		tracePath   = flag.String("trace", "", "record an execution trace (session, per-worker batches, merges, checkpoints) and write Chrome trace-event JSON to this file; analyze with `perf trace` or load in Perfetto")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while the session runs")
 		profileDir  = flag.String("profile-dir", "", "capture the session's CPU/heap/alloc pprof profiles into this directory")
 		sampleEvery = flag.Duration("sample-every", prof.DefaultSampleEvery, "runtime telemetry sampling cadence (heap, goroutines, GC gauges)")
@@ -138,7 +140,8 @@ func main() {
 	fs := fault.NewSet(reps)
 	s := fsim.New(c)
 	var o *obs.Campaign
-	observing := *progress || *metrics != "" || *debugAddr != "" || *profileDir != "" || *ledgerPath != ""
+	observing := *progress || *metrics != "" || *debugAddr != "" || *profileDir != "" ||
+		*ledgerPath != "" || *tracePath != ""
 	stack := &cliobs.Stack{MetricsPath: *metrics}
 	if observing {
 		var sink obs.Sink
@@ -150,19 +153,32 @@ func main() {
 		o = obs.New(obs.NewRegistry(), sink)
 		stack.Obs = o
 	}
+	var hooks []obs.PhaseHook
 	if *profileDir != "" {
 		p, perr := prof.New(*profileDir)
 		if perr != nil {
 			fail(perr)
 		}
 		stack.Profiler = p
-		o.SetPhaseHook(p)
+		hooks = append(hooks, p)
 	}
+	var tracer *trace.Recorder
+	if *tracePath != "" {
+		tracer = trace.New()
+		stack.Trace = tracer
+		stack.TracePath = *tracePath
+		hooks = append(hooks, tracer)
+	}
+	o.SetPhaseHook(obs.PhaseHooks(hooks...))
 	if observing {
 		stack.Sampler = prof.StartSampler(o, *sampleEvery)
 	}
 	if *debugAddr != "" {
-		srv, serr := debugsrv.Start(*debugAddr, o.Metrics())
+		srv, serr := debugsrv.Start(*debugAddr, debugsrv.Config{
+			Registry: o.Metrics(),
+			Ready:    o.Started,
+			Trace:    tracer,
+		})
 		if serr != nil {
 			fail(errs.Wrap(errs.Input, fmt.Errorf("-debug-addr: %w", serr)))
 		}
@@ -174,7 +190,7 @@ func main() {
 	defer stopSignals()
 
 	start := time.Now()
-	opts := fsim.Options{Obs: o, EmitBatchEvents: *progress, Workers: *workers}
+	opts := fsim.Options{Obs: o, EmitBatchEvents: *progress, Workers: *workers, Trace: tracer}
 	var st fsim.RunStats
 	// One "session" span brackets the whole simulation: it is what gives
 	// -profile-dir a capture window (fsim.Run itself uses the quiet
@@ -249,6 +265,9 @@ func main() {
 	cleanup()
 	if *metrics != "" && *metrics != "-" {
 		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+	if *tracePath != "" && *tracePath != "-" {
+		fmt.Printf("trace written to %s (analyze with `perf trace`, or load in Perfetto)\n", *tracePath)
 	}
 	if *ledgerPath != "" {
 		rec := &ledger.Record{

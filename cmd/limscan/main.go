@@ -43,6 +43,7 @@ import (
 	"limscan/internal/obs"
 	"limscan/internal/prof"
 	"limscan/internal/report"
+	"limscan/internal/trace"
 	"limscan/internal/vectors"
 )
 
@@ -85,6 +86,7 @@ func main() {
 		events    = flag.String("events", "", "write the structured campaign event stream (JSON lines) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address while the campaign runs")
 
+		tracePath   = flag.String("trace", "", "record an execution trace (phases, fsim runs, per-worker batches, merges, checkpoints) and write Chrome trace-event JSON to this file; analyze with `perf trace` or load in Perfetto")
 		profileDir  = flag.String("profile-dir", "", "capture per-phase CPU/heap/alloc pprof profiles into this directory")
 		sampleEvery = flag.Duration("sample-every", prof.DefaultSampleEvery, "runtime telemetry sampling cadence (heap, goroutines, GC gauges)")
 		ledgerPath  = flag.String("ledger", "", "append this run's performance record to this JSON-lines ledger (see cmd/perf)")
@@ -129,7 +131,7 @@ func main() {
 	// -debug-addr exposition, the -profile-dir captures and the -ledger
 	// record share a single code path.
 	observing := *verbose || *progress || *metrics != "" || *events != "" ||
-		*debugAddr != "" || *profileDir != "" || *ledgerPath != ""
+		*debugAddr != "" || *profileDir != "" || *ledgerPath != "" || *tracePath != ""
 	var o *obs.Campaign
 	stack := &cliobs.Stack{MetricsPath: *metrics}
 	if observing {
@@ -148,19 +150,34 @@ func main() {
 		o = obs.New(obs.NewRegistry(), obs.Multi(sinks...))
 		stack.Obs = o
 	}
+	// The profiler and the trace recorder both consume phase brackets;
+	// PhaseHooks fans the seam out to whichever the flags enabled.
+	var hooks []obs.PhaseHook
 	if *profileDir != "" {
 		p, err := prof.New(*profileDir)
 		if err != nil {
 			fail(err)
 		}
 		stack.Profiler = p
-		o.SetPhaseHook(p)
+		hooks = append(hooks, p)
 	}
+	var tracer *trace.Recorder
+	if *tracePath != "" {
+		tracer = trace.New()
+		stack.Trace = tracer
+		stack.TracePath = *tracePath
+		hooks = append(hooks, tracer)
+	}
+	o.SetPhaseHook(obs.PhaseHooks(hooks...))
 	if observing {
 		stack.Sampler = prof.StartSampler(o, *sampleEvery)
 	}
 	if *debugAddr != "" {
-		srv, err := debugsrv.Start(*debugAddr, o.Metrics())
+		srv, err := debugsrv.Start(*debugAddr, debugsrv.Config{
+			Registry: o.Metrics(),
+			Ready:    o.Started,
+			Trace:    tracer,
+		})
 		if err != nil {
 			failUsage(fmt.Errorf("-debug-addr: %w", err))
 		}
@@ -178,6 +195,7 @@ func main() {
 	r := core.NewRunner(c)
 	r.SetObserver(o)
 	r.SetWorkers(*workers)
+	r.SetTracer(tracer)
 	start := time.Now()
 
 	var res *core.Result
@@ -245,6 +263,9 @@ func main() {
 	cleanup()
 	if *metrics != "" && *metrics != "-" {
 		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+	if *tracePath != "" && *tracePath != "-" {
+		fmt.Printf("trace written to %s (analyze with `perf trace`, or load in Perfetto)\n", *tracePath)
 	}
 	if stack.EventsFile != nil {
 		fmt.Printf("events written to %s\n", *events)

@@ -1,13 +1,18 @@
 // Command perf reads the performance ledger (see internal/ledger) and
 // answers the three questions a perf history exists for: what runs do we
 // have (list), how do two runs compare (diff), and did this run regress
-// past tolerance (check — the CI gate).
+// past tolerance (check — the CI gate). A fourth subcommand, trace,
+// leaves the ledger behind and analyzes an execution trace recorded with
+// -trace (see internal/trace): per-worker utilization, merge-barrier
+// stalls, the Amdahl serial fraction, and a one-screen diagnosis of what
+// limits scaling.
 //
 // Usage:
 //
 //	perf list  [-ledger PERF_ledger.jsonl] [-kind campaign] [-circuit s298]
 //	perf diff  [-ledger ...] [-kind ...] [-circuit ...] [A B]
 //	perf check [-ledger ...] [-kind ...] [-circuit ...] -baseline perf_baseline.json
+//	perf trace [-json] trace.json
 //
 // diff compares records A and B by non-negative index into the filtered
 // history (0 is oldest); with no arguments it compares the last two.
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"limscan/internal/ledger"
+	"limscan/internal/trace"
 )
 
 func main() {
@@ -40,6 +47,8 @@ func main() {
 		cmdDiff(args)
 	case "check":
 		cmdCheck(args)
+	case "trace":
+		cmdTrace(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -53,6 +62,7 @@ func usage() {
   perf list  [-ledger FILE] [-kind K] [-circuit C]
   perf diff  [-ledger FILE] [-kind K] [-circuit C] [A B]
   perf check [-ledger FILE] [-kind K] [-circuit C] -baseline FILE
+  perf trace [-json] TRACEFILE
 `)
 	os.Exit(2)
 }
@@ -188,6 +198,29 @@ func cmdCheck(args []string) {
 		fmt.Printf("REGRESSION: %s\n", v)
 	}
 	os.Exit(1)
+}
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("perf trace", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the analysis as JSON instead of the report")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		failUsage(fmt.Errorf("trace takes exactly one trace file (recorded with limscan/faultsim -trace)"))
+	}
+	m, err := trace.ParseFile(fs.Arg(0))
+	if err != nil {
+		failUsage(err)
+	}
+	a := trace.Analyze(m)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(a); err != nil {
+			fail(err)
+		}
+		return
+	}
+	a.WriteReport(os.Stdout)
 }
 
 func fail(err error) {

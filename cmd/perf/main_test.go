@@ -2,14 +2,17 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"limscan/internal/ledger"
+	"limscan/internal/trace"
 )
 
 var bin string
@@ -154,5 +157,156 @@ func TestCheckUsageErrors(t *testing.T) {
 	}
 	if _, _, code := run(t, "bogus"); code != 2 {
 		t.Errorf("unknown command: exit %d, want 2", code)
+	}
+}
+
+// writeTraceFile records a small synthetic trace — one sharded run, two
+// workers, a merge — and writes it as trace-event JSON.
+func writeTraceFile(t *testing.T) string {
+	t.Helper()
+	tr := trace.New()
+	main := tr.Track(trace.MainTrack)
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	main.Add(trace.CatPhase, "search", 0, ms(10))
+	main.Add(trace.CatRun, trace.SpanRun, ms(2), ms(6),
+		trace.KV{K: "workers", V: 2}, trace.KV{K: "batches", V: 4})
+	main.Add(trace.CatMerge, trace.SpanMerge, ms(7.5), ms(0.5), trace.KV{K: "batches", V: 4})
+	w0 := tr.Track(trace.WorkerTrackPrefix + "0")
+	w0.Add(trace.CatBatch, trace.SpanBatch, ms(2), ms(3), trace.KV{K: "batch", V: 0})
+	w0.Add(trace.CatWait, trace.SpanWaitMerge, ms(5), ms(2.5))
+	w1 := tr.Track(trace.WorkerTrackPrefix + "1")
+	w1.Add(trace.CatBatch, trace.SpanBatch, ms(2), ms(5), trace.KV{K: "batch", V: 1})
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceReport(t *testing.T) {
+	path := writeTraceFile(t)
+	so, se, code := run(t, "trace", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, se)
+	}
+	for _, want := range []string{
+		"fsim worker 0", "fsim worker 1", "merge-stall",
+		"serial fraction", "Amdahl", "dominant limiter",
+	} {
+		if !strings.Contains(so, want) {
+			t.Errorf("trace report missing %q:\n%s", want, so)
+		}
+	}
+}
+
+func TestTraceJSON(t *testing.T) {
+	path := writeTraceFile(t)
+	so, se, code := run(t, "trace", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, se)
+	}
+	var a trace.Analysis
+	if err := json.Unmarshal([]byte(so), &a); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, so)
+	}
+	if a.Workers != 2 || a.ShardedRuns != 1 || a.SerialFraction <= 0 {
+		t.Errorf("analysis fields: %+v", a)
+	}
+}
+
+func TestTraceUsageErrors(t *testing.T) {
+	if _, _, code := run(t, "trace"); code != 2 {
+		t.Errorf("no file: exit %d, want 2", code)
+	}
+	if _, _, code := run(t, "trace", "does-not-exist.json"); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := run(t, "trace", bad); code != 2 {
+		t.Errorf("invalid file: exit %d, want 2", code)
+	}
+}
+
+// TestDiffToleratesOldRecords pins the forward-compatibility contract:
+// a history whose older records predate the trace-era fields
+// (serial_fraction, max_speedup, degenerate_parallelism) must diff
+// cleanly against a new record that has them — the new metrics appear
+// as one-sided rows, never as an error.
+func TestDiffToleratesOldRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	// An old-format line, written literally so no new field can sneak in
+	// through the struct.
+	old := `{"schema":1,"time":"2026-01-01T00:00:00Z","kind":"benchfsim","circuit":"s298",` +
+		`"params_hash":"cafe","gomaxprocs":1,"num_cpu":1,"wall_seconds":2.0,"coverage":0.9,"total_cycles":500}`
+	if err := os.WriteFile(path, []byte(old+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := &ledger.Record{
+		Kind: ledger.KindBenchFsim, Circuit: "s298", ParamsHash: "cafe",
+		Coverage: 0.9, TotalCycles: 500, WallSeconds: 1.8,
+		SerialFraction: 0.25, MaxSpeedup: 4.0, DegenerateParallelism: true,
+	}
+	rec.Stamp()
+	if err := ledger.Append(path, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	so, se, code := run(t, "diff", "-ledger", path)
+	if code != 0 {
+		t.Fatalf("diff across schema generations: exit %d, stderr: %s", code, se)
+	}
+	// The new metrics show as present-on-one-side rows.
+	if !strings.Contains(so, "serial_fraction") || !strings.Contains(so, "max_speedup") {
+		t.Errorf("diff hides the new metrics:\n%s", so)
+	}
+}
+
+// TestCheckToleratesOldRecords: a baseline that names only the classic
+// metrics must pass a record missing every trace-era field — the gate is
+// opt-in per metric, so growing the ledger never retroactively fails CI.
+func TestCheckToleratesOldRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	old := `{"schema":1,"time":"2026-01-01T00:00:00Z","kind":"campaign","circuit":"s298",` +
+		`"params_hash":"cafe","gomaxprocs":1,"num_cpu":1,"wall_seconds":1.0,"coverage":0.95,"total_cycles":1000}`
+	if err := os.WriteFile(path, []byte(old+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := writeBaseline(t, 1.0)
+	so, se, code := run(t, "check", "-ledger", path, "-baseline", base)
+	if code != 0 {
+		t.Fatalf("check of a pre-trace record: exit %d, stderr: %s\n%s", code, se, so)
+	}
+	if !strings.Contains(so, "PASS") {
+		t.Errorf("check output:\n%s", so)
+	}
+}
+
+// TestCheckCommittedBaseline runs perf check against the repository's
+// committed baseline with a minimal old-format record, proving the
+// committed file itself never demands the new keys.
+func TestCheckCommittedBaseline(t *testing.T) {
+	basePath := filepath.Join("..", "..", "scripts", "perf_baseline.json")
+	if _, err := os.Stat(basePath); err != nil {
+		t.Skipf("committed baseline not found: %v", err)
+	}
+	b, err := ledger.LoadBaseline(basePath)
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	for name := range b.Metrics {
+		switch name {
+		case "serial_fraction", "max_speedup":
+			t.Errorf("committed baseline gates trace-era metric %q — old records would fail", name)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"limscan/internal/debugsrv"
 	"limscan/internal/obs"
 	"limscan/internal/prof"
+	"limscan/internal/trace"
 )
 
 // Stack is the set of observability resources a CLI opened at startup.
@@ -30,6 +31,12 @@ type Stack struct {
 	// MetricsPath is where the final registry dump goes: "" for nowhere,
 	// "-" for stdout, anything else a file path.
 	MetricsPath string
+	// Trace is the -trace recorder; TracePath is where its Chrome
+	// trace-event JSON lands at teardown. Writing from Shutdown means
+	// every exit path — normal, interrupt, fail — leaves a loadable
+	// trace behind, exactly like the metrics dump.
+	Trace     *trace.Recorder
+	TracePath string
 	// EventsFile is the open -events sink, closed (flushed) last so the
 	// teardown itself can still emit events.
 	EventsFile *os.File
@@ -60,6 +67,11 @@ func (s *Stack) Shutdown() []error {
 				errs = append(errs, err)
 			}
 		}
+		if s.TracePath != "" && s.Trace != nil {
+			if err := WriteTrace(s.TracePath, s.Trace); err != nil {
+				errs = append(errs, fmt.Errorf("trace: %w", err))
+			}
+		}
 		if s.EventsFile != nil {
 			if err := s.EventsFile.Close(); err != nil {
 				errs = append(errs, fmt.Errorf("events: %w", err))
@@ -80,6 +92,23 @@ func WriteMetrics(path string, reg *obs.Registry) error {
 		return err
 	}
 	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTrace dumps the recorder as Chrome trace-event JSON to path,
+// with "-" meaning stdout.
+func WriteTrace(path string, tr *trace.Recorder) error {
+	if path == "-" {
+		return tr.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"limscan/internal/debugsrv"
 	"limscan/internal/obs"
 	"limscan/internal/prof"
+	"limscan/internal/trace"
 )
 
 func TestShutdownOrderAndIdempotence(t *testing.T) {
@@ -20,7 +21,8 @@ func TestShutdownOrderAndIdempotence(t *testing.T) {
 		t.Fatal(err)
 	}
 	o.SetPhaseHook(p)
-	srv, err := debugsrv.Start("127.0.0.1:0", o.Metrics())
+	tr := trace.New()
+	srv, err := debugsrv.Start("127.0.0.1:0", debugsrv.Config{Registry: o.Metrics(), Ready: o.Started, Trace: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,6 +33,7 @@ func TestShutdownOrderAndIdempotence(t *testing.T) {
 	}
 
 	o.StartPhase("interrupted") // left open, like a SIGINT mid-phase
+	tr.PhaseStart("interrupted")
 	s := &Stack{
 		Obs:         o,
 		Sampler:     prof.StartSampler(o, 0),
@@ -38,6 +41,8 @@ func TestShutdownOrderAndIdempotence(t *testing.T) {
 		Debug:       srv,
 		MetricsPath: filepath.Join(dir, "metrics.json"),
 		EventsFile:  ev,
+		Trace:       tr,
+		TracePath:   filepath.Join(dir, "trace.json"),
 	}
 	if errs := s.Shutdown(); len(errs) != 0 {
 		t.Fatalf("Shutdown: %v", errs)
@@ -58,6 +63,15 @@ func TestShutdownOrderAndIdempotence(t *testing.T) {
 	// The debug server is down.
 	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
 		t.Error("debug server survived Shutdown")
+	}
+	// The trace file landed, even though the phase was left open (the
+	// open span is simply absent — only closed brackets become spans).
+	tdata, err := os.ReadFile(s.TracePath)
+	if err != nil {
+		t.Fatalf("trace dump missing: %v", err)
+	}
+	if _, err := trace.Parse(tdata); err != nil {
+		t.Errorf("trace dump not valid trace-event JSON: %v", err)
 	}
 	// The interrupted phase's CPU profile was released: a fresh profiler
 	// can start one.

@@ -10,6 +10,7 @@ import (
 	"limscan/internal/fault"
 	"limscan/internal/iofault"
 	"limscan/internal/obs"
+	"limscan/internal/trace"
 )
 
 // CheckpointOptions controls periodic campaign snapshotting during
@@ -145,6 +146,10 @@ func restore(snap *checkpoint.Snapshot, res *Result, fs *fault.Set) (running, nS
 type checkpointWriter struct {
 	opts *CheckpointOptions
 	o    *obs.Campaign
+	// tr, when set, records a checkpoint_write span around every disk
+	// write — checkpoint I/O is serial time the trace diagnoser charges
+	// against scaling.
+	tr *trace.Recorder
 	// last is the most recent iteration-boundary snapshot, whether or
 	// not the cadence wrote it; a cancellation flushes it.
 	last *checkpoint.Snapshot
@@ -208,6 +213,10 @@ func (w *checkpointWriter) flush() error {
 	}
 	t0 := time.Now()
 	n, err := checkpoint.SaveFS(w.opts.FS, w.opts.Path, w.last, w.opts.Retry)
+	if w.tr != nil {
+		w.tr.Track(trace.MainTrack).Add(trace.CatCheckpoint, trace.SpanCheckpoint,
+			w.tr.Rel(t0), time.Since(t0), trace.KV{K: "bytes", V: int64(n)})
+	}
 	if err != nil {
 		if errs.Is(err, errs.TransientIO) {
 			w.degrade(err)

@@ -33,6 +33,7 @@ import (
 	"limscan/internal/logic"
 	"limscan/internal/obs"
 	"limscan/internal/scan"
+	"limscan/internal/trace"
 )
 
 // Config collects the paper's tunable parameters.
@@ -329,6 +330,11 @@ type Runner struct {
 	trans *atpg.TransEngine
 	// obs is the runner-level observer, used when a Config carries none.
 	obs *obs.Campaign
+	// tracer, when set, records an execution trace of every run: phase
+	// spans arrive through the obs.PhaseHook seam, and the runner
+	// threads the recorder into fsim and the checkpoint writer for the
+	// worker-level spans.
+	tracer *trace.Recorder
 	// workers is the runner-level fault-simulation worker count, used
 	// when a Config carries none (and by the cfg-less entry points:
 	// TopOff, CoverageCurve).
@@ -339,6 +345,15 @@ type Runner struct {
 // executes (RunProcedure2, TopOff, FirstComplete). A Config.Observer, if
 // set, takes precedence for that run. Nil detaches.
 func (r *Runner) SetObserver(o *obs.Campaign) { r.obs = o }
+
+// SetTracer attaches an execution-trace recorder to every run the
+// runner executes: fault-simulation runs, per-worker batches, merges
+// and checkpoint writes become spans (see internal/trace). Campaign
+// phase spans are not recorded here — attach the same recorder to the
+// observer with SetPhaseHook (the CLIs do both). Nil detaches. Tracing
+// is purely observational: traced and untraced campaigns produce
+// byte-identical results.
+func (r *Runner) SetTracer(tr *trace.Recorder) { r.tracer = tr }
 
 // observer resolves the effective observer for a run.
 func (r *Runner) observer(cfg Config) *obs.Campaign {
@@ -481,7 +496,7 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 	res := &Result{Config: cfg, TotalFaults: len(fs.Faults)}
 	o.Emit(obs.Event{Kind: obs.KindCampaignStart, Circuit: r.c.Name, Faults: res.TotalFaults})
 	o.Counter("campaign_runs_total").Inc()
-	ckw := &checkpointWriter{opts: ck, o: o, wroteIter: -1}
+	ckw := &checkpointWriter{opts: ck, o: o, tr: r.tracer, wroteIter: -1}
 
 	// Step 2: generate TS0. On resume this regenerates the identical
 	// test set (it is a pure function of the configured seed) without
@@ -494,7 +509,7 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 	var selected [][]scan.Test
 	if snap == nil {
 		span = o.StartPhase("ts0_sim")
-		st, err := r.sim.Run(ts0, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg), Ctx: ctx})
+		st, err := r.sim.Run(ts0, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg), Ctx: ctx, Trace: r.tracer})
 		span.End()
 		if err != nil {
 			if ctx.Err() != nil {
@@ -588,7 +603,7 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 				o.Accumulate("procedure1", time.Since(t0))
 				t0 = time.Now()
 			}
-			st, err := r.sim.Run(ts, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg), Ctx: ctx})
+			st, err := r.sim.Run(ts, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg), Ctx: ctx, Trace: r.tracer})
 			if o != nil {
 				o.Accumulate("fault_sim", time.Since(t0))
 			}

@@ -5,6 +5,13 @@
 // error, not a log line racing process exit), and shutdown is graceful
 // and bounded (an in-flight scrape gets a moment to finish; a hung one
 // cannot wedge exit).
+//
+// Beyond metrics and pprof the server speaks the usual operational
+// probes: /healthz answers 200 for the life of the process, /readyz
+// flips from 503 to 200 once the campaign opens its first phase span,
+// and /trace serves the execution trace recorded so far as Chrome
+// trace-event JSON (downloadable mid-run — the recorder's snapshot
+// read is safe against concurrent span appends).
 package debugsrv
 
 import (
@@ -16,7 +23,24 @@ import (
 	"time"
 
 	"limscan/internal/obs"
+	"limscan/internal/trace"
 )
+
+// Config wires the server's data sources. All fields are optional:
+// endpoints whose source is absent degrade honestly (empty metrics,
+// never-ready /readyz only if no Ready func AND no readiness source,
+// 404 /trace).
+type Config struct {
+	// Registry backs /metrics; nil serves an empty exposition.
+	Registry *obs.Registry
+	// Ready backs /readyz: the endpoint answers 200 once Ready returns
+	// true. Nil means always ready. The CLIs pass the campaign
+	// observer's Started method, so readiness flips exactly when the
+	// first phase span opens.
+	Ready func() bool
+	// Trace backs /trace; nil makes the endpoint 404.
+	Trace *trace.Recorder
+}
 
 // Server is a running debug HTTP server. The zero value and nil are
 // inert; use Start.
@@ -34,7 +58,7 @@ const DefaultShutdownTimeout = 2 * time.Second
 // is synchronous so an unusable address fails here, at flag-handling
 // time. An empty addr returns (nil, nil): the nil *Server is a no-op,
 // so call sites need no "enabled?" branches.
-func Start(addr string, reg *obs.Registry) (*Server, error) {
+func Start(addr string, cfg Config) (*Server, error) {
 	if addr == "" {
 		return nil, nil
 	}
@@ -45,7 +69,32 @@ func Start(addr string, reg *obs.Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = reg.WritePrometheus(w)
+		if cfg.Registry != nil {
+			_ = cfg.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness: the server answering at all is the signal.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Ready != nil && !cfg.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("starting\n"))
+			return
+		}
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Trace == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="limscan-trace.json"`)
+		_ = cfg.Trace.WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

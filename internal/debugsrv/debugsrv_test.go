@@ -4,17 +4,34 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"limscan/internal/obs"
+	"limscan/internal/trace"
 )
+
+// get fetches a path from the server and returns status and body.
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
 
 func TestServeMetricsAndShutdown(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("campaign_runs_total").Inc()
 
-	s, err := Start("127.0.0.1:0", reg)
+	s, err := Start("127.0.0.1:0", Config{Registry: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,13 +70,13 @@ func TestServeMetricsAndShutdown(t *testing.T) {
 }
 
 func TestStartBadAddr(t *testing.T) {
-	if _, err := Start("definitely-not-an-addr:99999", obs.NewRegistry()); err == nil {
+	if _, err := Start("definitely-not-an-addr:99999", Config{}); err == nil {
 		t.Error("bad address must fail synchronously")
 	}
 }
 
 func TestEmptyAddrAndNil(t *testing.T) {
-	s, err := Start("", obs.NewRegistry())
+	s, err := Start("", Config{})
 	if err != nil || s != nil {
 		t.Fatalf("empty addr: s=%v err=%v, want nil/nil", s, err)
 	}
@@ -68,5 +85,190 @@ func TestEmptyAddrAndNil(t *testing.T) {
 	}
 	if err := s.Shutdown(0); err != nil {
 		t.Errorf("nil Shutdown: %v", err)
+	}
+}
+
+// TestHealthzAlwaysUp pins the liveness contract: /healthz answers 200
+// from the moment the server is up, before and after the campaign
+// starts doing work.
+func TestHealthzAlwaysUp(t *testing.T) {
+	o := obs.New(nil, nil)
+	s, err := Start("127.0.0.1:0", Config{Registry: o.Metrics(), Ready: o.Started})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(time.Second)
+
+	if code, body := get(t, s, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz before campaign start = %d %q, want 200 ok", code, body)
+	}
+	o.StartPhase("ts0_gen").End()
+	if code, body := get(t, s, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healthz after campaign start = %d %q, want 200 ok", code, body)
+	}
+}
+
+// TestReadyzFlipsAtFirstPhase pins the readiness contract: 503 during
+// setup, 200 from the instant the first phase span opens — not at its
+// end, not at some later phase.
+func TestReadyzFlipsAtFirstPhase(t *testing.T) {
+	o := obs.New(nil, nil)
+	s, err := Start("127.0.0.1:0", Config{Ready: o.Started})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(time.Second)
+
+	if code, _ := get(t, s, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz before first phase = %d, want 503", code)
+	}
+	span := o.StartPhase("ts0_gen")
+	// The span is open, not yet ended: readiness must already have
+	// flipped — "campaign is doing real work" is the signal, not
+	// "first phase finished".
+	if code, body := get(t, s, "/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Errorf("readyz with first phase open = %d %q, want 200 ready", code, body)
+	}
+	span.End()
+	if code, _ := get(t, s, "/readyz"); code != http.StatusOK {
+		t.Errorf("readyz after first phase = %d, want 200", code)
+	}
+}
+
+// TestReadyzNilReadyAlwaysReady: no readiness source means the endpoint
+// never blocks a probe.
+func TestReadyzNilReadyAlwaysReady(t *testing.T) {
+	s, err := Start("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(time.Second)
+	if code, _ := get(t, s, "/readyz"); code != http.StatusOK {
+		t.Errorf("readyz with nil Ready = %d, want 200", code)
+	}
+}
+
+// TestTraceEndpointMidRun downloads /trace while a recorder is actively
+// appending spans from another goroutine and checks the download is
+// valid, loadable trace-event JSON. This is the mid-run snapshot
+// contract: the writer publishes spans atomically, so a concurrent
+// reader sees a consistent prefix, never a torn span.
+func TestTraceEndpointMidRun(t *testing.T) {
+	tr := trace.New()
+	s, err := Start("127.0.0.1:0", Config{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(time.Second)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wt := tr.Track(trace.WorkerTrackPrefix + "0")
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			bs := tr.Now()
+			wt.Add(trace.CatBatch, trace.SpanBatch, bs, tr.Now()-bs, trace.KV{K: "batch", V: i})
+			if i%256 == 0 {
+				// Yield so the downloads below make progress on a one-core
+				// host — the point is concurrency, not a flood of spans.
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Several downloads while spans stream in; each must parse.
+	for i := 0; i < 3; i++ {
+		code, body := get(t, s, "/trace")
+		if code != http.StatusOK {
+			t.Fatalf("trace download %d: status %d", i, code)
+		}
+		m, err := trace.Parse([]byte(body))
+		if err != nil {
+			t.Fatalf("trace download %d: not valid trace-event JSON: %v", i, err)
+		}
+		if i > 0 && m.Track(trace.WorkerTrackPrefix+"0") == nil {
+			t.Errorf("trace download %d: no worker track yet", i)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The final download must hold every span recorded.
+	_, body := get(t, s, "/trace")
+	m, err := trace.Parse([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt := m.Track(trace.WorkerTrackPrefix + "0")
+	if wt == nil || len(wt.Spans) == 0 {
+		t.Fatal("final trace download has no worker spans")
+	}
+	if got, want := len(wt.Spans), tr.Track(trace.WorkerTrackPrefix+"0").Len(); got != want {
+		t.Errorf("final download has %d spans, recorder holds %d", got, want)
+	}
+}
+
+// TestTraceEndpointNoRecorder: without a recorder the endpoint is 404,
+// not an empty-but-plausible trace.
+func TestTraceEndpointNoRecorder(t *testing.T) {
+	s, err := Start("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(time.Second)
+	if code, _ := get(t, s, "/trace"); code != http.StatusNotFound {
+		t.Errorf("trace without recorder = %d, want 404", code)
+	}
+}
+
+// TestShutdownWithRequestInFlight races Shutdown against an in-flight
+// request: graceful shutdown must let the request finish, and the
+// response must still be complete and valid.
+func TestShutdownWithRequestInFlight(t *testing.T) {
+	tr := trace.New()
+	// Enough spans that writing the response takes a little while.
+	wt := tr.Track(trace.WorkerTrackPrefix + "0")
+	for i := int64(0); i < 20_000; i++ {
+		wt.Add(trace.CatBatch, trace.SpanBatch, 0, 1, trace.KV{K: "batch", V: i})
+	}
+	s, err := Start("127.0.0.1:0", Config{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/trace")
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		ch <- result{body: string(body), err: err}
+	}()
+
+	// Give the request a moment to be in flight, then shut down.
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Shutdown(5 * time.Second); err != nil {
+		t.Errorf("Shutdown with request in flight: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across Shutdown: %v", r.err)
+	}
+	if _, err := trace.Parse([]byte(r.body)); err != nil {
+		t.Errorf("in-flight response truncated or invalid after Shutdown: %v", err)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"limscan/internal/obs"
 	"limscan/internal/scan"
 	"limscan/internal/sim"
+	"limscan/internal/trace"
 )
 
 // LanesPerWord is the number of faults simulated concurrently per batch
@@ -75,6 +76,13 @@ type Options struct {
 	// verdict exists only after the whole session, so no single site can
 	// be credited). Nil keeps the hot path untouched.
 	Obs *obs.Campaign
+	// Trace, when set, records an execution trace of the run: one
+	// fsim_run span on the campaign track, per-worker batch spans,
+	// merge-barrier wait spans and the ordered-merge span (see
+	// internal/trace). Recording happens strictly after batch results
+	// exist and the merge never consults it, so traced and untraced runs
+	// are byte-identical. Nil keeps the hot path untouched.
+	Trace *trace.Recorder
 	// EmitBatchEvents additionally emits one fsim_batch event per fault
 	// batch through Obs — live progress for a single long simulation
 	// run. Leave it off inside campaigns, where runs number in the
@@ -256,7 +264,13 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (stats R
 	}
 	stats = RunStats{Cycles: s.cost.SessionCycles(tests)}
 	rem := fs.Remaining()
-	if w := opts.effectiveWorkers((len(rem) + per - 1) / per); w > 1 {
+	tr := opts.Trace
+	var runStart time.Duration
+	if tr != nil {
+		runStart = tr.Now()
+	}
+	w := opts.effectiveWorkers((len(rem) + per - 1) / per)
+	if w > 1 {
 		if err := s.runSharded(tests, fs, rem, per, w, opts, &stats); err != nil {
 			return stats, err
 		}
@@ -264,6 +278,12 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (stats R
 		var sites *[numSites]logic.Word
 		if opts.Obs != nil && opts.MISRDegree == 0 {
 			sites = new([numSites]logic.Word)
+		}
+		// On the serial path the caller's goroutine is the one worker, so
+		// its batch spans land on worker track 0.
+		var wt *trace.Track
+		if tr != nil {
+			wt = tr.Track(trace.WorkerTrackPrefix + "0")
 		}
 		for start := 0; start < len(rem); start += per {
 			if opts.Ctx != nil {
@@ -282,9 +302,23 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (stats R
 			if h := PanicHook; h != nil {
 				h(start / per)
 			}
+			var bs time.Duration
+			if wt != nil {
+				bs = tr.Now()
+			}
 			det := s.runBatch(tests, fs.Faults, batch, opts, sites)
+			if wt != nil {
+				wt.Add(trace.CatBatch, trace.SpanBatch, bs, tr.Now()-bs,
+					trace.KV{K: "batch", V: int64(start / per)},
+					trace.KV{K: "faults", V: int64(len(batch))})
+			}
 			s.mergeBatch(&stats, fs, batch, det, sites, opts)
 		}
+	}
+	if tr != nil {
+		tr.Track(trace.MainTrack).Add(trace.CatRun, trace.SpanRun, runStart, tr.Now()-runStart,
+			trace.KV{K: "workers", V: int64(w)},
+			trace.KV{K: "batches", V: int64(stats.Batches)})
 	}
 	if o := opts.Obs; o != nil {
 		o.Counter("fsim_runs_total").Inc()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"limscan/internal/logic"
 	"limscan/internal/obs"
 	"limscan/internal/scan"
+	"limscan/internal/trace"
 )
 
 // Multi-core fault simulation.
@@ -97,6 +99,7 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 	var stop atomic.Bool
 	batchesBy := make([]int, workers)
 	doneAt := make([]time.Time, workers)
+	tr := opts.Trace
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		ws := s.worker(w)
@@ -110,6 +113,12 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 				}
 				doneAt[w] = time.Now()
 			}()
+			// Each worker owns its track for the duration of the run, so
+			// batch spans append lock-free (see trace.Track).
+			var wt *trace.Track
+			if tr != nil {
+				wt = tr.Track(trace.WorkerTrackPrefix + strconv.Itoa(w))
+			}
 			for {
 				if stop.Load() {
 					break
@@ -133,12 +142,34 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 				if h := PanicHook; h != nil {
 					h(bi)
 				}
+				var bs time.Duration
+				if wt != nil {
+					bs = tr.Now()
+				}
 				out[bi].det = ws.runBatch(tests, fs.Faults, rem[lo:hi], opts, sites)
+				if wt != nil {
+					wt.Add(trace.CatBatch, trace.SpanBatch, bs, tr.Now()-bs,
+						trace.KV{K: "batch", V: int64(bi)},
+						trace.KV{K: "faults", V: int64(hi - lo)})
+				}
 				batchesBy[w]++
 			}
 		}(w, ws)
 	}
 	wg.Wait()
+	// Merge-barrier stall spans: each worker's gap between finishing its
+	// last batch and the merge starting now. Recorded after wg.Wait, so
+	// the workers are gone and the campaign goroutine is each track's
+	// sole writer again.
+	if tr != nil {
+		mergeAt := tr.Now()
+		for w := 0; w < workers; w++ {
+			if d := mergeAt - tr.Rel(doneAt[w]); d > 0 {
+				tr.Track(trace.WorkerTrackPrefix+strconv.Itoa(w)).
+					Add(trace.CatWait, trace.SpanWaitMerge, tr.Rel(doneAt[w]), d)
+			}
+		}
+	}
 	if pe := panicErr.Load(); pe != nil {
 		if o := opts.Obs; o != nil {
 			o.Counter("fsim_worker_panics_total").Inc()
@@ -154,7 +185,13 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 	}
 
 	// Deterministic merge: identical bookkeeping, in the same batch
-	// order, as the serial loop.
+	// order, as the serial loop. The trace span around it is recorded
+	// after the fold completes — the recorder observes the merge, never
+	// participates in it.
+	var mergeStart time.Duration
+	if tr != nil {
+		mergeStart = tr.Now()
+	}
 	for bi := 0; bi < nb; bi++ {
 		lo := bi * per
 		hi := lo + per
@@ -166,6 +203,10 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 			sites = &out[bi].sites
 		}
 		s.mergeBatch(stats, fs, rem[lo:hi], out[bi].det, sites, opts)
+	}
+	if tr != nil {
+		tr.Track(trace.MainTrack).Add(trace.CatMerge, trace.SpanMerge, mergeStart, tr.Now()-mergeStart,
+			trace.KV{K: "batches", V: int64(nb)})
 	}
 
 	if o := opts.Obs; o != nil {

@@ -1,12 +1,14 @@
 package fsim
 
 import (
+	"strings"
 	"testing"
 
 	"limscan/internal/bmark"
 	"limscan/internal/circuit"
 	"limscan/internal/fault"
 	"limscan/internal/obs"
+	"limscan/internal/trace"
 )
 
 // sessionDims scales the differential workload to the circuit so the
@@ -293,5 +295,84 @@ func TestEffectiveWorkers(t *testing.T) {
 	}
 	if got := (Options{}).effectiveWorkers(1 << 20); got < 1 {
 		t.Errorf("effectiveWorkers(Workers=0) = %d, want >= 1", got)
+	}
+}
+
+// TestParallelTracedIdenticalResults pins the soundness claim behind
+// -trace: recording an execution trace must not perturb the simulation.
+// Every RunStats field and every per-fault state must be byte-identical
+// with tracing on vs off, at serial and sharded worker counts — and the
+// trace itself must carry one track per worker plus the run span. The
+// "Parallel" name puts this under `make paradiff`, so the claim is also
+// checked at GOMAXPROCS=1 and 4.
+func TestParallelTracedIdenticalResults(t *testing.T) {
+	for _, name := range []string{"s298", "s641"} {
+		t.Run(name, func(t *testing.T) {
+			c, err := bmark.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps, _ := fault.Collapse(c, fault.Universe(c))
+			n, length := sessionDims(len(c.Gates))
+			tests := randomTests(c, n, length, true, 99)
+
+			run := func(workers int, tr *trace.Recorder) (RunStats, []fault.Status) {
+				fs := fault.NewSet(reps)
+				stats, err := New(c).Run(tests, fs, Options{
+					Workers: workers,
+					Obs:     obs.New(nil, nil),
+					Trace:   tr,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				states := make([]fault.Status, len(fs.State))
+				copy(states, fs.State)
+				return stats, states
+			}
+
+			for _, w := range []int{1, 4} {
+				plain, plainStates := run(w, nil)
+				tr := trace.New()
+				traced, tracedStates := run(w, tr)
+				if traced != plain {
+					t.Errorf("Workers=%d traced stats = %+v, want %+v", w, traced, plain)
+				}
+				for i := range tracedStates {
+					if tracedStates[i] != plainStates[i] {
+						t.Errorf("Workers=%d: fault %s state diverged under tracing",
+							w, reps[i].Pretty(c))
+					}
+				}
+				// The trace recorded what it promised: a run span with the
+				// effective worker count, and a batch track per worker that
+				// claimed work.
+				m := tr.Model()
+				main := m.Track(trace.MainTrack)
+				if main == nil || len(main.Spans) == 0 {
+					t.Fatalf("Workers=%d: no run span on the campaign track", w)
+				}
+				var runSpans, workerTracks int
+				for i := range main.Spans {
+					if main.Spans[i].Cat == trace.CatRun {
+						runSpans++
+						if got, ok := main.Spans[i].Arg("workers"); !ok || got < 1 {
+							t.Errorf("run span workers arg = %d, %v", got, ok)
+						}
+					}
+				}
+				for _, mt := range m.Tracks {
+					if strings.HasPrefix(mt.Name, trace.WorkerTrackPrefix) && len(mt.Spans) > 0 {
+						workerTracks++
+					}
+				}
+				if runSpans != 1 {
+					t.Errorf("Workers=%d: %d run spans, want 1", w, runSpans)
+				}
+				if workerTracks < 1 {
+					t.Errorf("Workers=%d: no worker tracks with batch spans", w)
+				}
+			}
+		})
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"limscan/internal/iofault"
 	"limscan/internal/obs"
 	"limscan/internal/scan"
+	"limscan/internal/trace"
 )
 
 // Checkpointed sessions.
@@ -144,6 +145,10 @@ func (s *Simulator) RunCheckpointed(ctx context.Context, tests []scan.Test, fs *
 		}
 		t0 := time.Now()
 		size, err := checkpoint.SaveFS(ck.FS, ck.Path, sn, ck.Retry)
+		if tr := opts.Trace; tr != nil {
+			tr.Track(trace.MainTrack).Add(trace.CatCheckpoint, trace.SpanCheckpoint,
+				tr.Rel(t0), time.Since(t0), trace.KV{K: "bytes", V: int64(size)})
+		}
 		if err != nil {
 			if errs.Is(err, errs.TransientIO) {
 				degraded = true

@@ -95,6 +95,20 @@ type Record struct {
 	GCPauseSecondsTotal float64 `json:"gc_pause_seconds_total,omitempty"`
 	NumGC               uint32  `json:"num_gc,omitempty"`
 
+	// Execution-trace decomposition (from internal/trace, runs with
+	// -trace): the Amdahl serial fraction and the speedup it caps any
+	// worker count at. Zero means "not traced" — records predating
+	// tracing simply lack the keys, and Metrics omits them so old
+	// records diff and check cleanly against new ones.
+	SerialFraction float64 `json:"serial_fraction,omitempty"`
+	MaxSpeedup     float64 `json:"max_speedup,omitempty"`
+
+	// DegenerateParallelism flags a sweep measured on a host that could
+	// not actually run the workers in parallel (NumCPU < 2, or
+	// GOMAXPROCS below the widest point): its speedup column measures
+	// scheduling overhead, not scaling.
+	DegenerateParallelism bool `json:"degenerate_parallelism,omitempty"`
+
 	// Points carries a benchfsim worker sweep.
 	Points []BenchPoint `json:"points,omitempty"`
 }
@@ -297,6 +311,12 @@ func (r *Record) Metrics() map[string]float64 {
 	}
 	if r.NumGC > 0 {
 		m["num_gc"] = float64(r.NumGC)
+	}
+	if r.SerialFraction > 0 {
+		m["serial_fraction"] = r.SerialFraction
+	}
+	if r.MaxSpeedup > 0 {
+		m["max_speedup"] = r.MaxSpeedup
 	}
 	for _, p := range r.Phases {
 		m["phase_seconds/"+p.Name] = p.Seconds

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,12 @@ type Campaign struct {
 	mu     sync.Mutex
 	phases map[string]*PhaseSpan
 	order  []string
+
+	// started flips when the first phase span opens — the campaign has
+	// finished setup and is doing real work. It backs the debugsrv
+	// /readyz readiness contract, so it is atomic: HTTP handlers read it
+	// while the campaign goroutine runs.
+	started atomic.Bool
 }
 
 // PhaseHook observes the explicit phase spans of a campaign — the
@@ -33,12 +40,54 @@ type PhaseHook interface {
 
 // SetPhaseHook attaches a hook that is called at every StartPhase /
 // Span.End bracket. Nil detaches. Call it before the campaign starts:
-// the hook field is not synchronized against in-flight spans.
+// the hook field is not synchronized against in-flight spans. To attach
+// several hooks (a profiler and a trace recorder, say), combine them
+// with PhaseHooks.
 func (o *Campaign) SetPhaseHook(h PhaseHook) {
 	if o == nil {
 		return
 	}
 	o.hook = h
+}
+
+// multiHook fans phase brackets out to several hooks.
+type multiHook []PhaseHook
+
+func (m multiHook) PhaseStart(name string) {
+	for _, h := range m {
+		h.PhaseStart(name)
+	}
+}
+
+func (m multiHook) PhaseEnd(name string) {
+	for _, h := range m {
+		h.PhaseEnd(name)
+	}
+}
+
+// PhaseHooks combines hooks into one, dropping nils. Zero usable hooks
+// yield nil (no hook); one is returned unwrapped.
+func PhaseHooks(hooks ...PhaseHook) PhaseHook {
+	var out multiHook
+	for _, h := range hooks {
+		if h != nil {
+			out = append(out, h)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// Started reports whether the campaign has opened its first phase span.
+// Safe for concurrent use (the debugsrv /readyz handler polls it); a
+// nil Campaign is never started.
+func (o *Campaign) Started() bool {
+	return o != nil && o.started.Load()
 }
 
 // PhaseSpan is the accumulated wall-clock time of one named phase.
@@ -108,6 +157,7 @@ func (o *Campaign) StartPhase(name string) *Span {
 	if o == nil {
 		return nil
 	}
+	o.started.Store(true)
 	o.Emit(Event{Kind: KindPhaseStart, Phase: name})
 	if o.hook != nil {
 		o.hook.PhaseStart(name)

@@ -111,3 +111,54 @@ func TestPhaseHook(t *testing.T) {
 		t.Errorf("detached hook still called: %v", h.calls)
 	}
 }
+
+func TestPhaseHooksCombinator(t *testing.T) {
+	a, b := &recordingHook{}, &recordingHook{}
+
+	// Zero usable hooks collapse to nil — no wrapper to call per phase.
+	if h := PhaseHooks(); h != nil {
+		t.Errorf("PhaseHooks() = %v, want nil", h)
+	}
+	if h := PhaseHooks(nil, nil); h != nil {
+		t.Errorf("PhaseHooks(nil, nil) = %v, want nil", h)
+	}
+	// One hook is returned unwrapped.
+	if h := PhaseHooks(a, nil); h != PhaseHook(a) {
+		t.Errorf("PhaseHooks(a, nil) = %v, want a unwrapped", h)
+	}
+
+	// Several hooks all see every bracket, in argument order.
+	o := New(nil, nil)
+	o.SetPhaseHook(PhaseHooks(a, nil, b))
+	o.StartPhase("alpha").End()
+	want := []string{"start:alpha", "end:alpha"}
+	for name, h := range map[string]*recordingHook{"a": a, "b": b} {
+		if len(h.calls) != len(want) {
+			t.Fatalf("hook %s calls = %v, want %v", name, h.calls, want)
+		}
+		for i := range want {
+			if h.calls[i] != want[i] {
+				t.Fatalf("hook %s calls = %v, want %v", name, h.calls, want)
+			}
+		}
+	}
+}
+
+func TestCampaignStarted(t *testing.T) {
+	var nilC *Campaign
+	if nilC.Started() {
+		t.Error("nil campaign claims started")
+	}
+	o := New(nil, nil)
+	if o.Started() {
+		t.Error("fresh campaign claims started")
+	}
+	span := o.StartPhase("ts0_gen")
+	if !o.Started() {
+		t.Error("Started not set when the first phase span opens")
+	}
+	span.End()
+	if !o.Started() {
+		t.Error("Started must latch")
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Chrome trace-event export.
+//
+// The on-disk format is the Trace Event Format's JSON-object form:
+//
+//	{"displayTimeUnit":"ms","traceEvents":[ ... ]}
+//
+// with one "X" (complete) event per span and "M" (metadata) events
+// naming the process and each track. Perfetto and chrome://tracing load
+// it directly; per-worker tracks appear as named threads of one process,
+// and nesting follows time containment, so the hierarchy campaign →
+// phase → fsim run → merge reads as stacked slices.
+//
+// The writer emits JSON by hand rather than building a []any: a trace
+// can hold a million spans, and marshaling through interface boxes would
+// double the peak heap of the run being observed.
+
+// WriteJSON writes the recorder's current contents as Chrome trace-event
+// JSON. Safe to call mid-run (the /trace endpoint does): it sees every
+// span published before the call.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return writeEmpty(w)
+	}
+	return r.Model().WriteJSON(w)
+}
+
+// WriteJSON writes the model in the same format (the offline half:
+// parse, filter, re-export).
+func (m *Model) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+	}
+	sep()
+	bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"limscan"}}`)
+	for _, t := range m.Tracks {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			t.TID, quote(t.Name))
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			t.TID, t.TID)
+	}
+	for _, t := range m.Tracks {
+		for i := range t.Spans {
+			sp := &t.Spans[i]
+			sep()
+			// ts/dur are microseconds; fractional keeps sub-µs spans.
+			fmt.Fprintf(bw, `{"ph":"X","pid":1,"tid":%d,"cat":%s,"name":%s,"ts":%s,"dur":%s`,
+				t.TID, quote(sp.Cat), quote(sp.Name), micros(sp.Start), micros(sp.Dur))
+			if sp.Args[0].K != "" {
+				bw.WriteString(`,"args":{`)
+				fmt.Fprintf(bw, `%s:%d`, quote(sp.Args[0].K), sp.Args[0].V)
+				if sp.Args[1].K != "" {
+					fmt.Fprintf(bw, `,%s:%d`, quote(sp.Args[1].K), sp.Args[1].V)
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte('}')
+		}
+		if t.Dropped > 0 {
+			// The cap is never silent: a bounded trace announces what it
+			// dropped as an instant event at the end of the track.
+			sep()
+			fmt.Fprintf(bw, `{"ph":"i","pid":1,"tid":%d,"s":"t","name":"spans_dropped","args":{"dropped":%d}}`,
+				t.TID, t.Dropped)
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeEmpty(w io.Writer) error {
+	_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`+"\n")
+	return err
+}
+
+// quote JSON-escapes a string. Track and span names are ASCII
+// identifiers in practice, but a parsed-and-re-exported file could
+// carry anything.
+func quote(s string) string { return strconv.Quote(s) }
+
+// micros renders a duration as fractional microseconds with nanosecond
+// resolution, without float formatting surprises.
+func micros(d time.Duration) string {
+	ns := int64(d)
+	whole := ns / 1e3
+	frac := ns % 1e3
+	if frac < 0 {
+		// Negative spans cannot be recorded, but a parsed file is
+		// hostile input; render it faithfully rather than mangle it.
+		return fmt.Sprintf("%d.%03d", whole, -frac)
+	}
+	if frac == 0 {
+		return strconv.FormatInt(whole, 10)
+	}
+	return fmt.Sprintf("%d.%03d", whole, frac)
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+)
+
+// Offline model: what `perf trace` analyzes. Built either from a trace
+// file (Parse) or straight from a live Recorder (Recorder.Model), so the
+// in-process and offline diagnosers are one code path.
+
+// End returns the span's end time.
+func (s *Span) End() time.Duration { return s.Start + s.Dur }
+
+// Arg returns the named integer argument and whether it was present.
+func (s *Span) Arg(key string) (int64, bool) {
+	for _, a := range s.Args {
+		if a.K == key {
+			return a.V, true
+		}
+	}
+	return 0, false
+}
+
+// ModelTrack is one named track with its spans in recorded order.
+type ModelTrack struct {
+	Name    string
+	TID     int
+	Dropped int
+	Spans   []Span
+}
+
+// Model is a whole trace.
+type Model struct {
+	Tracks []ModelTrack
+}
+
+// Track returns the named track, or nil.
+func (m *Model) Track(name string) *ModelTrack {
+	for i := range m.Tracks {
+		if m.Tracks[i].Name == name {
+			return &m.Tracks[i]
+		}
+	}
+	return nil
+}
+
+// fileEvent is the wire form of one trace event. Only the fields this
+// package emits are read; foreign traces with extra fields still parse.
+type fileEvent struct {
+	Ph   string          `json:"ph"`
+	TID  int             `json:"tid"`
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ts   float64         `json:"ts"`  // microseconds
+	Dur  float64         `json:"dur"` // microseconds
+	Args json.RawMessage `json:"args"`
+}
+
+// traceFile is the JSON-object container form.
+type traceFile struct {
+	TraceEvents []fileEvent `json:"traceEvents"`
+}
+
+// ParseFile reads a Chrome trace-event JSON file into a Model.
+func ParseFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	m, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Parse decodes trace-event JSON. Both container forms are accepted: the
+// JSON object {"traceEvents":[...]} this package writes, and the bare
+// JSON-array form some tools emit.
+func Parse(data []byte) (*Model, error) {
+	var events []fileEvent
+	var obj traceFile
+	if err := json.Unmarshal(data, &obj); err == nil && obj.TraceEvents != nil {
+		events = obj.TraceEvents
+	} else if aerr := json.Unmarshal(data, &events); aerr != nil {
+		return nil, fmt.Errorf("neither a trace-event object nor array: %w", err)
+	}
+
+	byTID := make(map[int]*ModelTrack)
+	var order []int
+	track := func(tid int) *ModelTrack {
+		if t, ok := byTID[tid]; ok {
+			return t
+		}
+		t := &ModelTrack{Name: fmt.Sprintf("tid %d", tid), TID: tid}
+		byTID[tid] = t
+		order = append(order, tid)
+		return t
+	}
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				if json.Unmarshal(e.Args, &args) == nil && args.Name != "" {
+					track(e.TID).Name = args.Name
+				}
+			}
+		case "X":
+			if math.IsNaN(e.Ts) || math.IsNaN(e.Dur) || math.IsInf(e.Ts, 0) || math.IsInf(e.Dur, 0) {
+				continue // hostile input: skip, never propagate NaN into sums
+			}
+			sp := Span{
+				Name:  e.Name,
+				Cat:   e.Cat,
+				Start: time.Duration(e.Ts * float64(time.Microsecond)),
+				Dur:   time.Duration(e.Dur * float64(time.Microsecond)),
+			}
+			if len(e.Args) > 0 {
+				var args map[string]json.Number
+				if json.Unmarshal(e.Args, &args) == nil {
+					keys := make([]string, 0, len(args))
+					for k := range args {
+						keys = append(keys, k)
+					}
+					sort.Strings(keys)
+					for i, k := range keys {
+						if i >= 2 {
+							break
+						}
+						if v, err := args[k].Int64(); err == nil {
+							sp.Args[i] = KV{K: k, V: v}
+						}
+					}
+				}
+			}
+			track(e.TID).Spans = append(track(e.TID).Spans, sp)
+		case "i":
+			if e.Name == "spans_dropped" {
+				var args struct {
+					Dropped int `json:"dropped"`
+				}
+				if json.Unmarshal(e.Args, &args) == nil {
+					track(e.TID).Dropped += args.Dropped
+				}
+			}
+		}
+	}
+
+	m := &Model{}
+	sort.Ints(order)
+	for _, tid := range order {
+		m.Tracks = append(m.Tracks, *byTID[tid])
+	}
+	return m, nil
+}
