@@ -3,15 +3,17 @@
 # claims of internal/obs and the sharded fault simulator), the plain
 # tier-1 suite, the parallel-vs-serial differential suite under both a
 # single-core and a multi-core scheduler, short native-fuzz smokes, the
-# checkpoint/resume kill-and-restart smoke, the chaos sweep (every
-# checkpoint I/O operation failure-injected in turn), and the
-# performance-observability smoke (profiles, ledger, regression gate).
+# checkpoint/resume kill-and-restart smoke (in both fault-simulation
+# modes), the chaos sweep (every checkpoint I/O operation
+# failure-injected in turn), the performance-observability smoke
+# (profiles, ledger, regression gate), and the committed-bench
+# pattern-parallel speedup gate.
 
 GO ?= go
 
-.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke bench benchall
+.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate bench benchall
 
-ci: vet build race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke
+ci: vet build race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate
 
 vet:
 	$(GO) vet ./...
@@ -41,13 +43,15 @@ paradiff:
 # mutator beyond the checked-in corpus, short enough for a CI gate.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/fsim
+	$(GO) test -run '^$$' -fuzz FuzzPPSFP -fuzztime 10s ./internal/fsim
 	$(GO) test -run '^$$' -fuzz FuzzBenchParse -fuzztime 10s ./internal/bench
 	$(GO) test -run '^$$' -fuzz FuzzBenchHostile -fuzztime 10s ./internal/bench
 	$(GO) test -run '^$$' -fuzz FuzzCheckpointRoundTrip -fuzztime 10s ./internal/checkpoint
 
 # cksmoke interrupts a real checkpointed limscan process with SIGINT,
 # resumes it, and requires the final report to match an uninterrupted
-# run byte for byte.
+# run byte for byte — once per fault-simulation mode, plus a cross-mode
+# comparison of the straight reports.
 cksmoke:
 	sh scripts/checkpoint_smoke.sh
 
@@ -74,13 +78,27 @@ perfsmoke:
 tracesmoke:
 	sh scripts/trace_smoke.sh
 
-# bench runs the fsim worker-scaling pair, writes the machine-readable
-# scaling report (ns/op and speedup vs Workers=1 on the largest bmark
-# circuit) to BENCH_fsim.json, and appends the sweep to the performance
-# ledger (PERF_ledger.jsonl) for perf diff / perf check.
+# benchgate re-checks the committed benchfsim sweep against the
+# pattern-parallel speedup baseline: the latest benchfsim ledger record
+# must show the single-thread PPSFP win (pattern_speedup_w1 >= 2x).
+# Pure file check — no simulation — so it belongs in the ci gate; a
+# fresh sweep (make bench) re-runs the same check on new numbers.
+benchgate:
+	$(GO) run ./cmd/perf check -ledger PERF_ledger.jsonl -baseline scripts/perf_baseline_fsim.json
+
+# bench runs the fsim benchmark pair: the in-package worker benchmark,
+# then a cmd/benchfsim sweep over both fault-simulation modes at
+# BENCH_WORKERS (default 1 — the mode-comparison configuration, never
+# flagged degenerate on a small host). The sweep writes the
+# machine-readable report (ns/op per mode, speedup vs Workers=1,
+# pattern_speedup_w1) to BENCH_fsim.json, appends it to the performance
+# ledger (PERF_ledger.jsonl) for perf diff / perf check, and gates the
+# fresh record against the pattern-speedup baseline.
+BENCH_WORKERS ?= 1
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkFsimWorkers' -benchmem .
-	$(GO) run ./cmd/benchfsim -o BENCH_fsim.json -ledger PERF_ledger.jsonl
+	$(GO) run ./cmd/benchfsim -workers $(BENCH_WORKERS) -o BENCH_fsim.json -ledger PERF_ledger.jsonl
+	$(GO) run ./cmd/perf check -ledger PERF_ledger.jsonl -baseline scripts/perf_baseline_fsim.json
 
 # benchall is the full benchmark sweep (paper tables + ablations).
 benchall:

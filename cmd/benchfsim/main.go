@@ -47,6 +47,7 @@ import (
 )
 
 type workerPoint struct {
+	Mode     string  `json:"mode"`
 	Workers  int     `json:"workers"`
 	NsPerOp  int64   `json:"ns_per_op"`
 	Speedup  float64 `json:"speedup_vs_workers1"`
@@ -62,6 +63,10 @@ type report struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	Rounds     int    `json:"rounds"`
+	// PatternSpeedupW1 is fault-parallel ns_per_op over pattern-parallel
+	// ns_per_op at Workers=1 — the single-thread PPSFP win. Zero when the
+	// sweep did not cover both modes at Workers=1.
+	PatternSpeedupW1 float64 `json:"pattern_speedup_w1,omitempty"`
 	// DegenerateParallelism marks a sweep whose host could not actually
 	// run the workers in parallel; the speedup column is then scheduling
 	// overhead, not scaling (see the package comment).
@@ -76,6 +81,7 @@ func main() {
 		length    = flag.Int("len", 8, "vectors per test")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+		modes     = flag.String("mode", "fault-parallel,pattern-parallel", "comma-separated fsim modes to sweep")
 		rounds    = flag.Int("rounds", 3, "timed rounds per worker count (best kept)")
 		out       = flag.String("o", "BENCH_fsim.json", "output JSON path (- for stdout)")
 		ledPath   = flag.String("ledger", "PERF_ledger.jsonl", "append the sweep to this JSON-lines performance ledger (empty to skip)")
@@ -100,10 +106,21 @@ func main() {
 		}
 	}
 
+	var sweepModes []fsim.Mode
+	for _, tok := range strings.Split(*modes, ",") {
+		m, err := fsim.ParseMode(strings.TrimSpace(tok))
+		if err != nil {
+			fail(err)
+		}
+		sweepModes = append(sweepModes, m)
+	}
+
 	// A sweep the host cannot actually parallelize still runs — the
 	// determinism cross-check is host-independent — but its timing
-	// columns must not be mistaken for a scaling measurement.
-	degenerate := runtime.NumCPU() < 2 || runtime.GOMAXPROCS(0) < maxWorkers
+	// columns must not be mistaken for a scaling measurement. A
+	// Workers=1-only sweep (the mode-comparison configuration) measures
+	// no parallelism at all, so it is never degenerate.
+	degenerate := maxWorkers > 1 && (runtime.NumCPU() < 2 || runtime.GOMAXPROCS(0) < maxWorkers)
 	if degenerate {
 		fmt.Fprintf(os.Stderr,
 			"benchfsim: WARNING: degenerate parallelism — NumCPU=%d, GOMAXPROCS=%d, widest sweep point %d workers;\n"+
@@ -134,45 +151,62 @@ func main() {
 		Rounds:                *rounds,
 		DegenerateParallelism: degenerate,
 	}
+	// One sweep cell per (mode, workers); speedups are per mode relative
+	// to its first (ideally Workers=1) point, detections are cross-checked
+	// across every cell — the differential suite's claim, re-verified on
+	// the benchmark workload itself.
 	baseDetected := -1
-	var baseNs int64
+	w1Ns := map[fsim.Mode]int64{}
 	start := time.Now()
-	for _, w := range sweep {
-		best := int64(-1)
-		detected := 0
-		for r := 0; r < *rounds; r++ {
-			fs := fault.NewSet(reps)
-			t0 := time.Now()
-			st, err := s.Run(tests, fs, fsim.Options{Workers: w, Trace: tracer})
-			el := time.Since(t0).Nanoseconds()
-			if err != nil {
-				fail(err)
+	for _, mode := range sweepModes {
+		var baseNs int64
+		for wi, w := range sweep {
+			best := int64(-1)
+			detected := 0
+			for r := 0; r < *rounds; r++ {
+				fs := fault.NewSet(reps)
+				t0 := time.Now()
+				st, err := s.Run(tests, fs, fsim.Options{Mode: mode, Workers: w, Trace: tracer})
+				el := time.Since(t0).Nanoseconds()
+				if err != nil {
+					fail(err)
+				}
+				if best < 0 || el < best {
+					best = el
+				}
+				detected = st.Detected
+				rep.Cycles = st.Cycles
 			}
-			if best < 0 || el < best {
-				best = el
+			if baseDetected < 0 {
+				baseDetected = detected
+			} else if detected != baseDetected {
+				fail(fmt.Errorf("mode=%s workers=%d detected %d faults, first sweep cell detected %d — determinism violated",
+					mode, w, detected, baseDetected))
 			}
-			detected = st.Detected
-			rep.Cycles = st.Cycles
+			if wi == 0 {
+				if sweep[0] != 1 {
+					fmt.Fprintln(os.Stderr, "benchfsim: warning: first sweep entry is not 1; speedups are relative to it")
+				}
+				baseNs = best
+			}
+			if w == 1 {
+				w1Ns[mode] = best
+			}
+			rep.Points = append(rep.Points, workerPoint{
+				Mode:     mode.String(),
+				Workers:  w,
+				NsPerOp:  best,
+				Speedup:  float64(baseNs) / float64(best),
+				Detected: detected,
+			})
+			fmt.Fprintf(os.Stderr, "benchfsim: %s mode=%s workers=%d best %s (%.2fx), %d/%d detected\n",
+				c.Name, mode, w, time.Duration(best).Round(time.Millisecond),
+				float64(baseNs)/float64(best), detected, len(reps))
 		}
-		if baseDetected < 0 {
-			baseDetected = detected
-			if sweep[0] != 1 {
-				fmt.Fprintln(os.Stderr, "benchfsim: warning: first sweep entry is not 1; speedups are relative to it")
-			}
-			baseNs = best
-		} else if detected != baseDetected {
-			fail(fmt.Errorf("Workers=%d detected %d faults, Workers=%d detected %d — determinism violated",
-				w, detected, sweep[0], baseDetected))
-		}
-		rep.Points = append(rep.Points, workerPoint{
-			Workers:  w,
-			NsPerOp:  best,
-			Speedup:  float64(baseNs) / float64(best),
-			Detected: detected,
-		})
-		fmt.Fprintf(os.Stderr, "benchfsim: %s workers=%d best %s (%.2fx), %d/%d detected\n",
-			c.Name, w, time.Duration(best).Round(time.Millisecond),
-			float64(baseNs)/float64(best), detected, len(reps))
+	}
+	if fp, pp := w1Ns[fsim.FaultParallel], w1Ns[fsim.PatternParallel]; fp > 0 && pp > 0 {
+		rep.PatternSpeedupW1 = float64(fp) / float64(pp)
+		fmt.Fprintf(os.Stderr, "benchfsim: pattern-parallel single-thread speedup %.2fx\n", rep.PatternSpeedupW1)
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -212,7 +246,7 @@ func main() {
 			Circuit: c.Name,
 			ParamsHash: ledger.HashParams(map[string]any{
 				"n": len(tests), "len": *length, "seed": *seed,
-				"workers": sweep, "rounds": *rounds,
+				"workers": sweep, "rounds": *rounds, "modes": *modes,
 			}),
 			Seed:                  *seed,
 			Faults:                len(reps),
@@ -226,9 +260,10 @@ func main() {
 			rec.SerialFraction = analysis.SerialFraction
 			rec.MaxSpeedup = analysis.MaxSpeedup
 		}
+		rec.PatternSpeedup = rep.PatternSpeedupW1
 		for _, p := range rep.Points {
 			rec.Points = append(rec.Points, ledger.BenchPoint{
-				Workers: p.Workers, NsPerOp: p.NsPerOp, Speedup: p.Speedup,
+				Mode: p.Mode, Workers: p.Workers, NsPerOp: p.NsPerOp, Speedup: p.Speedup,
 			})
 		}
 		rec.Stamp()

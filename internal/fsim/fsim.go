@@ -38,10 +38,25 @@ const LanesPerWord = 63
 
 // Options tunes a simulation run.
 type Options struct {
+	// Mode selects the lane packing: FaultParallel (the zero value)
+	// replays the session once per 63-fault batch; PatternParallel packs
+	// up to PatternsPerPass tests per lane word and propagates one fault
+	// at a time as a difference against a shared fault-free trace. Both
+	// modes produce byte-identical RunStats, fault states and site
+	// attribution; PatternParallel additionally requires a full scan
+	// plan, stuck-at faults only, and exact comparison (MISRDegree 0).
+	Mode Mode
+	// PatternsPerPass selects the pattern-parallel lane width: zero
+	// means DefaultPatternsPerPass (64, one machine word); the only
+	// other accepted value is WidePatternsPerPass (256, a [4]uint64
+	// word). Nonzero values are rejected in fault-parallel mode.
+	PatternsPerPass int
 	// FaultsPerPass caps the number of faults packed into one batch.
 	// Zero means LanesPerWord; values above LanesPerWord or below zero
 	// are rejected by Validate. Smaller values are only useful for the
-	// packing-width ablation benchmarks.
+	// packing-width ablation benchmarks. The batch is also the sharding
+	// and merge unit in pattern-parallel mode, which is why checkpoint
+	// chunk geometry and stats are mode-independent.
 	FaultsPerPass int
 	// Workers is the number of goroutines fault batches are sharded
 	// across. Zero means runtime.GOMAXPROCS(0); one forces the serial
@@ -94,6 +109,19 @@ type Options struct {
 // entry; callers building Options from external input (flags, configs)
 // can call it earlier for a better error site.
 func (o Options) Validate() error {
+	if o.Mode > PatternParallel {
+		return fmt.Errorf("fsim: unknown Mode %d (want %v or %v)", o.Mode, FaultParallel, PatternParallel)
+	}
+	switch o.PatternsPerPass {
+	case 0, DefaultPatternsPerPass, WidePatternsPerPass:
+	default:
+		return fmt.Errorf("fsim: PatternsPerPass must be 0, %d or %d (got %d)",
+			DefaultPatternsPerPass, WidePatternsPerPass, o.PatternsPerPass)
+	}
+	if o.PatternsPerPass != 0 && o.Mode != PatternParallel {
+		return fmt.Errorf("fsim: PatternsPerPass is only meaningful in pattern-parallel mode (got %d with Mode %v)",
+			o.PatternsPerPass, o.Mode)
+	}
 	if o.FaultsPerPass < 0 || o.FaultsPerPass > LanesPerWord {
 		return fmt.Errorf("fsim: FaultsPerPass must be in [0, %d] (got %d; zero means %d)",
 			LanesPerWord, o.FaultsPerPass, LanesPerWord)
@@ -104,7 +132,18 @@ func (o Options) Validate() error {
 	if o.MISRDegree < 0 {
 		return fmt.Errorf("fsim: MISRDegree must be >= 0 (got %d)", o.MISRDegree)
 	}
+	if o.MISRDegree > 0 && o.Mode == PatternParallel {
+		return fmt.Errorf("fsim: MISR compaction requires fault-parallel mode (a signature has no per-pattern XOR mask)")
+	}
 	return nil
+}
+
+// patternsPerPass resolves the effective pattern-parallel lane width.
+func (o Options) patternsPerPass() int {
+	if o.PatternsPerPass == 0 {
+		return DefaultPatternsPerPass
+	}
+	return o.PatternsPerPass
 }
 
 // Detection sites: where an observed value first exposed a fault. These
@@ -264,6 +303,14 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (stats R
 	}
 	stats = RunStats{Cycles: s.cost.SessionCycles(tests)}
 	rem := fs.Remaining()
+	var eng ppEngine
+	if opts.Mode == PatternParallel {
+		var engErr error
+		eng, engErr = s.newPatternEngine(tests, fs.Faults, rem, opts)
+		if engErr != nil {
+			return RunStats{}, engErr
+		}
+	}
 	tr := opts.Trace
 	var runStart time.Duration
 	if tr != nil {
@@ -271,10 +318,14 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (stats R
 	}
 	w := opts.effectiveWorkers((len(rem) + per - 1) / per)
 	if w > 1 {
-		if err := s.runSharded(tests, fs, rem, per, w, opts, &stats); err != nil {
+		if err := s.runSharded(tests, fs, rem, per, w, eng, opts, &stats); err != nil {
 			return stats, err
 		}
 	} else {
+		var pw ppWorker
+		if eng != nil {
+			pw = eng.newWorker()
+		}
 		var sites *[numSites]logic.Word
 		if opts.Obs != nil && opts.MISRDegree == 0 {
 			sites = new([numSites]logic.Word)
@@ -306,7 +357,7 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (stats R
 			if wt != nil {
 				bs = tr.Now()
 			}
-			det := s.runBatch(tests, fs.Faults, batch, opts, sites)
+			det := s.simBatch(pw, tests, fs.Faults, batch, opts, sites)
 			if wt != nil {
 				wt.Add(trace.CatBatch, trace.SpanBatch, bs, tr.Now()-bs,
 					trace.KV{K: "batch", V: int64(start / per)},
@@ -318,9 +369,14 @@ func (s *Simulator) Run(tests []scan.Test, fs *fault.Set, opts Options) (stats R
 	if tr != nil {
 		tr.Track(trace.MainTrack).Add(trace.CatRun, trace.SpanRun, runStart, tr.Now()-runStart,
 			trace.KV{K: "workers", V: int64(w)},
-			trace.KV{K: "batches", V: int64(stats.Batches)})
+			trace.KV{K: "batches", V: int64(stats.Batches)},
+			trace.KV{K: "mode", V: int64(opts.Mode)})
 	}
 	if o := opts.Obs; o != nil {
+		o.Gauge("fsim_mode").Set(float64(opts.Mode))
+		if opts.Mode == PatternParallel {
+			o.Gauge("fsim_patterns_per_pass").Set(float64(opts.patternsPerPass()))
+		}
 		o.Counter("fsim_runs_total").Inc()
 		o.Counter("fsim_tests_total").Add(int64(len(tests)))
 		o.Counter("fsim_batches_total").Add(int64(stats.Batches))
@@ -442,6 +498,17 @@ func (s *Simulator) reset() {
 	}
 	s.head = 0
 	s.applyStateStuck()
+}
+
+// simBatch dispatches one batch to the active mode's kernel: the
+// pattern-parallel worker when one exists, the fault-parallel session
+// replay otherwise. Both produce the same det/sites contract, so the
+// shared mergeBatch fold keeps the modes byte-identical.
+func (s *Simulator) simBatch(pw ppWorker, tests []scan.Test, faults []fault.Fault, batch []int, opts Options, sites *[numSites]logic.Word) logic.Word {
+	if pw != nil {
+		return pw.runBatch(faults, batch, opts, sites)
+	}
+	return s.runBatch(tests, faults, batch, opts, sites)
 }
 
 // runBatch simulates the whole session for one batch of faults and

@@ -31,19 +31,23 @@ func fuzzSpec(seed, shape uint64) (bmark.Spec, bool) {
 // scalar oracle on generated random circuits — different interface
 // shapes, gate mixes and scan-chain lengths, with and without limited
 // scan operations — and simultaneously checks the sharded path against
-// the serial one on the same workload. This is the repository's main
-// guard against simulator regressions; the checked-in corpus under
-// testdata/fuzz covers the shapes the pre-fuzzing deterministic test
-// used to pin.
+// the serial one on the same workload. The sharded run's lane-packing
+// mode is itself fuzz input (bit 17 selects pattern-parallel, bit 18 its
+// wide 256-lane variant), so the mode differential rides the same
+// corpus. This is the repository's main guard against simulator
+// regressions; the checked-in corpus under testdata/fuzz covers the
+// shapes the pre-fuzzing deterministic test used to pin.
 func FuzzDifferential(f *testing.F) {
 	// The former TestFuzzDifferential population, re-encoded: (seed,
 	// shape) pairs spanning small/wide interfaces, deep/shallow clouds,
-	// and both scan modes.
+	// and both scan modes — plus pattern-parallel and wide-lane shapes.
 	f.Add(uint64(101), uint64(2|1<<3|3<<6|20<<10))
 	f.Add(uint64(202), uint64(5|0<<3|8<<6|46<<10|1<<16))
 	f.Add(uint64(303), uint64(1|4<<3|11<<6|59<<10))
 	f.Add(uint64(404), uint64(7|2<<3|5<<6|37<<10|1<<16))
 	f.Add(uint64(505), uint64(3|3<<3|15<<6|63<<10|1<<16))
+	f.Add(uint64(606), uint64(4|1<<3|6<<6|25<<10|1<<16|1<<17))
+	f.Add(uint64(707), uint64(2|2<<3|10<<6|40<<10|1<<17|1<<18))
 	f.Fuzz(func(t *testing.T, seed, shape uint64) {
 		spec, withScans := fuzzSpec(seed, shape)
 		c, err := bmark.Generate(spec)
@@ -61,9 +65,17 @@ func FuzzDifferential(f *testing.F) {
 		}
 
 		// Sharded run on the same simulator: small batches force real
-		// sharding even on tiny universes.
+		// sharding even on tiny universes, and bits 17/18 of the shape
+		// word swap the kernel under the shards.
+		shardedOpts := Options{Workers: 4, FaultsPerPass: 7}
+		if (shape>>17)&1 == 1 {
+			shardedOpts.Mode = PatternParallel
+			if (shape>>18)&1 == 1 {
+				shardedOpts.PatternsPerPass = WidePatternsPerPass
+			}
+		}
 		sharded := fault.NewSet(reps)
-		pstats, err := s.Run(tests, sharded, Options{Workers: 4, FaultsPerPass: 7})
+		pstats, err := s.Run(tests, sharded, shardedOpts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,6 +100,55 @@ func FuzzDifferential(f *testing.F) {
 		}
 		if mismatches > 3 {
 			t.Errorf("scans=%v: %d total mismatches", withScans, mismatches)
+		}
+	})
+}
+
+// FuzzPPSFP is the dedicated pattern-parallel differential: on generated
+// circuits it compares the pattern-parallel kernel (both lane widths)
+// against the fault-parallel one over a fuzzed session size, so lane
+// boundaries (empty, partial, exactly full, multi-group sessions) are
+// explored beyond the fixed counts TestParallelPatternOddCounts pins.
+// The seed corpus brackets the 64-lane word: 1, 63 and 65 tests.
+func FuzzPPSFP(f *testing.F) {
+	f.Add(uint64(11), uint64(3|2<<3|7<<6|30<<10|1<<16), uint(1), false)
+	f.Add(uint64(22), uint64(5|1<<3|4<<6|22<<10), uint(63), false)
+	f.Add(uint64(33), uint64(2|3<<3|9<<6|50<<10|1<<16), uint(65), true)
+	f.Fuzz(func(t *testing.T, seed, shape uint64, n uint, wide bool) {
+		spec, withScans := fuzzSpec(seed, shape)
+		c, err := bmark.Generate(spec)
+		if err != nil {
+			t.Fatalf("generator rejected in-envelope spec %+v: %v", spec, err)
+		}
+		reps, _ := fault.Collapse(c, fault.Universe(c))
+		// 0..130 spans the empty session through multi-word groups while
+		// keeping the scalar work bounded.
+		tests := randomTests(c, int(n%131), 3, withScans, seed^0x7777)
+
+		base := fault.NewSet(reps)
+		s := New(c)
+		bstats, err := s.Run(tests, base, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		o := Options{Mode: PatternParallel, Workers: 1}
+		if wide {
+			o.PatternsPerPass = WidePatternsPerPass
+		}
+		pp := fault.NewSet(reps)
+		pstats, err := s.Run(tests, pp, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bstats != pstats {
+			t.Errorf("pattern-parallel stats %+v, fault-parallel %+v", pstats, bstats)
+		}
+		for i, fa := range reps {
+			if base.State[i] != pp.State[i] {
+				t.Errorf("n=%d wide=%v fault %s: fault-parallel=%v pattern-parallel=%v",
+					int(n%131), wide, fa.Pretty(c), base.State[i], pp.State[i])
+			}
 		}
 	})
 }

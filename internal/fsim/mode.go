@@ -1,0 +1,42 @@
+package fsim
+
+import "fmt"
+
+// Mode selects how a simulation run packs work into word lanes.
+type Mode uint8
+
+const (
+	// FaultParallel is the classic packing: 63 faults plus the good
+	// machine per word, one test at a time (the zero value, so existing
+	// callers keep their behavior).
+	FaultParallel Mode = iota
+	// PatternParallel is the PPSFP packing: up to PatternsPerPass test
+	// patterns per lane word, one fault at a time, with detection decided
+	// by the fault-free-vs-faulty XOR mask at each observation site. It
+	// requires a full scan plan, stuck-at faults and exact comparison
+	// (no MISR compaction), and produces results byte-identical to
+	// FaultParallel (see TestParallelPatternMatchesFaultParallel*).
+	PatternParallel
+)
+
+// String returns the flag spelling of m.
+func (m Mode) String() string {
+	switch m {
+	case FaultParallel:
+		return "fault-parallel"
+	case PatternParallel:
+		return "pattern-parallel"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode parses the flag spelling of a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "fault-parallel":
+		return FaultParallel, nil
+	case "pattern-parallel":
+		return PatternParallel, nil
+	}
+	return 0, fmt.Errorf("fsim: unknown mode %q (want %q or %q)", s, FaultParallel, PatternParallel)
+}

@@ -79,7 +79,7 @@ func (s *Simulator) worker(i int) *Simulator {
 // and stats. Callers guarantee workers >= 2 and tests pre-validated. A
 // canceled Options.Ctx stops the workers at the next batch claim and
 // returns the context error without merging anything into fs.
-func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per, workers int, opts Options, stats *RunStats) error {
+func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per, workers int, eng ppEngine, opts Options, stats *RunStats) error {
 	nb := (len(rem) + per - 1) / per
 	out := make([]batchOut, nb)
 	attrib := opts.Obs != nil && opts.MISRDegree == 0
@@ -102,7 +102,13 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 	tr := opts.Trace
 	start := time.Now()
 	for w := 0; w < workers; w++ {
-		ws := s.worker(w)
+		// Pattern-parallel workers carry their own scratch over the shared
+		// read-only engine; only fault-parallel workers need a Simulator
+		// clone from the pool.
+		var ws *Simulator
+		if eng == nil {
+			ws = s.worker(w)
+		}
 		wg.Add(1)
 		go func(w int, ws *Simulator) {
 			defer wg.Done()
@@ -118,6 +124,10 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 			var wt *trace.Track
 			if tr != nil {
 				wt = tr.Track(trace.WorkerTrackPrefix + strconv.Itoa(w))
+			}
+			var pw ppWorker
+			if eng != nil {
+				pw = eng.newWorker()
 			}
 			for {
 				if stop.Load() {
@@ -146,7 +156,11 @@ func (s *Simulator) runSharded(tests []scan.Test, fs *fault.Set, rem []int, per,
 				if wt != nil {
 					bs = tr.Now()
 				}
-				out[bi].det = ws.runBatch(tests, fs.Faults, rem[lo:hi], opts, sites)
+				if pw != nil {
+					out[bi].det = pw.runBatch(fs.Faults, rem[lo:hi], opts, sites)
+				} else {
+					out[bi].det = ws.runBatch(tests, fs.Faults, rem[lo:hi], opts, sites)
+				}
 				if wt != nil {
 					wt.Add(trace.CatBatch, trace.SpanBatch, bs, tr.Now()-bs,
 						trace.KV{K: "batch", V: int64(bi)},

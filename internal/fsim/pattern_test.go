@@ -1,0 +1,288 @@
+package fsim
+
+import (
+	"testing"
+
+	"limscan/internal/bmark"
+	"limscan/internal/circuit"
+	"limscan/internal/fault"
+	"limscan/internal/logic"
+	"limscan/internal/obs"
+	"limscan/internal/scan"
+)
+
+// runSession simulates one session under explicit Options (with an
+// observer attached so detection sites are populated) and returns the
+// stats and final fault states.
+func runSession(t *testing.T, c *circuit.Circuit, reps []fault.Fault, tests []scan.Test, o Options) (RunStats, []fault.Status) {
+	t.Helper()
+	fs := fault.NewSet(reps)
+	o.Obs = obs.New(nil, nil)
+	stats, err := New(c).Run(tests, fs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([]fault.Status, len(fs.State))
+	copy(states, fs.State)
+	return stats, states
+}
+
+func diffStates(t *testing.T, c *circuit.Circuit, reps []fault.Fault, label string, got, want []fault.Status) {
+	t.Helper()
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("%s: fault %s state %v, want %v", label, reps[i].Pretty(c), got[i], want[i])
+		}
+	}
+}
+
+// TestParallelPatternMatchesFaultParallelBmarks is the tentpole's
+// differential gate: on every registered benchmark circuit, the
+// pattern-parallel kernel — serial and sharded across 4 workers, at both
+// lane widths — must reproduce the fault-parallel RunStats struct
+// (detections, batch count, cycle cost, per-site attribution) and the
+// per-fault detection states exactly. The "Parallel" name puts it under
+// `make paradiff`, so it also runs under -race at GOMAXPROCS 1 and 4.
+func TestParallelPatternMatchesFaultParallelBmarks(t *testing.T) {
+	for _, name := range bmark.Names() {
+		spec, _ := bmark.Info(name)
+		if testing.Short() && spec.Gates > 2000 {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := bmark.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps, _ := fault.Collapse(c, fault.Universe(c))
+			n, length := sessionDims(len(c.Gates))
+			tests := randomTests(c, n, length, true, spec.Seed^0xA5A5)
+			base, baseStates := runSession(t, c, reps, tests, Options{Workers: 1})
+			cases := []struct {
+				label string
+				o     Options
+			}{
+				{"pp/w1", Options{Mode: PatternParallel, Workers: 1}},
+				{"pp/w4", Options{Mode: PatternParallel, Workers: 4}},
+				{"pp-wide/w1", Options{Mode: PatternParallel, PatternsPerPass: WidePatternsPerPass, Workers: 1}},
+			}
+			for _, tc := range cases {
+				stats, states := runSession(t, c, reps, tests, tc.o)
+				if stats != base {
+					t.Errorf("%s stats = %+v, want %+v", tc.label, stats, base)
+				}
+				diffStates(t, c, reps, tc.label, states, baseStates)
+			}
+		})
+	}
+}
+
+// TestParallelPatternAgainstReference closes the differential triangle:
+// the pattern-parallel kernel must agree fault by fault with the naive
+// scalar oracle (the fault-parallel kernel's agreement with the same
+// oracle is TestDifferentialAgainstReference).
+func TestParallelPatternAgainstReference(t *testing.T) {
+	c := s27(t)
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	for _, withScans := range []bool{false, true} {
+		for _, seed := range []uint64{1, 2, 3} {
+			tests := randomTests(c, 4, 6, withScans, seed)
+			fs := fault.NewSet(reps)
+			if _, err := New(c).Run(tests, fs, Options{Mode: PatternParallel}); err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range reps {
+				want := refDetects(c, tests, f)
+				got := fs.State[i] == fault.Detected
+				if got != want {
+					t.Errorf("scans=%v seed=%d fault %s: pattern-parallel=%v reference=%v",
+						withScans, seed, f.Pretty(c), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPatternOddCounts sweeps session sizes around the lane-word
+// boundaries — 1, 63, 64, 65 and 130 tests — so partially filled words,
+// exactly full words and multi-group sessions all hit the differential.
+func TestParallelPatternOddCounts(t *testing.T) {
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	for _, n := range []int{1, 63, 64, 65, 130} {
+		if testing.Short() && n > 64 {
+			continue
+		}
+		tests := randomTests(c, n, 2, true, uint64(n))
+		base, baseStates := runSession(t, c, reps, tests, Options{Workers: 1})
+		for _, o := range []Options{
+			{Mode: PatternParallel, Workers: 1},
+			{Mode: PatternParallel, PatternsPerPass: WidePatternsPerPass, Workers: 1},
+		} {
+			stats, states := runSession(t, c, reps, tests, o)
+			if stats != base {
+				t.Errorf("n=%d ppp=%d stats = %+v, want %+v", n, o.PatternsPerPass, stats, base)
+			}
+			diffStates(t, c, reps, "odd-count", states, baseStates)
+		}
+	}
+}
+
+// TestParallelPatternNoEarlyExit pins the ablation path: with early exit
+// disabled both modes still agree (the pattern-parallel kernel must keep
+// the first diverged group's verdict even though it sweeps them all).
+func TestParallelPatternNoEarlyExit(t *testing.T) {
+	c, err := bmark.Load("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	tests := randomTests(c, 70, 3, true, 17)
+	base, baseStates := runSession(t, c, reps, tests, Options{Workers: 1, NoEarlyExit: true})
+	stats, states := runSession(t, c, reps, tests, Options{Mode: PatternParallel, Workers: 1, NoEarlyExit: true})
+	if stats != base {
+		t.Errorf("NoEarlyExit stats = %+v, want %+v", stats, base)
+	}
+	diffStates(t, c, reps, "no-early-exit", states, baseStates)
+}
+
+// TestParallelPatternZeroTests covers the empty-session corner: the
+// fault-parallel kernel still scans out the reset state (so a stuck-at-1
+// flip-flop output is detectable with zero tests), and the
+// pattern-parallel kernel must reproduce that verdict exactly.
+func TestParallelPatternZeroTests(t *testing.T) {
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	base, baseStates := runSession(t, c, reps, nil, Options{Workers: 1})
+	if base.Detected == 0 {
+		t.Fatalf("oracle expectation broken: zero-test session detected nothing (want stuck-at-1 flip-flop outputs)")
+	}
+	stats, states := runSession(t, c, reps, nil, Options{Mode: PatternParallel, Workers: 1})
+	if stats != base {
+		t.Errorf("zero-test stats = %+v, want %+v", stats, base)
+	}
+	diffStates(t, c, reps, "zero-tests", states, baseStates)
+}
+
+// TestParallelPatternRejections pins the documented limits of the
+// pattern-parallel mode: partial scan plans and transition faults are
+// run-time errors with actionable messages, MISR compaction and
+// mode/width mismatches fail Validate.
+func TestParallelPatternRejections(t *testing.T) {
+	c, err := bmark.Load("s344")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partial plan: scan all but the last state variable.
+	partial := scan.Plan{Total: c.NumSV()}
+	for p := 0; p < c.NumSV()-1; p++ {
+		partial.Chain = append(partial.Chain, p)
+	}
+	s, err := NewWithPlan(c, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	fs := fault.NewSet(reps)
+	tests := randomTests(c, 1, 2, false, 9)
+	for i := range tests {
+		// randomTests sizes SI for full scan; rebuild for the short chain.
+		si := logic.NewVec(partial.Len())
+		for b := 0; b < si.Len(); b++ {
+			si.Set(b, tests[i].SI.Get(b))
+		}
+		tests[i].SI = si
+	}
+	if _, err := s.Run(tests, fs, Options{Mode: PatternParallel}); err == nil {
+		t.Error("pattern-parallel Run accepted a partial scan plan, want error")
+	}
+
+	// Transition faults.
+	tfs := fault.NewSet(fault.TransitionUniverse(c))
+	if _, err := New(c).Run(randomTests(c, 1, 2, false, 9), tfs, Options{Mode: PatternParallel}); err == nil {
+		t.Error("pattern-parallel Run accepted transition faults, want error")
+	}
+
+	for _, o := range []Options{
+		{Mode: PatternParallel, MISRDegree: 16},
+		{Mode: FaultParallel, PatternsPerPass: DefaultPatternsPerPass},
+		{Mode: PatternParallel, PatternsPerPass: 100},
+		{Mode: Mode(7)},
+	} {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", o)
+		}
+	}
+}
+
+// TestParallelPatternMetrics checks the mode observability surface.
+func TestParallelPatternMetrics(t *testing.T) {
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, _ := fault.Collapse(c, fault.Universe(c))
+	for _, tc := range []struct {
+		o        Options
+		mode, pp float64
+	}{
+		{Options{Workers: 1}, 0, 0},
+		{Options{Mode: PatternParallel, Workers: 1}, 1, 64},
+		{Options{Mode: PatternParallel, PatternsPerPass: WidePatternsPerPass, Workers: 1}, 1, 256},
+	} {
+		reg := obs.NewRegistry()
+		fs := fault.NewSet(reps)
+		tc.o.Obs = obs.New(reg, nil)
+		if _, err := New(c).Run(randomTests(c, 2, 2, true, 3), fs, tc.o); err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Gauge("fsim_mode").Value(); got != tc.mode {
+			t.Errorf("%v: fsim_mode = %v, want %v", tc.o.Mode, got, tc.mode)
+		}
+		if got := reg.Gauge("fsim_patterns_per_pass").Value(); got != tc.pp {
+			t.Errorf("%v: fsim_patterns_per_pass = %v, want %v", tc.o.Mode, got, tc.pp)
+		}
+	}
+}
+
+// TestPPGroups pins the pattern-grouping rules: consecutive same-shape
+// tests pack together, shape changes and the lane width split groups, and
+// a nil Shift schedule groups with an explicit all-zero one.
+func TestPPGroups(t *testing.T) {
+	mk := func(frames int, shift []int) scan.Test {
+		return scan.Test{T: make([]logic.Vec, frames), Shift: shift}
+	}
+	tests := []scan.Test{
+		mk(2, nil),
+		mk(2, []int{0, 0}), // same effective shape as nil
+		mk(2, []int{0, 3}), // schedule change splits
+		mk(3, nil),         // length change splits
+	}
+	gs := ppGroups(tests, 64)
+	want := [][2]int{{0, 2}, {2, 3}, {3, 4}}
+	if len(gs) != len(want) {
+		t.Fatalf("ppGroups = %d groups, want %d", len(gs), len(want))
+	}
+	for i, g := range gs {
+		if g.lo != want[i][0] || g.hi != want[i][1] {
+			t.Errorf("group %d = [%d,%d), want [%d,%d)", i, g.lo, g.hi, want[i][0], want[i][1])
+		}
+	}
+
+	many := make([]scan.Test, 70)
+	for i := range many {
+		many[i] = mk(1, nil)
+	}
+	gs = ppGroups(many, 64)
+	if len(gs) != 2 || gs[0].hi != 64 || gs[1].lo != 64 || gs[1].hi != 70 {
+		t.Errorf("lane cap: groups = %+v, want [0,64) and [64,70)", gs)
+	}
+}

@@ -47,8 +47,12 @@ type PhaseSeconds struct {
 	Seconds float64 `json:"seconds"`
 }
 
-// BenchPoint is one worker count of a benchfsim sweep.
+// BenchPoint is one (mode, worker count) cell of a benchfsim sweep. Mode
+// is the fsim mode's flag spelling ("fault-parallel", "pattern-parallel");
+// empty means a pre-mode-sweep record, read as fault-parallel. Speedup is
+// relative to the same mode's Workers=1 point.
 type BenchPoint struct {
+	Mode    string  `json:"mode,omitempty"`
 	Workers int     `json:"workers"`
 	NsPerOp int64   `json:"ns_per_op"`
 	Speedup float64 `json:"speedup_vs_workers1"`
@@ -109,7 +113,14 @@ type Record struct {
 	// scheduling overhead, not scaling.
 	DegenerateParallelism bool `json:"degenerate_parallelism,omitempty"`
 
-	// Points carries a benchfsim worker sweep.
+	// PatternSpeedup is the single-thread PPSFP win a benchfsim mode
+	// sweep measured: fault-parallel ns_per_op over pattern-parallel
+	// ns_per_op, both at Workers=1. Zero when the sweep did not cover
+	// both modes at Workers=1. This is the metric perf check gates the
+	// pattern-parallel kernel on (scripts/perf_baseline_fsim.json).
+	PatternSpeedup float64 `json:"pattern_speedup_w1,omitempty"`
+
+	// Points carries a benchfsim mode × worker sweep.
 	Points []BenchPoint `json:"points,omitempty"`
 }
 
@@ -321,8 +332,17 @@ func (r *Record) Metrics() map[string]float64 {
 	for _, p := range r.Phases {
 		m["phase_seconds/"+p.Name] = p.Seconds
 	}
+	if r.PatternSpeedup > 0 {
+		m["pattern_speedup_w1"] = r.PatternSpeedup
+	}
 	for _, p := range r.Points {
-		m[fmt.Sprintf("ns_per_op/workers=%d", p.Workers)] = float64(p.NsPerOp)
+		if p.Mode != "" {
+			m[fmt.Sprintf("ns_per_op/mode=%s/workers=%d", p.Mode, p.Workers)] = float64(p.NsPerOp)
+		} else {
+			// Pre-mode-sweep records keep their legacy metric names, so old
+			// baselines keep checking and old-vs-new diffs line up.
+			m[fmt.Sprintf("ns_per_op/workers=%d", p.Workers)] = float64(p.NsPerOp)
+		}
 	}
 	return m
 }

@@ -196,6 +196,37 @@ func TestMetricsAndDiff(t *testing.T) {
 	}
 }
 
+// TestMetricsModePoints pins the mode-aware bench-point metric names:
+// points carrying a fsim mode get mode-qualified ns_per_op keys, legacy
+// records (empty Mode — every ledger line written before modes existed)
+// keep their original names so history stays diffable, and the
+// single-thread pattern-parallel speedup surfaces as its own metric
+// only when the sweep measured it.
+func TestMetricsModePoints(t *testing.T) {
+	r := sampleRecord(KindBenchFsim, "s35932", 1)
+	r.PatternSpeedup = 4.9
+	r.Points = []BenchPoint{
+		{Workers: 1, NsPerOp: 500},
+		{Mode: "fault-parallel", Workers: 1, NsPerOp: 490},
+		{Mode: "pattern-parallel", Workers: 1, NsPerOp: 100},
+	}
+	m := r.Metrics()
+	for key, want := range map[string]float64{
+		"ns_per_op/workers=1":                       500,
+		"ns_per_op/mode=fault-parallel/workers=1":   490,
+		"ns_per_op/mode=pattern-parallel/workers=1": 100,
+		"pattern_speedup_w1":                        4.9,
+	} {
+		if m[key] != want {
+			t.Errorf("Metrics[%q] = %v, want %v", key, m[key], want)
+		}
+	}
+	r.PatternSpeedup = 0
+	if _, ok := r.Metrics()["pattern_speedup_w1"]; ok {
+		t.Error("pattern_speedup_w1 emitted for a sweep that did not measure it")
+	}
+}
+
 func TestHashParams(t *testing.T) {
 	type params struct{ A, B int }
 	h1 := HashParams(params{1, 2})

@@ -6,6 +6,7 @@ import (
 
 	"limscan/internal/bmark"
 	"limscan/internal/core"
+	"limscan/internal/fsim"
 )
 
 func TestWriteCampaignBody(t *testing.T) {
@@ -100,6 +101,36 @@ func TestWriteCampaignAllUntestable(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "coverage 100.00% (complete=true)") {
 		t.Errorf("all-untestable coverage line wrong:\n%s", sb.String())
+	}
+}
+
+// TestWriteCampaignModeInvariant renders two real campaigns — one per
+// fault-simulation mode — and requires byte-identical reports: the mode
+// is an execution knob, and nothing it touches may leak into the
+// user-visible output.
+func TestWriteCampaignModeInvariant(t *testing.T) {
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{LA: 10, LB: 5, N: 2, Seed: 32, ReseedPerTest: true}
+	var outs [2]string
+	for i, mode := range []fsim.Mode{fsim.FaultParallel, fsim.PatternParallel} {
+		mcfg := cfg
+		mcfg.Mode = mode
+		res, err := core.NewRunner(c).RunProcedure2(mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := WriteCampaign(&sb, c, res); err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = sb.String()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("campaign reports differ across fsim modes:\n--- fault-parallel ---\n%s\n--- pattern-parallel ---\n%s",
+			outs[0], outs[1])
 	}
 }
 
