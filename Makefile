@@ -6,14 +6,15 @@
 # checkpoint/resume kill-and-restart smoke (in both fault-simulation
 # modes), the chaos sweep (every checkpoint I/O operation
 # failure-injected in turn), the performance-observability smoke
-# (profiles, ledger, regression gate), and the committed-bench
-# pattern-parallel speedup gate.
+# (profiles, ledger, regression gate), the committed-bench
+# pattern-parallel speedup gate, and the campaign-service smoke (a real
+# limscand: submit, cache hit, byte-identical reports, graceful stop).
 
 GO ?= go
 
-.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate bench benchall
+.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate servesmoke bench benchall
 
-ci: vet build race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate
+ci: vet build race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate servesmoke
 
 vet:
 	$(GO) vet ./...
@@ -85,6 +86,14 @@ tracesmoke:
 # fresh sweep (make bench) re-runs the same check on new numbers.
 benchgate:
 	$(GO) run ./cmd/perf check -ledger PERF_ledger.jsonl -baseline scripts/perf_baseline_fsim.json
+
+# servesmoke boots a real limscand on a random port, submits the same
+# s298 campaign twice, and requires: the first run's report
+# byte-identical to the limscan CLI's, the resubmission served as a
+# cache hit with identical bytes, the ledger showing one run plus one
+# cache-hit record, and SIGTERM exiting 0.
+servesmoke:
+	sh scripts/serve_smoke.sh
 
 # bench runs the fsim benchmark pair: the in-package worker benchmark,
 # then a cmd/benchfsim sweep over both fault-simulation modes at

@@ -1,0 +1,155 @@
+// Command limscand is the long-running campaign service: the batch
+// `limscan` flow behind an HTTP JSON job API, with a bounded campaign
+// queue, a memoized results cache keyed by the run's ParamsHash, and
+// crash-restartable state (re-start over the same -state-dir and every
+// incomplete job is re-queued and resumed from its checkpoint).
+//
+// Usage:
+//
+//	limscand -state-dir /var/lib/limscand [-addr 127.0.0.1:8080]
+//	limscand -state-dir d -addr 127.0.0.1:0 -addr-file d/addr   # random port, discoverable
+//	limscand -state-dir d -workers 4 -ledger PERF_ledger.jsonl
+//
+// API (all bodies JSON unless noted):
+//
+//	POST   /v1/campaigns             submit a spec; 202 new, 200 cached/coalesced
+//	GET    /v1/campaigns             list every job, submission order
+//	GET    /v1/campaigns/{id}        one job's state
+//	GET    /v1/campaigns/{id}/report the finished report, text/plain —
+//	                                 byte-identical to `limscan` with the same flags
+//	DELETE /v1/campaigns/{id}        cancel a queued or running job
+//	GET    /healthz, /readyz, /metrics, /trace/{id}, /debug/pprof/*
+//
+// Exit codes: 0 clean shutdown (SIGINT/SIGTERM), 1 internal error,
+// 2 usage or startup error, 3 shutdown drain timed out (some campaign
+// state may only be as fresh as its last checkpoint — still resumable).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+	"time"
+
+	"limscan/internal/errs"
+	"limscan/internal/obs"
+	"limscan/internal/service"
+)
+
+func main() {
+	// A panic would exit 2 via the runtime, colliding with the usage
+	// code; contain it and exit 1 (internal) like limscan does.
+	defer func() {
+		if r := recover(); r != nil {
+			pe := errs.NewPanic(r, debug.Stack())
+			fmt.Fprintf(os.Stderr, "limscand: internal error: %v\n", pe)
+			os.Exit(errs.ExitCode(pe))
+		}
+	}()
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main minus the process boundary, so the crash-resume test can
+// re-exec the daemon through the test binary. The explicit FlagSet
+// keeps daemon flags out of the test binary's global flag namespace.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("limscand", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 with -addr-file for a random port)")
+		addrFile = fs.String("addr-file", "", "write the bound listen address to this file once serving")
+		stateDir = fs.String("state-dir", "", "directory for job specs, checkpoints and memoized results (required)")
+		workers  = fs.Int("workers", 1, "campaigns run concurrently")
+		depth    = fs.Int("queue-depth", 64, "queued campaigns beyond the running ones; past it, submissions get 429")
+		cacheN   = fs.Int("cache-entries", 256, "in-memory results-cache entries (the disk layer is unbounded)")
+		ckEvery  = fs.Int("checkpoint-every", 1, "iterations between campaign snapshots")
+		fsimW    = fs.Int("fsim-workers", 0, "per-campaign fault-simulation workers (0 = GOMAXPROCS; result-neutral)")
+		ledger   = fs.String("ledger", "", "append one performance record per finished job to this JSON-lines ledger")
+		events   = fs.Bool("events", false, "stream job lifecycle events as JSON lines to stderr")
+		drain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before giving up on running campaigns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return errs.ExitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "limscand: unexpected arguments: %v (all options are flags)\n", fs.Args())
+		return errs.ExitUsage
+	}
+	if *stateDir == "" {
+		fmt.Fprintf(stderr, "limscand: -state-dir is required\n")
+		return errs.ExitUsage
+	}
+
+	var sink obs.Sink
+	if *events {
+		sink = obs.NewJSONLines(stderr)
+	}
+	o := obs.New(obs.NewRegistry(), sink)
+
+	svc, err := service.New(service.Options{
+		StateDir:        *stateDir,
+		Workers:         *workers,
+		QueueDepth:      *depth,
+		CacheEntries:    *cacheN,
+		CheckpointEvery: *ckEvery,
+		FsimWorkers:     *fsimW,
+		LedgerPath:      *ledger,
+		Obs:             o,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "limscand: %v\n", err)
+		return errs.ExitCode(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "limscand: -addr: %v\n", err)
+		return errs.ExitUsage
+	}
+	if *addrFile != "" {
+		// Written after binding, so pollers that see the file can
+		// connect immediately — the -addr :0 discovery contract.
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(stderr, "limscand: -addr-file: %v\n", err)
+			return errs.ExitUsage
+		}
+	}
+	fmt.Fprintf(stderr, "limscand: serving on %s (state dir %s, %d worker(s))\n",
+		ln.Addr(), *stateDir, *workers)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Graceful: stop accepting requests, then interrupt the running
+		// campaigns so they flush their checkpoint boundary. Incomplete
+		// jobs keep their spec files; the next start re-queues them.
+		fmt.Fprintf(stderr, "limscand: shutting down\n")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		_ = srv.Shutdown(dctx)
+		if err := svc.Shutdown(dctx); err != nil {
+			fmt.Fprintf(stderr, "limscand: drain timed out: %v\n", err)
+			return errs.ExitInterrupted
+		}
+		return 0
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return 0
+		}
+		fmt.Fprintf(stderr, "limscand: serve: %v\n", err)
+		return errs.ExitCode(errs.Wrap(errs.TransientIO, err))
+	}
+}

@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"limscan/internal/bmark"
+	"limscan/internal/core"
+	"limscan/internal/report"
+)
+
+// TestMain doubles as the daemon entry point: when re-exec'd with
+// LIMSCAND_REEXEC=1 the test binary IS limscand, so the crash-resume
+// test below can SIGKILL a real process without needing a prebuilt
+// binary on disk. Args travel NUL-separated to survive any quoting.
+func TestMain(m *testing.M) {
+	if os.Getenv("LIMSCAND_REEXEC") == "1" {
+		var args []string
+		if s := os.Getenv("LIMSCAND_ARGS"); s != "" {
+			args = strings.Split(s, "\x1f")
+		}
+		os.Exit(run(args, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// startDaemon re-execs the test binary as limscand over stateDir and
+// waits (by polling /readyz, never a blind sleep) until it serves.
+func startDaemon(t *testing.T, stateDir string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(stateDir, "addr")
+	_ = os.Remove(addrFile) // a stale address must not satisfy the poll
+	args := append([]string{
+		"-state-dir", stateDir,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-checkpoint-every", "1",
+	}, extra...)
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"LIMSCAND_REEXEC=1",
+		"LIMSCAND_ARGS="+strings.Join(args, "\x1f"))
+	var logs bytes.Buffer
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+
+	var addr string
+	waitFor(t, 30*time.Second, "daemon readiness", func() bool {
+		data, err := os.ReadFile(addrFile)
+		if err != nil {
+			return false
+		}
+		addr = strings.TrimSpace(string(data))
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	if t.Failed() {
+		t.Fatalf("daemon never became ready; logs:\n%s", logs.String())
+	}
+	return cmd, addr
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, limit time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(limit)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// apiView mirrors the wire fields the test reads.
+type apiView struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	ParamsHash string `json:"params_hash"`
+	CacheHit   bool   `json:"cache_hit"`
+	Resumed    bool   `json:"resumed"`
+	Recovered  bool   `json:"recovered"`
+	Error      string `json:"error"`
+}
+
+func postSpec(t *testing.T, addr, spec string) (bool, apiView) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/campaigns: %d\n%s", resp.StatusCode, body)
+	}
+	var sub struct {
+		Created  bool    `json:"created"`
+		Campaign apiView `json:"campaign"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatalf("submit response: %v\n%s", err, body)
+	}
+	return sub.Created, sub.Campaign
+}
+
+func getView(t *testing.T, addr, id string) apiView {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v apiView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func getReport(t *testing.T, addr, id string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/campaigns/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %d\n%s", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestCrashResume is the service's durability contract end to end: a
+// daemon SIGKILLed mid-campaign, restarted over the same state dir,
+// finishes the job from its checkpoint and serves a report
+// byte-identical to an uninterrupted run. No step sleeps for effect —
+// every wait polls the API or the filesystem artifact it depends on.
+func TestCrashResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real processes")
+	}
+	dir := t.TempDir()
+	spec := `{"circuit":"s298","la":10,"lb":5,"n":4,"seed":5}`
+
+	// The uninterrupted answer, computed in-process: the service promises
+	// exactly these bytes however many crashes intervene.
+	c, err := bmark.Load("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewRunner(c).RunProcedure2(core.Config{LA: 10, LB: 5, N: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := report.WriteCampaign(&want, c, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process 1: submit, wait for the first checkpoint to land, SIGKILL.
+	cmd1, addr1 := startDaemon(t, dir)
+	_, v := postSpec(t, addr1, spec)
+	ckPath := filepath.Join(dir, v.ParamsHash+".ck")
+	waitFor(t, 30*time.Second, "first checkpoint", func() bool {
+		_, err := os.Stat(ckPath)
+		return err == nil
+	})
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd1.Process.Wait()
+
+	// Process 2: same state dir. Either the kill landed mid-campaign
+	// (spec file survives, the job is recovered and resumed) or the
+	// campaign had already finished (the memo survives, resubmission is
+	// a cache hit). Both must converge on the reference bytes.
+	_, addr2 := startDaemon(t, dir)
+	_, v2 := postSpec(t, addr2, spec)
+	if v2.ParamsHash != v.ParamsHash {
+		t.Fatalf("restart changed the params hash: %s vs %s", v2.ParamsHash, v.ParamsHash)
+	}
+	var final apiView
+	waitFor(t, 60*time.Second, "job completion after restart", func() bool {
+		final = getView(t, addr2, v2.ID)
+		return final.State == "done" || final.State == "failed" || final.State == "canceled"
+	})
+	if final.State != "done" {
+		t.Fatalf("job after restart ended %s: %s", final.State, final.Error)
+	}
+	if !final.CacheHit && !final.Recovered && !final.Resumed {
+		t.Logf("note: restart job was a plain re-run (kill landed before any state)")
+	}
+	got := getReport(t, addr2, v2.ID)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("post-crash report differs from uninterrupted run:\n got %d bytes\nwant %d bytes", len(got), want.Len())
+	}
+
+	// Resubmitting now must be a pure cache hit: the crash did not
+	// poison the memo.
+	created, v3 := postSpec(t, addr2, spec)
+	if !created || !v3.CacheHit {
+		t.Errorf("post-recovery resubmission: created=%v cacheHit=%v", created, v3.CacheHit)
+	}
+	if rep := getReport(t, addr2, v3.ID); !bytes.Equal(rep, want.Bytes()) {
+		t.Error("cached report differs from uninterrupted run")
+	}
+}
+
+// TestGracefulShutdown pins the exit-code contract: SIGTERM drains and
+// exits 0, and a job interrupted by the shutdown is re-queued by the
+// next daemon over the same state dir.
+func TestGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	dir := t.TempDir()
+	cmd, addr := startDaemon(t, dir)
+	_, v := postSpec(t, addr, `{"circuit":"s298","la":10,"lb":5,"n":4,"seed":7}`)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	state, err := cmd.Process.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := state.ExitCode(); code != 0 {
+		t.Fatalf("SIGTERM exit code %d, want 0", code)
+	}
+
+	// If the shutdown interrupted the job, its spec file survives and
+	// the next daemon finishes it; if the job won the race, the memo
+	// survives instead. Either way the spec must complete from here.
+	_, addr2 := startDaemon(t, dir)
+	_, v2 := postSpec(t, addr2, `{"circuit":"s298","la":10,"lb":5,"n":4,"seed":7}`)
+	if v2.ParamsHash != v.ParamsHash {
+		t.Fatalf("hash changed across restart")
+	}
+	var final apiView
+	waitFor(t, 60*time.Second, "job completion after graceful restart", func() bool {
+		final = getView(t, addr2, v2.ID)
+		return final.State == "done" || final.State == "failed" || final.State == "canceled"
+	})
+	if final.State != "done" {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+}
+
+// TestUsageErrors pins exit code 2 for startup mistakes.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                // missing -state-dir
+		{"-state-dir", "x", "positional"}, // stray argument
+		{"-no-such-flag"},
+	} {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			"LIMSCAND_REEXEC=1",
+			"LIMSCAND_ARGS="+strings.Join(args, "\x1f"))
+		err := cmd.Run()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 2 {
+			t.Errorf("args %v: err %v, want exit 2", args, err)
+		}
+	}
+}

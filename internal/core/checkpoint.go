@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"limscan/internal/checkpoint"
+	"limscan/internal/circuit"
 	"limscan/internal/errs"
 	"limscan/internal/fault"
 	"limscan/internal/iofault"
@@ -49,12 +50,18 @@ type InterruptedError = checkpoint.InterruptedError
 // are byte-identical), so a checkpoint taken under one may be resumed
 // under another.
 func (r *Runner) CheckpointMeta(cfg Config) checkpoint.Meta {
+	return metaFor(r.c, r.plan.Len(), cfg)
+}
+
+// metaFor is the shared identity constructor behind CheckpointMeta and
+// JobParamsHash.
+func metaFor(c *circuit.Circuit, planLen int, cfg Config) checkpoint.Meta {
 	cfg = cfg.withDefaults()
 	return checkpoint.Meta{
 		Mode:          checkpoint.ModeProcedure2,
-		Circuit:       r.c.Name,
-		CircuitHash:   checkpoint.CircuitHash(r.c),
-		PlanLen:       r.plan.Len(),
+		Circuit:       c.Name,
+		CircuitHash:   checkpoint.CircuitHash(c),
+		PlanLen:       planLen,
 		LA:            cfg.LA,
 		LB:            cfg.LB,
 		N:             cfg.N,

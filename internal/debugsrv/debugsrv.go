@@ -11,7 +11,10 @@
 // flips from 503 to 200 once the campaign opens its first phase span,
 // and /trace serves the execution trace recorded so far as Chrome
 // trace-event JSON (downloadable mid-run — the recorder's snapshot
-// read is safe against concurrent span appends).
+// read is safe against concurrent span appends). /trace/{id} serves
+// per-job traces through Config.TraceFor — the campaign service wires
+// it to its job table. Register grafts all of it onto an existing mux
+// for processes that already serve HTTP.
 package debugsrv
 
 import (
@@ -36,10 +39,16 @@ type Config struct {
 	// Ready backs /readyz: the endpoint answers 200 once Ready returns
 	// true. Nil means always ready. The CLIs pass the campaign
 	// observer's Started method, so readiness flips exactly when the
-	// first phase span opens.
+	// first phase span opens; the campaign service flips it once crash
+	// recovery has re-queued every incomplete job.
 	Ready func() bool
 	// Trace backs /trace; nil makes the endpoint 404.
 	Trace *trace.Recorder
+	// TraceFor backs the per-job /trace/{id} endpoint: given an id it
+	// returns that job's recorder, or nil for 404. The campaign service
+	// wires this to its job table so every running or finished campaign
+	// exposes its own execution trace. Nil makes /trace/{id} 404.
+	TraceFor func(id string) *trace.Recorder
 }
 
 // Server is a running debug HTTP server. The zero value and nil are
@@ -54,19 +63,12 @@ type Server struct {
 // DefaultShutdownTimeout bounds Shutdown when callers pass zero.
 const DefaultShutdownTimeout = 2 * time.Second
 
-// Start listens on addr and serves in the background. The Listen call
-// is synchronous so an unusable address fails here, at flag-handling
-// time. An empty addr returns (nil, nil): the nil *Server is a no-op,
-// so call sites need no "enabled?" branches.
-func Start(addr string, cfg Config) (*Server, error) {
-	if addr == "" {
-		return nil, nil
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	mux := http.NewServeMux()
+// Register mounts every debug endpoint on mux: /metrics, /healthz,
+// /readyz, /trace, /trace/{id} and /debug/pprof/*. It exists so a
+// process that already owns an HTTP server — the campaign service —
+// can graft the operational endpoints onto its own mux instead of
+// running a second listener; Start and Handler are thin wrappers.
+func Register(mux *http.ServeMux, cfg Config) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if cfg.Registry != nil {
@@ -88,19 +90,56 @@ func Start(addr string, cfg Config) (*Server, error) {
 		_, _ = w.Write([]byte("ready\n"))
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
-		if cfg.Trace == nil {
+		serveTrace(w, r, cfg.Trace, "limscan-trace.json")
+	})
+	mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.TraceFor == nil {
 			http.NotFound(w, r)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("Content-Disposition", `attachment; filename="limscan-trace.json"`)
-		_ = cfg.Trace.WriteJSON(w)
+		id := r.PathValue("id")
+		serveTrace(w, r, cfg.TraceFor(id), "limscan-trace-"+id+".json")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// serveTrace writes a recorder's Chrome trace-event JSON, or 404 when
+// the recorder is absent (no trace collected under that name).
+func serveTrace(w http.ResponseWriter, r *http.Request, tr *trace.Recorder, filename string) {
+	if tr == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+filename+`"`)
+	_ = tr.WriteJSON(w)
+}
+
+// Handler returns the debug endpoints as a standalone http.Handler.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, cfg)
+	return mux
+}
+
+// Start listens on addr and serves in the background. The Listen call
+// is synchronous so an unusable address fails here, at flag-handling
+// time. An empty addr returns (nil, nil): the nil *Server is a no-op,
+// so call sites need no "enabled?" branches.
+func Start(addr string, cfg Config) (*Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	Register(mux, cfg)
 
 	s := &Server{
 		srv:  &http.Server{Handler: mux},

@@ -3,6 +3,7 @@ package debugsrv
 import (
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -11,6 +12,12 @@ import (
 	"limscan/internal/obs"
 	"limscan/internal/trace"
 )
+
+// newRecorded builds a GET request and response recorder for driving a
+// Handler directly, without a listener.
+func newRecorded(path string) (*http.Request, *httptest.ResponseRecorder) {
+	return httptest.NewRequest(http.MethodGet, path, nil), httptest.NewRecorder()
+}
 
 // get fetches a path from the server and returns status and body.
 func get(t *testing.T, s *Server, path string) (int, string) {
@@ -225,6 +232,63 @@ func TestTraceEndpointNoRecorder(t *testing.T) {
 	defer s.Shutdown(time.Second)
 	if code, _ := get(t, s, "/trace"); code != http.StatusNotFound {
 		t.Errorf("trace without recorder = %d, want 404", code)
+	}
+}
+
+// TestTraceForPerJob: /trace/{id} resolves recorders through TraceFor —
+// a known id serves that job's trace, an unknown one is 404, and
+// without a TraceFor source the whole endpoint is 404.
+func TestTraceForPerJob(t *testing.T) {
+	recorders := map[string]*trace.Recorder{"c000001": trace.New()}
+	tr := recorders["c000001"]
+	t0 := tr.Now()
+	tr.Track(trace.MainTrack).Add(trace.CatCheckpoint, trace.SpanCheckpoint, t0, tr.Now()-t0)
+
+	s, err := Start("127.0.0.1:0", Config{
+		TraceFor: func(id string) *trace.Recorder { return recorders[id] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(time.Second)
+
+	code, body := get(t, s, "/trace/c000001")
+	if code != http.StatusOK {
+		t.Fatalf("known job trace = %d, want 200", code)
+	}
+	if _, err := trace.Parse([]byte(body)); err != nil {
+		t.Errorf("per-job trace is not valid trace-event JSON: %v", err)
+	}
+	if code, _ := get(t, s, "/trace/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown job trace = %d, want 404", code)
+	}
+
+	bare, err := Start("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Shutdown(time.Second)
+	if code, _ := get(t, bare, "/trace/c000001"); code != http.StatusNotFound {
+		t.Errorf("trace/{id} without TraceFor = %d, want 404", code)
+	}
+}
+
+// TestHandlerStandalone: Handler exposes the same endpoints for muxes
+// owned by someone else (the campaign service embeds it this way).
+func TestHandlerStandalone(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("service_jobs_total").Inc()
+	h := Handler(Config{Registry: reg})
+
+	req, w := newRecorded("/metrics")
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "service_jobs_total") {
+		t.Errorf("Handler /metrics: code %d body %q", w.Code, w.Body.String())
+	}
+	req, w = newRecorded("/healthz")
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Errorf("Handler /healthz: code %d", w.Code)
 	}
 }
 

@@ -46,6 +46,21 @@ var (
 	InternalPanic   = errors.New("internal panic")
 	Interrupted     = errors.New("interrupted")
 	Degraded        = errors.New("degraded")
+
+	// The service kinds, added when the taxonomy became an HTTP API
+	// error vocabulary (cmd/limscand). They never reach the CLI exit
+	// paths, so ExitCode maps them like any internal error.
+	//
+	//   - NotFound: the request names a resource (a campaign id) the
+	//     service does not hold.
+	//   - Conflict: the request is well-formed but the resource is in the
+	//     wrong state for it (a report requested before the job finished,
+	//     a cancel of an already-terminal job).
+	//   - Saturated: the service's admission queue is full; the request
+	//     was rejected without side effects and may be retried.
+	NotFound  = errors.New("not found")
+	Conflict  = errors.New("conflict")
+	Saturated = errors.New("saturated")
 )
 
 // The exit-code contract.
@@ -111,6 +126,68 @@ func (e *PanicError) Error() string {
 
 // Is matches the InternalPanic kind.
 func (e *PanicError) Is(target error) bool { return target == InternalPanic }
+
+// HTTPStatus maps an error onto the campaign service's HTTP status
+// contract (the API-side analog of ExitCode; pinned by the limscand
+// conformance suite):
+//
+//	200  nil
+//	400  Input            — fix the request body and retry
+//	404  NotFound         — unknown campaign id
+//	409  Conflict         — resource in the wrong state (also a canceled
+//	                        run surfacing as Interrupted)
+//	422  CorruptSnapshot  — stored state failed validation
+//	429  Saturated        — queue full; retry after backoff
+//	503  TransientIO      — storage trouble; the service itself is fine
+//	500  everything else  — bugs, contained panics
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return 200
+	case errors.Is(err, Input):
+		return 400
+	case errors.Is(err, NotFound):
+		return 404
+	case errors.Is(err, Conflict), errors.Is(err, Interrupted):
+		return 409
+	case errors.Is(err, CorruptSnapshot):
+		return 422
+	case errors.Is(err, Saturated):
+		return 429
+	case errors.Is(err, TransientIO):
+		return 503
+	default:
+		return 500
+	}
+}
+
+// KindString names the kind an error matches, for machine-readable API
+// error bodies ("input", "not_found", ...). Unmatched errors are
+// "internal".
+func KindString(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, Input):
+		return "input"
+	case errors.Is(err, NotFound):
+		return "not_found"
+	case errors.Is(err, Conflict):
+		return "conflict"
+	case errors.Is(err, Saturated):
+		return "saturated"
+	case errors.Is(err, Interrupted):
+		return "interrupted"
+	case errors.Is(err, CorruptSnapshot):
+		return "corrupt_snapshot"
+	case errors.Is(err, TransientIO):
+		return "transient_io"
+	case errors.Is(err, Degraded):
+		return "degraded"
+	default:
+		return "internal"
+	}
+}
 
 // ExitCode maps an error onto the documented exit-code contract. The
 // order matters: an interrupted run that also saw degraded checkpoint

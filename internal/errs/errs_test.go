@@ -56,6 +56,54 @@ func TestPanicError(t *testing.T) {
 	}
 }
 
+func TestHTTPStatus(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 200},
+		{Newf(Input, "bad body"), 400},
+		{Newf(NotFound, "no such campaign"), 404},
+		{Newf(Conflict, "report not ready"), 409},
+		{Newf(Interrupted, "job canceled"), 409},
+		{Newf(CorruptSnapshot, "torn"), 422},
+		{Newf(Saturated, "queue full"), 429},
+		{Newf(TransientIO, "disk"), 503},
+		{NewPanic("x", nil), 500},
+		{errors.New("plain"), 500},
+		{fmt.Errorf("outer: %w", Newf(NotFound, "inner")), 404},
+	}
+	for _, tc := range cases {
+		if got := HTTPStatus(tc.err); got != tc.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{Newf(Input, "x"), "input"},
+		{Newf(NotFound, "x"), "not_found"},
+		{Newf(Conflict, "x"), "conflict"},
+		{Newf(Saturated, "x"), "saturated"},
+		{Newf(Interrupted, "x"), "interrupted"},
+		{Newf(CorruptSnapshot, "x"), "corrupt_snapshot"},
+		{Newf(TransientIO, "x"), "transient_io"},
+		{Newf(Degraded, "x"), "degraded"},
+		{errors.New("plain"), "internal"},
+		{NewPanic("x", nil), "internal"},
+	}
+	for _, tc := range cases {
+		if got := KindString(tc.err); got != tc.want {
+			t.Errorf("KindString(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
 func TestExitCode(t *testing.T) {
 	cases := []struct {
 		err  error

@@ -37,6 +37,7 @@ const (
 	KindCampaign  = "campaign"  // a Procedure 2 campaign (cmd/limscan)
 	KindFaultSim  = "faultsim"  // a standalone simulation session (cmd/faultsim)
 	KindBenchFsim = "benchfsim" // a worker-scaling sweep (cmd/benchfsim)
+	KindService   = "service"   // one campaign-service job (cmd/limscand)
 )
 
 // PhaseSeconds is one per-phase wall-time row, copied from the obs phase
@@ -122,6 +123,18 @@ type Record struct {
 
 	// Points carries a benchfsim mode × worker sweep.
 	Points []BenchPoint `json:"points,omitempty"`
+
+	// Service-job accounting (KindService records). JobID names the
+	// campaign-service job the record belongs to. CacheHit marks a
+	// submission served from the memoized results cache: no simulation
+	// ran, so its WallSeconds measure lookup latency, not campaign cost
+	// — the record exists precisely so "heavy repeat traffic" shows up
+	// in history as cache hits rather than as impossibly fast campaigns.
+	// Recovered marks a job re-queued from its checkpoint after a
+	// restart; its wall time covers only the resumed tail.
+	JobID     string `json:"job_id,omitempty"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Recovered bool   `json:"recovered,omitempty"`
 }
 
 // Stamp fills the schema, timestamp and host-context fields. CLIs call

@@ -334,6 +334,49 @@ func TestToleranceLimit(t *testing.T) {
 	}
 }
 
+// TestServiceRecordRoundTrip: the service-job fields (job id, cache-hit
+// and recovered flags) survive the append/read cycle, and a cache-hit
+// record stays distinguishable from a real run (the servesmoke gate
+// greps history for exactly this distinction).
+func TestServiceRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	run := sampleRecord(KindService, "s298", 1.2)
+	run.JobID = "c000001"
+	run.Stamp()
+	hit := sampleRecord(KindService, "s298", 0.001)
+	hit.JobID = "c000002"
+	hit.CacheHit = true
+	hit.Stamp()
+	rec := sampleRecord(KindService, "s298", 0.4)
+	rec.JobID = "c000003"
+	rec.Recovered = true
+	rec.Stamp()
+	for _, r := range []*Record{run, hit, rec} {
+		if err := Append(path, r, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, skipped, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 || len(recs) != 3 {
+		t.Fatalf("got %d records (%d skipped), want 3 clean", len(recs), len(skipped))
+	}
+	if recs[0].JobID != "c000001" || recs[0].CacheHit || recs[0].Recovered {
+		t.Errorf("run record mangled: %+v", recs[0])
+	}
+	if !recs[1].CacheHit || recs[1].JobID != "c000002" {
+		t.Errorf("cache-hit record mangled: %+v", recs[1])
+	}
+	if !recs[2].Recovered {
+		t.Errorf("recovered record mangled: %+v", recs[2])
+	}
+	if got := Filter(recs, KindService, "s298"); len(got) != 3 {
+		t.Errorf("Filter(KindService) = %d records, want 3", len(got))
+	}
+}
+
 func TestStampPreservesTime(t *testing.T) {
 	fixed := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
 	r := Record{Time: fixed}

@@ -54,6 +54,25 @@ const (
 	KindDegraded Kind = "degraded"
 	// KindCampaignEnd closes a campaign (Detected, Cycles, Coverage).
 	KindCampaignEnd Kind = "campaign_end"
+
+	// Service job lifecycle kinds (cmd/limscand): Job carries the
+	// campaign id, Circuit the netlist name.
+	//
+	// KindJobQueued records an admitted submission; KindJobStarted a
+	// worker picking it up; KindJobDone a successful completion
+	// (Detected, Cycles, Coverage); KindJobFailed a terminal error
+	// (Msg); KindJobCanceled a cancellation taking effect.
+	KindJobQueued   Kind = "job_queued"
+	KindJobStarted  Kind = "job_started"
+	KindJobDone     Kind = "job_done"
+	KindJobFailed   Kind = "job_failed"
+	KindJobCanceled Kind = "job_canceled"
+	// KindCacheHit records a submission served from the memoized results
+	// cache without running a simulation (Job, Circuit).
+	KindCacheHit Kind = "cache_hit"
+	// KindJobRecovered records an incomplete job re-queued from its
+	// on-disk spec and checkpoint after a restart (Job, Circuit).
+	KindJobRecovered Kind = "job_recovered"
 )
 
 // Event is one structured campaign record. Unused fields stay zero and
@@ -65,6 +84,8 @@ type Event struct {
 	Circuit string `json:"circuit,omitempty"`
 	Phase   string `json:"phase,omitempty"`
 	Msg     string `json:"msg,omitempty"`
+	// Job is a campaign-service job id (the Kind"Job*" events).
+	Job string `json:"job,omitempty"`
 
 	// I and D1 identify a Procedure 1 schedule (the paper's stored pair).
 	I  int `json:"i,omitempty"`

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"limscan/internal/errs"
+	"limscan/internal/iofault"
+)
+
+// Memo is one cached campaign outcome: the rendered report (the exact
+// bytes cmd/limscan would print) plus the scalar summary and the spec
+// that produced it. It is keyed by ParamsHash, which digests every
+// result-affecting parameter and the circuit structure — so a hit is
+// guaranteed to be the byte-identical report a fresh run would compute
+// (DESIGN.md §8).
+type Memo struct {
+	Schema     int     `json:"schema"`
+	ParamsHash string  `json:"params_hash"`
+	Spec       Spec    `json:"spec"`
+	Summary    Summary `json:"summary"`
+	Report     string  `json:"report"`
+}
+
+// memoSchema versions the on-disk result files; foreign schemas are
+// treated as misses so a format change costs a re-run, never a wrong
+// or unparsable answer.
+const memoSchema = 1
+
+// memoCache is the two-layer results cache: a bounded in-memory LRU in
+// front of one JSON file per result in the state directory. The disk
+// layer is the durable one — it survives restarts and is what crash
+// recovery consults — while the memory layer bounds both lookup cost
+// and resident size under heavy repeat traffic. Eviction only ever
+// drops the memory copy; disk files are the service's run archive.
+type memoCache struct {
+	dir string
+	max int
+
+	mu sync.Mutex
+	ll *list.List               // front = most recently used
+	m  map[string]*list.Element // hash -> element holding *Memo
+}
+
+// newMemoCache builds a cache over dir holding at most max entries in
+// memory (max < 1 means 1: a cache that can't hold the entry being
+// inserted would thrash pathologically).
+func newMemoCache(dir string, max int) *memoCache {
+	if max < 1 {
+		max = 1
+	}
+	return &memoCache{dir: dir, max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// path is the durable location of one memoized result.
+func (c *memoCache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".result.json")
+}
+
+// Get returns the memo for hash, consulting memory first and falling
+// back to the disk layer (promoting a disk hit into memory). The second
+// return distinguishes a miss; the third reports which layer hit, for
+// the metrics.
+func (c *memoCache) Get(hash string) (*Memo, bool, string) {
+	c.mu.Lock()
+	if el, ok := c.m[hash]; ok {
+		c.ll.MoveToFront(el)
+		m := el.Value.(*Memo)
+		c.mu.Unlock()
+		return m, true, "memory"
+	}
+	c.mu.Unlock()
+
+	m, err := readMemo(c.path(hash))
+	if err != nil {
+		return nil, false, ""
+	}
+	c.insert(m)
+	return m, true, "disk"
+}
+
+// Put memoizes a completed run: the durable file is written first
+// (atomically — a crash mid-put must never leave a torn result a
+// future Get would serve), then the memory layer is updated.
+func (c *memoCache) Put(m *Memo) error {
+	m.Schema = memoSchema
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encode memo: %w", err)
+	}
+	if err := writeFileAtomic(c.path(m.ParamsHash), append(data, '\n')); err != nil {
+		return errs.Wrap(errs.TransientIO, fmt.Errorf("service: memoize %s: %w", m.ParamsHash, err))
+	}
+	c.insert(m)
+	return nil
+}
+
+// insert adds (or refreshes) the memory entry and evicts past max.
+func (c *memoCache) insert(m *Memo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[m.ParamsHash]; ok {
+		el.Value = m
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[m.ParamsHash] = c.ll.PushFront(m)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*Memo).ParamsHash)
+	}
+}
+
+// Resident reports the number of in-memory entries (for the gauge).
+func (c *memoCache) Resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// readMemo loads and validates one durable result file. Any defect —
+// unreadable, bad JSON, foreign schema, hash mismatch with its own
+// content — reads as a miss.
+func readMemo(path string) (*Memo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Memo
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("service: memo %s: %w", path, err)
+	}
+	if m.Schema != memoSchema {
+		return nil, fmt.Errorf("service: memo %s: schema %d, this build reads %d", path, m.Schema, memoSchema)
+	}
+	if m.ParamsHash == "" || m.Report == "" {
+		return nil, fmt.Errorf("service: memo %s: missing hash or report", path)
+	}
+	return &m, nil
+}
+
+// writeFileAtomic writes data to path via the temp+fsync+rename dance,
+// so readers (and crash recovery) only ever see complete files.
+func writeFileAtomic(path string, data []byte) error {
+	fsys := iofault.OS
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	defer fsys.Remove(name) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(name, path)
+}

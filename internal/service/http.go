@@ -1,0 +1,147 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"limscan/internal/debugsrv"
+	"limscan/internal/errs"
+)
+
+// maxBodyBytes bounds a request body; campaign specs are a few hundred
+// bytes, so anything near the cap is hostile or confused.
+const maxBodyBytes = 1 << 20
+
+// submitResponse is the POST /v1/campaigns body: the job view plus
+// whether this request created the job (false when it coalesced onto an
+// inflight submission with the same parameters).
+type submitResponse struct {
+	Created  bool `json:"created"`
+	Campaign View `json:"campaign"`
+}
+
+// listResponse is the GET /v1/campaigns body.
+type listResponse struct {
+	Campaigns []View `json:"campaigns"`
+}
+
+// errorResponse is every error body: the message plus the errs taxonomy
+// kind, so clients can branch without parsing prose.
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// Handler mounts the campaign API and the debugsrv introspection
+// surface (/metrics, /healthz, /readyz, /trace/{id}, pprof) on one mux.
+//
+// Method dispatch rides Go 1.22 pattern routing, so an unmapped method
+// on a mapped path gets the mux's own 405 with an Allow header — the
+// conformance suite pins that.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
+	debugsrv.Register(mux, debugsrv.Config{
+		Registry: s.o.Metrics(),
+		Ready:    s.Ready,
+		TraceFor: s.TraceFor,
+	})
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		writeError(w, errs.Wrap(errs.Input, err))
+		return
+	}
+	if dec.More() {
+		writeError(w, errs.Newf(errs.Input, "service: request body holds more than one spec"))
+		return
+	}
+	v, created, err := s.Submit(sp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// A new job is Accepted (the campaign runs asynchronously); a
+	// deduped or cache-hit submission reports the existing outcome.
+	status := http.StatusAccepted
+	if !created || v.CacheHit {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{Created: created, Campaign: v})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	views := s.List()
+	if views == nil {
+		views = []View{}
+	}
+	writeJSON(w, http.StatusOK, listResponse{Campaigns: views})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	data, err := s.Report(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// writeJSON renders one response body. Indented output keeps the
+// conformance suite's golden files stable and diffable.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encoding failed","kind":"internal"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(data, '\n'))
+}
+
+// writeError maps the errs taxonomy onto the wire: HTTPStatus picks the
+// code, KindString names the class in the body. A saturated queue also
+// advertises Retry-After, since the condition clears as soon as a
+// worker frees a slot.
+func writeError(w http.ResponseWriter, err error) {
+	status := errs.HTTPStatus(err)
+	if errors.Is(err, errs.Saturated) {
+		w.Header().Set("Retry-After", "1")
+	}
+	var maxBytes *http.MaxBytesError
+	if errors.As(err, &maxBytes) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: errs.KindString(err)})
+}

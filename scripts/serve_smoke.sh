@@ -1,0 +1,142 @@
+#!/bin/sh
+# Campaign-service smoke for `make ci`: boot a real limscand on a random
+# port, submit the same s298 campaign twice, and require
+#
+#   1. the first submission to run to completion and serve a report
+#      byte-identical to what `limscan` prints for the same flags,
+#   2. the second submission to be a cache hit (state done on arrival,
+#      no second simulation) serving the identical bytes,
+#   3. the ledger to hold exactly two service records for the job's
+#      ParamsHash — one run, one flagged cache_hit,
+#   4. SIGTERM to shut the daemon down gracefully with exit code 0.
+#
+# Every wait polls the daemon's API or an on-disk artifact; there are no
+# blind sleeps.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+if ! command -v curl >/dev/null 2>&1; then
+    echo "serve smoke: curl not available" >&2
+    exit 1
+fi
+
+$GO build -o "$tmp/limscand" ./cmd/limscand
+$GO build -o "$tmp/limscan" ./cmd/limscan
+
+# The reference bytes the service must reproduce.
+"$tmp/limscan" -circuit s298 -la 10 -lb 5 -n 2 -seed 5 >"$tmp/cli.out" 2>/dev/null
+
+"$tmp/limscand" -state-dir "$tmp/state" -addr 127.0.0.1:0 \
+    -addr-file "$tmp/addr" -ledger "$tmp/ledger.jsonl" 2>"$tmp/daemon.err" &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -ge 1000 ] || ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve smoke: daemon never wrote its address" >&2
+        cat "$tmp/daemon.err" >&2
+        exit 1
+    fi
+    sleep 0.01
+done
+addr=$(head -n 1 "$tmp/addr")
+
+i=0
+until curl -fs "http://$addr/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 1000 ]; then
+        echo "serve smoke: daemon never became ready" >&2
+        cat "$tmp/daemon.err" >&2
+        exit 1
+    fi
+    sleep 0.01
+done
+
+spec='{"circuit":"s298","la":10,"lb":5,"n":2,"seed":5}'
+json_field() { # json_field FILE KEY -> first string value of KEY
+    sed -n "s/.*\"$2\": \"\([^\"]*\)\".*/\1/p" "$1" | head -n 1
+}
+
+curl -fs -X POST -d "$spec" "http://$addr/v1/campaigns" >"$tmp/sub1.json"
+id1=$(json_field "$tmp/sub1.json" id)
+if [ -z "$id1" ]; then
+    echo "serve smoke: first submission returned no job id" >&2
+    cat "$tmp/sub1.json" >&2
+    exit 1
+fi
+
+i=0
+while :; do
+    curl -fs "http://$addr/v1/campaigns/$id1" >"$tmp/job1.json"
+    state=$(json_field "$tmp/job1.json" state)
+    case "$state" in
+    done) break ;;
+    failed | canceled)
+        echo "serve smoke: job $id1 ended $state" >&2
+        cat "$tmp/job1.json" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -ge 6000 ]; then
+        echo "serve smoke: job $id1 never finished (state $state)" >&2
+        exit 1
+    fi
+    sleep 0.01
+done
+
+curl -fs "http://$addr/v1/campaigns/$id1/report" >"$tmp/svc1.out"
+cmp "$tmp/cli.out" "$tmp/svc1.out"
+echo "serve smoke: service report is byte-identical to the limscan CLI's"
+
+# Second submission of the same spec: must arrive done, as a cache hit.
+curl -fs -X POST -d "$spec" "http://$addr/v1/campaigns" >"$tmp/sub2.json"
+id2=$(json_field "$tmp/sub2.json" id)
+if ! grep -q '"cache_hit": true' "$tmp/sub2.json"; then
+    echo "serve smoke: resubmission was not a cache hit" >&2
+    cat "$tmp/sub2.json" >&2
+    exit 1
+fi
+if ! grep -q '"state": "done"' "$tmp/sub2.json"; then
+    echo "serve smoke: cache hit did not arrive terminal" >&2
+    cat "$tmp/sub2.json" >&2
+    exit 1
+fi
+curl -fs "http://$addr/v1/campaigns/$id2/report" >"$tmp/svc2.out"
+cmp "$tmp/cli.out" "$tmp/svc2.out"
+echo "serve smoke: cached report is byte-identical"
+
+# The ledger must show one run and one cache hit for this campaign.
+runs=$(grep -c '"kind":"service"' "$tmp/ledger.jsonl" || true)
+hits=$(grep -c '"cache_hit":true' "$tmp/ledger.jsonl" || true)
+if [ "$runs" != 2 ] || [ "$hits" != 1 ]; then
+    echo "serve smoke: ledger has $runs service records, $hits cache hits (want 2 and 1)" >&2
+    cat "$tmp/ledger.jsonl" >&2
+    exit 1
+fi
+echo "serve smoke: ledger records one run and one cache hit"
+
+kill -TERM "$pid"
+set +e
+wait "$pid"
+status=$?
+set -e
+pid=
+if [ "$status" -ne 0 ]; then
+    echo "serve smoke: SIGTERM exit status $status, want 0" >&2
+    cat "$tmp/daemon.err" >&2
+    exit 1
+fi
+echo "serve smoke: graceful shutdown exited 0"
