@@ -7,14 +7,17 @@
 # modes), the chaos sweep (every checkpoint I/O operation
 # failure-injected in turn), the performance-observability smoke
 # (profiles, ledger, regression gate), the committed-bench
-# pattern-parallel speedup gate, and the campaign-service smoke (a real
-# limscand: submit, cache hit, byte-identical reports, graceful stop).
+# pattern-parallel speedup gate, the campaign-service smoke (a real
+# limscand: submit, cache hit, byte-identical reports, graceful stop),
+# the distributed-dispatch chaos suite (fake-clock lease/epoch fencing
+# scenarios), and the distributed-dispatch smoke (a real coordinator
+# and worker fleet with a SIGKILLed worker mid-unit).
 
 GO ?= go
 
-.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate servesmoke bench benchall
+.PHONY: ci vet build test race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate servesmoke chaosdispatch dispatchsmoke bench benchall
 
-ci: vet build race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate servesmoke
+ci: vet build race tier1 paradiff fuzz cksmoke chaos perfsmoke tracesmoke benchgate servesmoke chaosdispatch dispatchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -94,6 +97,23 @@ benchgate:
 # cache-hit record, and SIGTERM exiting 0.
 servesmoke:
 	sh scripts/serve_smoke.sh
+
+# chaosdispatch runs the distributed-dispatch chaos suite under the race
+# detector: a fake-clock fleet through clean drain, worker crash, zombie
+# worker with stale-epoch fencing, duplicate delivery, network partition
+# with local fallback, and a coordinator crash resumed from checkpoint —
+# every scenario requiring a report byte-identical to the straight run.
+chaosdispatch:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/dispatch
+
+# dispatchsmoke boots a real limscand coordinator with -distributed plus
+# a real two-worker limsworker fleet, SIGKILLs one worker while it
+# provably holds a lease (confirmed via /v1/dispatch/stats), and
+# requires the reassigned campaign's report byte-identical to the
+# limscan CLI's, crash evidence in the ledger's dispatch stats, and
+# clean SIGTERM shutdowns.
+dispatchsmoke:
+	sh scripts/dispatch_smoke.sh
 
 # bench runs the fsim benchmark pair: the in-package worker benchmark,
 # then a cmd/benchfsim sweep over both fault-simulation modes at

@@ -9,6 +9,7 @@
 //	limscand -state-dir /var/lib/limscand [-addr 127.0.0.1:8080]
 //	limscand -state-dir d -addr 127.0.0.1:0 -addr-file d/addr   # random port, discoverable
 //	limscand -state-dir d -workers 4 -ledger PERF_ledger.jsonl
+//	limscand -state-dir d -distributed                          # lease units to limsworker fleet
 //
 // API (all bodies JSON unless noted):
 //
@@ -39,10 +40,30 @@ import (
 	"syscall"
 	"time"
 
+	"limscan/internal/dispatch"
 	"limscan/internal/errs"
 	"limscan/internal/obs"
 	"limscan/internal/service"
 )
+
+// newHTTPServer builds the daemon's http.Server with its hardening
+// timeouts: ReadHeaderTimeout bounds how long a connection may dribble
+// its request head (the slowloris guard) and IdleTimeout reaps
+// abandoned keep-alive connections. Negative values are treated as 0
+// (disabled), matching net/http's own semantics.
+func newHTTPServer(h http.Handler, readHeaderTimeout, idleTimeout time.Duration) *http.Server {
+	if readHeaderTimeout < 0 {
+		readHeaderTimeout = 0
+	}
+	if idleTimeout < 0 {
+		idleTimeout = 0
+	}
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}
 
 func main() {
 	// A panic would exit 2 via the runtime, colliding with the usage
@@ -75,6 +96,13 @@ func run(args []string, stderr io.Writer) int {
 		ledger   = fs.String("ledger", "", "append one performance record per finished job to this JSON-lines ledger")
 		events   = fs.Bool("events", false, "stream job lifecycle events as JSON lines to stderr")
 		drain    = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before giving up on running campaigns")
+
+		distributed = fs.Bool("distributed", false, "dispatch fault-simulation units to limsworker processes over /v1/dispatch (campaigns serialize; no workers = local fallback)")
+		dispChunk   = fs.Int("dispatch-chunk", 0, "faults per dispatched unit (0 = default; rounded up to a batch-width multiple; result-neutral)")
+		leaseTTL    = fs.Duration("lease-ttl", 10*time.Second, "distributed lease lifetime without a heartbeat before the unit is reassigned")
+		retryAfter  = fs.Int("retry-after", 1, "Retry-After seconds advertised with 429 (queue full) responses")
+		readHdrTO   = fs.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard; 0 disables)")
+		idleTO      = fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errs.ExitUsage
@@ -94,15 +122,25 @@ func run(args []string, stderr io.Writer) int {
 	}
 	o := obs.New(obs.NewRegistry(), sink)
 
+	var coord *dispatch.Coordinator
+	if *distributed {
+		// The coordinator shares the service observer, so dispatch_*
+		// counters surface on /metrics and in the ledger records.
+		coord = dispatch.New(dispatch.Options{LeaseTTL: *leaseTTL, Obs: o})
+	}
+
 	svc, err := service.New(service.Options{
-		StateDir:        *stateDir,
-		Workers:         *workers,
-		QueueDepth:      *depth,
-		CacheEntries:    *cacheN,
-		CheckpointEvery: *ckEvery,
-		FsimWorkers:     *fsimW,
-		LedgerPath:      *ledger,
-		Obs:             o,
+		StateDir:          *stateDir,
+		Workers:           *workers,
+		QueueDepth:        *depth,
+		CacheEntries:      *cacheN,
+		CheckpointEvery:   *ckEvery,
+		FsimWorkers:       *fsimW,
+		LedgerPath:        *ledger,
+		Obs:               o,
+		RetryAfterSeconds: *retryAfter,
+		Dispatch:          coord,
+		DispatchChunk:     *dispChunk,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "limscand: %v\n", err)
@@ -125,7 +163,7 @@ func run(args []string, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "limscand: serving on %s (state dir %s, %d worker(s))\n",
 		ln.Addr(), *stateDir, *workers)
 
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := newHTTPServer(svc.Handler(), *readHdrTO, *idleTO)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

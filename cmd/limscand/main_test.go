@@ -287,3 +287,35 @@ func TestUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestNewHTTPServerTimeouts pins the daemon's server hardening table:
+// the flag values land on the http.Server fields, and senseless
+// negatives clamp to 0 (disabled) rather than panicking the listener.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	cases := []struct {
+		name               string
+		read, idle         time.Duration
+		wantRead, wantIdle time.Duration
+	}{
+		{"flag defaults", 10 * time.Second, 2 * time.Minute, 10 * time.Second, 2 * time.Minute},
+		{"custom values", 3 * time.Second, 45 * time.Second, 3 * time.Second, 45 * time.Second},
+		{"zero disables both", 0, 0, 0, 0},
+		{"negative clamps to disabled", -time.Second, -time.Minute, 0, 0},
+		{"mixed", 0, 30 * time.Second, 0, 30 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := http.NewServeMux()
+			srv := newHTTPServer(h, tc.read, tc.idle)
+			if srv.Handler == nil {
+				t.Fatal("handler not set")
+			}
+			if srv.ReadHeaderTimeout != tc.wantRead {
+				t.Errorf("ReadHeaderTimeout = %v, want %v", srv.ReadHeaderTimeout, tc.wantRead)
+			}
+			if srv.IdleTimeout != tc.wantIdle {
+				t.Errorf("IdleTimeout = %v, want %v", srv.IdleTimeout, tc.wantIdle)
+			}
+		})
+	}
+}

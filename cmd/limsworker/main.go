@@ -1,0 +1,95 @@
+// Command limsworker is a fault-simulation fleet worker: it joins a
+// limscand coordinator started with -distributed, leases fault-batch
+// units, recomputes them from scratch (circuit, tests and fault list
+// are pure functions of the unit spec — nothing but the spec crosses
+// the wire inbound), heartbeats while simulating, and reports results
+// under the lease's fencing epoch. Workers are disposable: SIGKILL one
+// mid-unit and the coordinator reassigns the lease after its TTL; run
+// zero, one or twelve and every campaign's report is byte-identical.
+//
+// Usage:
+//
+//	limsworker -url http://127.0.0.1:8080
+//	limsworker -url http://host:8080 -id $(hostname)-1 -poll 250ms
+//
+// Exit codes: 0 clean shutdown (SIGINT/SIGTERM), 1 terminal protocol
+// or execution error (e.g. this build's circuit disagrees with the
+// coordinator's), 2 usage error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+
+	"limscan/internal/dispatch"
+	"limscan/internal/errs"
+)
+
+func main() {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := errs.NewPanic(r, debug.Stack())
+			fmt.Fprintf(os.Stderr, "limsworker: internal error: %v\n", pe)
+			os.Exit(errs.ExitCode(pe))
+		}
+	}()
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main minus the process boundary, mirroring limscand's shape so
+// tests can drive the worker through the same entry point.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("limsworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		url   = fs.String("url", "", "coordinator base URL, e.g. http://127.0.0.1:8080 (required)")
+		id    = fs.String("id", "", "worker id unique within the fleet (default host-pid)")
+		poll  = fs.Duration("poll", 0, "idle re-poll interval override (0 = coordinator's suggestion)")
+		quiet = fs.Bool("quiet", false, "suppress per-unit lifecycle lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return errs.ExitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "limsworker: unexpected arguments: %v (all options are flags)\n", fs.Args())
+		return errs.ExitUsage
+	}
+	if *url == "" {
+		fmt.Fprintf(stderr, "limsworker: -url is required\n")
+		return errs.ExitUsage
+	}
+	worker := *id
+	if worker == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		worker = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var log io.Writer = stderr
+	if *quiet {
+		log = nil
+	}
+	err := dispatch.RunWorker(ctx, dispatch.WorkerOptions{
+		ID:      worker,
+		BaseURL: *url,
+		Poll:    *poll,
+		Log:     log,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "limsworker: %v\n", err)
+		return errs.ExitCode(err)
+	}
+	fmt.Fprintf(stderr, "limsworker: %s: shut down\n", worker)
+	return 0
+}

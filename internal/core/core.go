@@ -343,6 +343,10 @@ type Runner struct {
 	// threads the recorder into fsim and the checkpoint writer for the
 	// worker-level spans.
 	tracer *trace.Recorder
+	// sessions, when set, intercepts every fault-simulation session of a
+	// campaign (see SessionRunner in units.go) — the distributed-dispatch
+	// seam. Nil keeps the in-process simulator.
+	sessions SessionRunner
 	// workers is the runner-level fault-simulation worker count, used
 	// when a Config carries none (and by the cfg-less entry points:
 	// TopOff, CoverageCurve).
@@ -534,7 +538,7 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 	var selected [][]scan.Test
 	if snap == nil {
 		span = o.StartPhase("ts0_sim")
-		st, err := r.sim.Run(ts0, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg), Mode: r.fsimMode(cfg), Ctx: ctx, Trace: r.tracer})
+		st, err := r.runSession(ctx, cfg, SessionRef{}, ts0, fs, o)
 		span.End()
 		if err != nil {
 			if ctx.Err() != nil {
@@ -628,7 +632,7 @@ func (r *Runner) run(ctx context.Context, cfg Config, ck *CheckpointOptions, sna
 				o.Accumulate("procedure1", time.Since(t0))
 				t0 = time.Now()
 			}
-			st, err := r.sim.Run(ts, fs, fsim.Options{Obs: o, Workers: r.fsimWorkers(cfg), Mode: r.fsimMode(cfg), Ctx: ctx, Trace: r.tracer})
+			st, err := r.runSession(ctx, cfg, SessionRef{I: iter, D1: d1}, ts, fs, o)
 			if o != nil {
 				o.Accumulate("fault_sim", time.Since(t0))
 			}

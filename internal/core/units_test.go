@@ -1,0 +1,224 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"limscan/internal/fsim"
+	"limscan/internal/obs"
+)
+
+// wireSessionRunner executes every session the way the distributed path
+// does, with the wire protocol taken literally: derive units, serialize
+// each spec through JSON, recompute it from scratch in a worker-side
+// UnitRunner (its own circuit load, fault collapse, test regeneration),
+// serialize the result back, and fold the results in unit order. If
+// this round trip is invisible to the campaign, the dispatch layer's
+// correctness reduces to delivering each unit at least once.
+type wireSessionRunner struct {
+	t     *testing.T
+	chunk int
+	w     UnitRunner
+	units int
+}
+
+func (x *wireSessionRunner) RunSession(req SessionRequest) (fsim.RunStats, error) {
+	units := DeriveUnits(req, "t", x.chunk)
+	results := make([]*UnitResult, len(units))
+	for i, u := range units {
+		b, err := json.Marshal(u)
+		if err != nil {
+			x.t.Fatal(err)
+		}
+		var spec UnitSpec
+		if err := json.Unmarshal(b, &spec); err != nil {
+			x.t.Fatal(err)
+		}
+		res, err := x.w.Run(spec)
+		if err != nil {
+			return fsim.RunStats{}, err
+		}
+		rb, err := json.Marshal(res)
+		if err != nil {
+			x.t.Fatal(err)
+		}
+		results[i] = new(UnitResult)
+		if err := json.Unmarshal(rb, results[i]); err != nil {
+			x.t.Fatal(err)
+		}
+	}
+	x.units += len(units)
+	st, err := MergeUnits(req.Faults, units, results)
+	if err != nil {
+		return st, err
+	}
+	st.Cycles = req.Runner.SessionCycles(req.Tests)
+	return st, nil
+}
+
+// TestUnitsRoundTripMatchesInProcess is the soundness anchor of the
+// distributed mode: a campaign whose every session round-trips through
+// wire-form units — recomputed from scratch by a UnitRunner, like a
+// remote worker — must produce the identical Result, fault states and
+// site attribution as the plain in-process run, at several unit sizes
+// (including one forcing many units per session and a non-multiple of
+// the batch width).
+func TestUnitsRoundTripMatchesInProcess(t *testing.T) {
+	for _, name := range []string{"s27", "s298"} {
+		t.Run(name, func(t *testing.T) {
+			c := load(t, name)
+			cfg := Config{LA: 4, LB: 8, N: 8, Seed: 7}
+
+			plain := NewRunner(c)
+			want, err := plain.RunProcedure2(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, chunk := range []int{0, fsim.LanesPerWord, 100} {
+				r := NewRunner(c)
+				sr := &wireSessionRunner{t: t, chunk: chunk}
+				r.SetSessionRunner(sr)
+				got, err := r.RunProcedure2(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resultKey(got) != resultKey(want) {
+					t.Errorf("chunk=%d result %+v, want %+v", chunk, resultKey(got), resultKey(want))
+				}
+				for i := range got.Pairs {
+					if got.Pairs[i] != want.Pairs[i] {
+						t.Errorf("chunk=%d pair %d = %+v, want %+v", chunk, i, got.Pairs[i], want.Pairs[i])
+					}
+				}
+				if sr.units == 0 {
+					t.Fatalf("chunk=%d: no units derived", chunk)
+				}
+			}
+		})
+	}
+}
+
+// TestUnitsSiteAttributionMatches pins the Attrib path: with an observer
+// attached, the merged per-site detection counters equal the in-process
+// run's. (Counters, not the report — the report never includes sites —
+// but the ledger records them, and drift here would mean the units are
+// not computing what the simulator computes.)
+func TestUnitsSiteAttributionMatches(t *testing.T) {
+	c := load(t, "s298")
+	cfg := Config{LA: 4, LB: 8, N: 8, Seed: 7, MaxIterations: 2}
+
+	counters := func(useUnits bool) map[string]int64 {
+		reg := obs.NewRegistry()
+		r := NewRunner(c)
+		r.SetObserver(obs.New(reg, nil))
+		if useUnits {
+			r.SetSessionRunner(&obsWireRunner{t: t})
+		}
+		if _, err := r.RunProcedure2(cfg); err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int64{}
+		for _, k := range []string{"fsim_detected_po_total", "fsim_detected_limited_scan_total", "fsim_detected_scan_out_total"} {
+			out[k] = reg.Counter(k).Value()
+		}
+		return out
+	}
+
+	want := counters(false)
+	got := counters(true)
+	sum := int64(0)
+	for k := range want {
+		sum += want[k]
+		if got[k] != want[k] {
+			t.Errorf("%s = %d, want %d", k, got[k], want[k])
+		}
+	}
+	if sum == 0 {
+		t.Fatal("no site attribution recorded at all; test is vacuous")
+	}
+}
+
+// obsWireRunner is wireSessionRunner plus the coordinator-side counter
+// bookkeeping the dispatch executor performs (fsim_* counters normally
+// incremented inside fsim.Run).
+type obsWireRunner struct {
+	t *testing.T
+	w wireSessionRunner
+}
+
+func (x *obsWireRunner) RunSession(req SessionRequest) (fsim.RunStats, error) {
+	x.w.t = x.t
+	st, err := x.w.RunSession(req)
+	if err == nil {
+		if o := req.Options.Obs; o != nil {
+			o.Counter("fsim_detected_po_total").Add(int64(st.DetectedAtPO))
+			o.Counter("fsim_detected_limited_scan_total").Add(int64(st.DetectedAtLimitedScan))
+			o.Counter("fsim_detected_scan_out_total").Add(int64(st.DetectedAtScanOut))
+		}
+	}
+	return st, err
+}
+
+// TestDeriveUnitsGeometry pins the chunk rounding: any requested size
+// rounds up to a batch-width multiple, units partition the remaining
+// faults consecutively, and per-unit batch counts sum to the
+// single-process batch count.
+func TestDeriveUnitsGeometry(t *testing.T) {
+	c := load(t, "s298")
+	r := NewRunner(c)
+	fs := r.NewFaultSet()
+	req := SessionRequest{Runner: r, Config: Config{LA: 2, LB: 3, N: 2, Seed: 3}, Faults: fs}
+
+	units := DeriveUnits(req, "g", 1) // rounds up to LanesPerWord
+	total := 0
+	next := 0
+	for i, u := range units {
+		if i < len(units)-1 && len(u.Faults) != fsim.LanesPerWord {
+			t.Errorf("unit %d has %d faults, want %d", i, len(u.Faults), fsim.LanesPerWord)
+		}
+		for _, fi := range u.Faults {
+			if fi != next {
+				t.Fatalf("unit %d: fault %d out of sequence (want %d)", i, fi, next)
+			}
+			next++
+		}
+		total += len(u.Faults)
+	}
+	if total != len(fs.Faults) {
+		t.Errorf("units cover %d faults, want %d", total, len(fs.Faults))
+	}
+	if units[0].NumFaults != len(fs.Faults) || units[0].Circuit != "s298" {
+		t.Errorf("unit guard fields wrong: %+v", units[0])
+	}
+}
+
+// TestUnitRunnerRejectsMismatch pins the errs.Input guards: an unknown
+// circuit, a wrong circuit hash, a wrong fault count and an out-of-range
+// fault index are all rejected without running anything.
+func TestUnitRunnerRejectsMismatch(t *testing.T) {
+	c := load(t, "s27")
+	r := NewRunner(c)
+	fs := r.NewFaultSet()
+	req := SessionRequest{Runner: r, Config: Config{LA: 2, LB: 2, N: 1, Seed: 1}, Faults: fs}
+	good := DeriveUnits(req, "m", 0)[0]
+
+	var w UnitRunner
+	cases := map[string]func(*UnitSpec){
+		"unknown circuit": func(u *UnitSpec) { u.Circuit = "no-such-circuit" },
+		"wrong hash":      func(u *UnitSpec) { u.CircuitHash = "deadbeef" },
+		"wrong count":     func(u *UnitSpec) { u.NumFaults = 1 },
+		"bad index":       func(u *UnitSpec) { u.Faults = []int{1 << 30} },
+	}
+	for name, mutate := range cases {
+		u := good
+		u.Faults = append([]int(nil), good.Faults...)
+		mutate(&u)
+		if _, err := w.Run(u); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := w.Run(good); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}

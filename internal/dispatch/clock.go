@@ -1,0 +1,19 @@
+package dispatch
+
+import "time"
+
+// Clock abstracts time for the coordinator so the chaos suite can drive
+// lease expiry, backoff gates and worker-liveness horizons
+// deterministically. A nil Clock in Options means the real clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers once d has elapsed — the
+	// coordinator's pump tick.
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

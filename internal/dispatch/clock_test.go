@@ -1,0 +1,83 @@
+package dispatch
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the chaos suite's time source: Now is a settable instant
+// and After registers a waiter fired by Advance. Nothing moves unless a
+// test moves it, so lease expiry, backoff gates and liveness horizons
+// happen exactly when scripted.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	c.waiters = append(c.waiters, fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock and fires every waiter whose deadline passed.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var keep []fakeWaiter
+	var fire []fakeWaiter
+	for _, w := range c.waiters {
+		if !c.now.Before(w.at) {
+			fire = append(fire, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+	now := c.now
+	c.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}
+
+// advanceUntil advances the fake clock in small steps, yielding real
+// time between steps so goroutines waiting on the clock get scheduled,
+// until cond holds or the simulated budget is spent. It tolerates the
+// inherent registration race (a goroutine may not have called After yet
+// when Advance runs): the next step's firing catches it.
+func advanceUntil(t *testing.T, clk *fakeClock, cond func() bool, step, budget time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second) // real-time safety net
+	var advanced time.Duration
+	for !cond() {
+		if advanced >= budget {
+			t.Fatalf("condition not reached after advancing %v", advanced)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within real-time safety net")
+		}
+		clk.Advance(step)
+		advanced += step
+		time.Sleep(time.Millisecond)
+	}
+}

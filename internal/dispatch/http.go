@@ -1,0 +1,164 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"limscan/internal/core"
+	"limscan/internal/errs"
+)
+
+// The wire protocol: four POST endpoints under /v1/dispatch, JSON in
+// and out, errors in the service's golden body form {error, kind} with
+// errs.HTTPStatus choosing the code — a fenced worker sees 409
+// {"kind":"conflict"}, exactly like any other Conflict in the API.
+
+// maxBodyBytes bounds a request body. Results are a few KiB (a bitmask
+// over ~1000 faults); a megabyte is hostile.
+const maxBodyBytes = 1 << 20
+
+type registerRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// leaseResponse wraps a grant; Unit is null when no work is available
+// (the worker re-polls after PollMillis from registration).
+type leaseResponse struct {
+	Unit *LeaseGrant `json:"unit"`
+}
+
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+	Key    string `json:"key"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+type resultRequest struct {
+	Worker string           `json:"worker"`
+	Key    string           `json:"key"`
+	Epoch  uint64           `json:"epoch"`
+	Result *core.UnitResult `json:"result"`
+}
+
+type resultResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// RegisterHandlers mounts the dispatch protocol on mux (Go 1.22
+// method+pattern routing, like the campaign API), plus a read-only
+// stats endpoint for operators and smokes.
+func (d *Coordinator) RegisterHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/dispatch/register", d.handleRegister)
+	mux.HandleFunc("POST /v1/dispatch/lease", d.handleLease)
+	mux.HandleFunc("POST /v1/dispatch/heartbeat", d.handleHeartbeat)
+	mux.HandleFunc("POST /v1/dispatch/result", d.handleResult)
+	mux.HandleFunc("GET /v1/dispatch/stats", d.handleStats)
+}
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errs.Wrap(errs.Input, err)
+	}
+	if dec.More() {
+		return errs.Newf(errs.Input, "dispatch: request body holds more than one message")
+	}
+	return nil
+}
+
+func (d *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decodeInto(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	reply, err := d.Register(req.Worker)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (d *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := decodeInto(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	g, ok, err := d.Lease(req.Worker)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := leaseResponse{}
+	if ok {
+		resp.Unit = &g
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (d *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := decodeInto(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := d.Heartbeat(req.Worker, req.Key, req.Epoch); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (d *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if err := decodeInto(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	accepted, err := d.Complete(req.Worker, req.Key, req.Epoch, req.Result)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resultResponse{Accepted: accepted})
+}
+
+func (d *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Snapshot())
+}
+
+// writeJSON / writeError mirror internal/service's conventions exactly
+// (indented bodies, taxonomy-kind error payloads), so one conformance
+// vocabulary covers both API surfaces.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encoding failed","kind":"internal"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := errs.HTTPStatus(err)
+	var maxBytes *http.MaxBytesError
+	if errors.As(err, &maxBytes) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: errs.KindString(err)})
+}

@@ -1,0 +1,264 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"limscan/internal/core"
+	"limscan/internal/obs"
+)
+
+// The dispatch API speaks the same dialect as the campaign API: JSON
+// bodies, golden {error, kind} failures, errs.HTTPStatus codes. These
+// tests pin that conformance endpoint by endpoint.
+
+func newTestServer(t *testing.T) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	clk := newFakeClock()
+	d := New(Options{Clock: clk})
+	mux := http.NewServeMux()
+	d.RegisterHandlers(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// decodeError asserts the golden error body shape and returns its kind.
+func decodeError(t *testing.T, data []byte) string {
+	t.Helper()
+	var e errorResponse
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body is not golden JSON: %v\n%s", err, data)
+	}
+	if e.Error == "" || e.Kind == "" {
+		t.Fatalf("error body missing fields: %s", data)
+	}
+	return e.Kind
+}
+
+func TestHTTPRegisterAndLeaseFlow(t *testing.T) {
+	d, srv := newTestServer(t)
+	resp, data := postJSON(t, srv.URL+"/v1/dispatch/register", `{"worker":"w1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: HTTP %d\n%s", resp.StatusCode, data)
+	}
+	var reg RegisterReply
+	if err := json.Unmarshal(data, &reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.LeaseTTLMillis <= 0 || reg.HeartbeatMillis <= 0 || reg.PollMillis <= 0 {
+		t.Fatalf("register reply not populated: %+v", reg)
+	}
+
+	// No active unit set: lease returns a null unit, not an error.
+	resp, data = postJSON(t, srv.URL+"/v1/dispatch/lease", `{"worker":"w1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease: HTTP %d\n%s", resp.StatusCode, data)
+	}
+	var lr leaseResponse
+	if err := json.Unmarshal(data, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Unit != nil {
+		t.Fatalf("lease granted a unit with no active set: %+v", lr.Unit)
+	}
+	_ = d
+}
+
+func TestHTTPFencedResultIs409Conflict(t *testing.T) {
+	d, srv := newTestServer(t)
+	postJSON(t, srv.URL+"/v1/dispatch/register", `{"worker":"w1"}`)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go d.RunUnits(ctx, synthUnits(1), nil)
+	// Lease over HTTP, then submit with a bogus epoch.
+	var lr leaseResponse
+	for lr.Unit == nil {
+		_, data := postJSON(t, srv.URL+"/v1/dispatch/lease", `{"worker":"w1"}`)
+		if err := json.Unmarshal(data, &lr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, _ := json.Marshal(synthResult(lr.Unit.Spec.Key))
+	body := fmt.Sprintf(`{"worker":"w1","key":%q,"epoch":%d,"result":%s}`,
+		lr.Unit.Spec.Key, lr.Unit.Epoch+999, res)
+	resp, data := postJSON(t, srv.URL+"/v1/dispatch/result", body)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale-epoch result: HTTP %d, want 409\n%s", resp.StatusCode, data)
+	}
+	if kind := decodeError(t, data); kind != "conflict" {
+		t.Fatalf("stale-epoch kind = %q, want conflict", kind)
+	}
+
+	// The genuine epoch is accepted.
+	body = fmt.Sprintf(`{"worker":"w1","key":%q,"epoch":%d,"result":%s}`,
+		lr.Unit.Spec.Key, lr.Unit.Epoch, res)
+	resp, data = postJSON(t, srv.URL+"/v1/dispatch/result", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("good result: HTTP %d\n%s", resp.StatusCode, data)
+	}
+	var rr resultResponse
+	json.Unmarshal(data, &rr)
+	if !rr.Accepted {
+		t.Fatal("good result not accepted")
+	}
+}
+
+func TestHTTPHeartbeatUnknownLeaseIs404(t *testing.T) {
+	_, srv := newTestServer(t)
+	postJSON(t, srv.URL+"/v1/dispatch/register", `{"worker":"w1"}`)
+	resp, data := postJSON(t, srv.URL+"/v1/dispatch/heartbeat",
+		`{"worker":"w1","key":"no-such-unit","epoch":1}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("heartbeat for unknown unit: HTTP %d, want 404\n%s", resp.StatusCode, data)
+	}
+	if kind := decodeError(t, data); kind != "not_found" {
+		t.Fatalf("kind = %q, want not_found", kind)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, srv := newTestServer(t)
+	cases := []struct {
+		name, path, body string
+		status           int
+	}{
+		{"malformed JSON", "/v1/dispatch/register", `{"worker":`, http.StatusBadRequest},
+		{"unknown field", "/v1/dispatch/register", `{"worker":"w","extra":1}`, http.StatusBadRequest},
+		{"trailing garbage", "/v1/dispatch/lease", `{"worker":"w"}{"worker":"w"}`, http.StatusBadRequest},
+		{"empty worker", "/v1/dispatch/register", `{"worker":""}`, http.StatusBadRequest},
+		{"oversize body", "/v1/dispatch/result",
+			`{"worker":"` + strings.Repeat("x", maxBodyBytes+10) + `"}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postJSON(t, srv.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("HTTP %d, want %d\n%s", resp.StatusCode, tc.status, data)
+			}
+			decodeError(t, data) // golden body shape even on failure
+		})
+	}
+}
+
+func TestHTTPWrongMethodIs405(t *testing.T) {
+	_, srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/dispatch/lease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET lease: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestWorkerLoopOverHTTP drives the real RunWorker client loop against
+// the real handlers end to end: register, lease, heartbeat, execute
+// (fake executor), submit — then drains a unit set.
+func TestWorkerLoopOverHTTP(t *testing.T) {
+	clk := newFakeClock() // coordinator time frozen: no reaps mid-test
+	d := New(Options{Clock: clk})
+	mux := http.NewServeMux()
+	d.RegisterHandlers(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Pre-register so the first pump sees a live worker and never takes
+	// the local-fallback path (the worker re-registers harmlessly).
+	d.Register("httpw")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- RunWorker(ctx, WorkerOptions{
+			ID: "httpw", BaseURL: srv.URL,
+			Exec: execFunc(func(spec core.UnitSpec) (*core.UnitResult, error) {
+				return synthResult(spec.Key), nil
+			}),
+			Poll: 5 * time.Millisecond,
+		})
+	}()
+
+	res, err := d.RunUnits(ctx, synthUnits(5), func(spec core.UnitSpec) (*core.UnitResult, error) {
+		return synthResult(spec.Key), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("%d results, want 5", len(res))
+	}
+	cancel()
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker exit: %v", err)
+	}
+}
+
+type execFunc func(core.UnitSpec) (*core.UnitResult, error)
+
+func (f execFunc) Run(spec core.UnitSpec) (*core.UnitResult, error) { return f(spec) }
+
+// TestHTTPStatsEndpoint pins the read-only stats surface: GET-only,
+// zeroed on a fresh coordinator, and reflecting registry churn and
+// protocol counters as the run progresses.
+func TestHTTPStatsEndpoint(t *testing.T) {
+	clk := newFakeClock()
+	d := New(Options{Clock: clk, Obs: obs.New(nil, nil)})
+	mux := http.NewServeMux()
+	d.RegisterHandlers(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	readStats := func() Stats {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/dispatch/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET stats: HTTP %d", resp.StatusCode)
+		}
+		var s Stats
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	if s := readStats(); s != (Stats{}) {
+		t.Fatalf("fresh coordinator stats = %+v, want all zero", s)
+	}
+
+	postJSON(t, srv.URL+"/v1/dispatch/register", `{"worker":"w1"}`)
+	s := readStats()
+	if s.Workers != 1 || s.LiveWorkers != 1 || s.WorkersJoined != 1 {
+		t.Fatalf("after register: %+v", s)
+	}
+
+	// POST to the stats path is a method error, like the rest of the API.
+	resp, _ := postJSON(t, srv.URL+"/v1/dispatch/stats", `{}`)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST stats: HTTP %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,239 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"limscan/internal/core"
+	"limscan/internal/errs"
+	"limscan/internal/iofault"
+)
+
+// UnitExecutor runs one unit — core.UnitRunner in production, fakes in
+// tests.
+type UnitExecutor interface {
+	Run(spec core.UnitSpec) (*core.UnitResult, error)
+}
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// ID names this worker to the coordinator. Required, unique per
+	// process (the hostname+pid form works well).
+	ID string
+	// BaseURL is the coordinator address ("http://127.0.0.1:8080").
+	BaseURL string
+	// Client is the HTTP client. Nil means a client with a sane
+	// per-request timeout.
+	Client *http.Client
+	// Exec runs units. Nil means a fresh core.UnitRunner.
+	Exec UnitExecutor
+	// Poll overrides the idle re-poll interval suggested by the
+	// coordinator (tests shorten it). Zero defers to the coordinator.
+	Poll time.Duration
+	// Log receives one line per lifecycle event. Nil discards.
+	Log io.Writer
+}
+
+// client is the worker-side protocol stub. Transient transport errors
+// retry with the jittered capped-exponential policy — a fleet of
+// workers losing the coordinator at once must not thundering-herd it
+// when it returns.
+type client struct {
+	base string
+	hc   *http.Client
+	// retry absorbs transport blips. Jitter desynchronizes the fleet
+	// (satellite of the same PR: iofault.Retry.Jitter).
+	retry *iofault.Retry
+}
+
+// post sends one JSON request and decodes the response into out.
+// Non-2xx responses decode the golden error body and return an error
+// tagged with the corresponding errs kind, so protocol-level fencing
+// (409/conflict) is distinguishable from transport failure.
+func (c *client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.retry.Do(func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return iofault.MarkTransient(err) // connection refused, reset: retry
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		if err != nil {
+			return iofault.MarkTransient(err)
+		}
+		if resp.StatusCode/100 != 2 {
+			var e errorResponse
+			if json.Unmarshal(data, &e) == nil && e.Kind != "" {
+				return errs.Newf(kindFromString(e.Kind), "%s: %s", path, e.Error)
+			}
+			return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(data, out)
+	})
+}
+
+// kindFromString inverts errs.KindString for the kinds the dispatch
+// protocol can produce. Unknown strings map to a generic error (treated
+// as terminal, not transient).
+func kindFromString(kind string) error {
+	switch kind {
+	case "input":
+		return errs.Input
+	case "not_found":
+		return errs.NotFound
+	case "conflict":
+		return errs.Conflict
+	case "saturated":
+		return errs.Saturated
+	case "transient_io":
+		return errs.TransientIO
+	default:
+		return errs.InternalPanic
+	}
+}
+
+// RunWorker is the worker main loop: register, then lease/execute/
+// report until ctx is canceled. A heartbeat goroutine extends each
+// lease while the unit simulates; if a heartbeat comes back fenced
+// (Conflict — the coordinator reaped the lease), the result is
+// abandoned instead of submitted, saving a doomed round trip. A fenced
+// or not-found *submission* is likewise not an error: the coordinator
+// got the unit some other way, and the worker just moves on. Returns
+// nil on cancellation; any other return is a terminal protocol error
+// (e.g. the worker's build disagrees with the coordinator's).
+func RunWorker(ctx context.Context, o WorkerOptions) error {
+	if o.ID == "" || o.BaseURL == "" {
+		return errs.Newf(errs.Input, "dispatch: worker needs ID and BaseURL")
+	}
+	if o.Exec == nil {
+		o.Exec = &core.UnitRunner{}
+	}
+	hc := o.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &client{base: o.BaseURL, hc: hc, retry: &iofault.Retry{
+		Attempts: 6, Base: 100 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5,
+	}}
+	logf := func(format string, args ...any) {
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, "worker %s: "+format+"\n", append([]any{o.ID}, args...)...)
+		}
+	}
+
+	var reg RegisterReply
+	if err := c.post(ctx, "/v1/dispatch/register", registerRequest{Worker: o.ID}, &reg); err != nil {
+		return fmt.Errorf("dispatch: register: %w", err)
+	}
+	poll := o.Poll
+	if poll <= 0 {
+		poll = time.Duration(reg.PollMillis) * time.Millisecond
+	}
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	hb := time.Duration(reg.HeartbeatMillis) * time.Millisecond
+	if hb <= 0 {
+		hb = time.Second
+	}
+	logf("registered (heartbeat %v, poll %v)", hb, poll)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		var lease leaseResponse
+		if err := c.post(ctx, "/v1/dispatch/lease", leaseRequest{Worker: o.ID}, &lease); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("dispatch: lease: %w", err)
+		}
+		if lease.Unit == nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		g := lease.Unit
+		logf("leased %s (epoch %d, %d faults)", g.Spec.Key, g.Epoch, len(g.Spec.Faults))
+
+		// Heartbeat until the unit finishes. fenced flips when the
+		// coordinator tells us the lease is gone mid-run.
+		var fenced atomic.Bool
+		hbCtx, stopHB := context.WithCancel(ctx)
+		hbDone := make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			t := time.NewTicker(hb)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-t.C:
+					err := c.post(hbCtx, "/v1/dispatch/heartbeat",
+						heartbeatRequest{Worker: o.ID, Key: g.Spec.Key, Epoch: g.Epoch}, nil)
+					if errs.Is(err, errs.Conflict) || errs.Is(err, errs.NotFound) {
+						fenced.Store(true)
+						return
+					}
+				}
+			}
+		}()
+
+		res, runErr := o.Exec.Run(g.Spec)
+		stopHB()
+		<-hbDone
+
+		switch {
+		case runErr != nil:
+			if ctx.Err() != nil {
+				return nil
+			}
+			// A unit this build cannot execute correctly is terminal:
+			// every retry would fail the same way, and the coordinator's
+			// lease expiry already routes the unit elsewhere.
+			return fmt.Errorf("dispatch: unit %s: %w", g.Spec.Key, runErr)
+		case fenced.Load():
+			logf("abandoned %s: fenced mid-run", g.Spec.Key)
+			continue
+		}
+		var rr resultResponse
+		err := c.post(ctx, "/v1/dispatch/result",
+			resultRequest{Worker: o.ID, Key: g.Spec.Key, Epoch: g.Epoch, Result: res}, &rr)
+		switch {
+		case err == nil:
+			logf("completed %s (accepted=%v)", g.Spec.Key, rr.Accepted)
+		case errs.Is(err, errs.Conflict), errs.Is(err, errs.NotFound):
+			logf("result for %s rejected: %v", g.Spec.Key, err)
+		case ctx.Err() != nil:
+			return nil
+		default:
+			return fmt.Errorf("dispatch: result %s: %w", g.Spec.Key, err)
+		}
+	}
+}

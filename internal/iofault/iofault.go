@@ -14,6 +14,7 @@ import (
 	"errors"
 	"io"
 	"os"
+	"sync"
 	"syscall"
 	"time"
 )
@@ -101,7 +102,7 @@ func Transient(err error) bool {
 
 // Retry is a capped-exponential-backoff policy over Transient errors.
 // The zero value (and a nil *Retry) uses the defaults: 4 attempts,
-// 10ms base delay doubling to a 250ms cap.
+// 10ms base delay doubling to a 250ms cap, no jitter.
 type Retry struct {
 	// Attempts is the total number of tries (not re-tries). Zero means 4.
 	Attempts int
@@ -110,6 +111,16 @@ type Retry struct {
 	Base time.Duration
 	// Max caps the per-retry delay. Zero means 250ms.
 	Max time.Duration
+	// Jitter subtracts a random fraction of each delay: a computed delay
+	// d sleeps d - f*Jitter*d where f is drawn from Rand in [0,1). Many
+	// processes retrying against one coordinator desynchronize instead of
+	// thundering back in lockstep. Values are clamped to [0,1]; zero
+	// keeps the exact historical delays.
+	Jitter float64
+	// Rand supplies the jitter draw in [0,1). Nil means a package-level
+	// deterministic generator (seeded once, mutex-protected); tests
+	// inject a constant to pin exact sleeps.
+	Rand func() float64
 	// Sleep replaces time.Sleep (tests inject a no-op). Nil means
 	// time.Sleep.
 	Sleep func(time.Duration)
@@ -139,19 +150,39 @@ func (r *Retry) delays() (base, max time.Duration, sleep func(time.Duration)) {
 	return
 }
 
+func (r *Retry) jitter() (frac float64, rnd func() float64) {
+	if r == nil || r.Jitter <= 0 {
+		return 0, nil
+	}
+	frac = r.Jitter
+	if frac > 1 {
+		frac = 1
+	}
+	rnd = r.Rand
+	if rnd == nil {
+		rnd = defaultRand
+	}
+	return frac, rnd
+}
+
 // Do runs op, retrying on Transient errors with capped exponential
-// backoff until the attempt budget is spent. The last error is
-// returned; non-transient errors return immediately.
+// backoff (optionally jittered) until the attempt budget is spent. The
+// last error is returned; non-transient errors return immediately.
 func (r *Retry) Do(op func() error) error {
 	attempts := r.attempts()
 	delay, max, sleep := r.delays()
+	frac, rnd := r.jitter()
 	var err error
 	for i := 0; i < attempts; i++ {
 		if err = op(); err == nil || !Transient(err) {
 			return err
 		}
 		if i < attempts-1 {
-			sleep(delay)
+			d := delay
+			if frac > 0 {
+				d -= time.Duration(float64(delay) * frac * rnd())
+			}
+			sleep(d)
 			delay *= 2
 			if delay > max {
 				delay = max
@@ -160,3 +191,22 @@ func (r *Retry) Do(op func() error) error {
 	}
 	return err
 }
+
+// defaultRand is the package jitter source: a splitmix64 stream behind
+// a mutex. Deterministic from process start — reproducibility beats
+// cryptographic spread here, and distinct processes desynchronize by
+// drifting through different retry counts, not by seed entropy.
+var defaultRand = func() func() float64 {
+	var mu sync.Mutex
+	state := uint64(0x9e3779b97f4a7c15)
+	return func() float64 {
+		mu.Lock()
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		mu.Unlock()
+		return float64(z>>11) / (1 << 53)
+	}
+}()

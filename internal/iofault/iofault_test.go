@@ -83,6 +83,63 @@ func TestRetryBackoffAndGiveUp(t *testing.T) {
 	}
 }
 
+func TestRetryJitterDeterministicAndPinned(t *testing.T) {
+	// Jitter 0.5 with a source pinned at 0.5 trims exactly a quarter off
+	// every delay: 10ms→7.5ms, 20ms→15ms, 25ms(cap)→18.75ms. The
+	// *backoff schedule* (the doubling-and-cap sequence) must be
+	// unchanged — jitter shapes the sleep, not the next delay.
+	var slept []time.Duration
+	r := &Retry{Attempts: 4, Base: 10 * time.Millisecond, Max: 25 * time.Millisecond,
+		Jitter: 0.5,
+		Rand:   func() float64 { return 0.5 },
+		Sleep:  func(d time.Duration) { slept = append(slept, d) }}
+	err := r.Do(func() error { return syscall.ENOSPC })
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err=%v, want ENOSPC", err)
+	}
+	want := []time.Duration{7500 * time.Microsecond, 15 * time.Millisecond, 18750 * time.Microsecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+
+	// A draw of 0 sleeps the full delay; a draw just under 1 with full
+	// jitter sleeps near zero but never negative.
+	slept = nil
+	r.Rand = func() float64 { return 0 }
+	_ = r.Do(func() error { return syscall.ENOSPC })
+	if slept[0] != 10*time.Millisecond {
+		t.Errorf("zero draw: slept %v, want full 10ms", slept[0])
+	}
+	slept = nil
+	r.Jitter = 5 // clamped to 1
+	r.Rand = func() float64 { return 0.999999 }
+	_ = r.Do(func() error { return syscall.ENOSPC })
+	for i, d := range slept {
+		if d < 0 || d > 10*time.Millisecond<<uint(i) {
+			t.Errorf("clamped jitter sleep %d = %v out of range", i, d)
+		}
+	}
+
+	// Nil Rand falls back to the deterministic package source: two fresh
+	// policies with jitter enabled still sleep strictly positive,
+	// bounded durations.
+	slept = nil
+	r2 := &Retry{Attempts: 3, Base: 8 * time.Millisecond, Jitter: 0.5,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	_ = r2.Do(func() error { return syscall.ENOSPC })
+	for i, d := range slept {
+		base := 8 * time.Millisecond << uint(i)
+		if d < base/2 || d > base {
+			t.Errorf("default source sleep %d = %v, want in [%v,%v]", i, d, base/2, base)
+		}
+	}
+}
+
 // writeThrough performs the same atomic-write shape checkpoint uses,
 // through an arbitrary FS.
 func writeThrough(fsys FS, path string, data []byte) error {

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package ledger
+
+// Non-unix platforms fall back to O_APPEND semantics alone; the ledger
+// stays append-only and torn-line tolerant (Read skips and reports bad
+// lines) so the worst case is a reported LineError, never lost history.
+func lockAppend(uintptr) error   { return nil }
+func unlockAppend(uintptr) error { return nil }

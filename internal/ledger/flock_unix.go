@@ -1,0 +1,28 @@
+//go:build unix
+
+package ledger
+
+import "syscall"
+
+// lockAppend takes an exclusive advisory flock on the open ledger file
+// for the duration of one append. O_APPEND already makes a single
+// write(2) land atomically at the end on local POSIX filesystems, but
+// that guarantee frays on network filesystems and for writes crossing
+// internal buffer boundaries; the flock makes whole-line interleaving
+// explicit wherever the platform supports it. Advisory means readers
+// (`perf` reports, tail -f) are never blocked — only concurrent
+// lockAppend callers serialize.
+func lockAppend(fd uintptr) error {
+	for {
+		err := syscall.Flock(int(fd), syscall.LOCK_EX)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+// unlockAppend releases the advisory lock. Closing the descriptor also
+// releases it; this keeps the window tight when fsync is slow.
+func unlockAppend(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_UN)
+}

@@ -135,6 +135,52 @@ type Record struct {
 	JobID     string `json:"job_id,omitempty"`
 	CacheHit  bool   `json:"cache_hit,omitempty"`
 	Recovered bool   `json:"recovered,omitempty"`
+
+	// Dispatch carries the distributed-fleet accounting of a service
+	// running with a lease coordinator (-distributed). Values are the
+	// coordinator's cumulative counters at record time — the fleet
+	// outlives individual jobs, so deltas between consecutive records
+	// attribute work to one job.
+	Dispatch *DispatchStats `json:"dispatch,omitempty"`
+}
+
+// DispatchStats mirrors the dispatch_* counter family: unit flow
+// (total/done/local), fault-tolerance events (expired leases, fenced
+// zombie results, duplicate deliveries), and fleet membership.
+type DispatchStats struct {
+	Units         int64 `json:"units"`
+	UnitsDone     int64 `json:"units_done"`
+	LocalUnits    int64 `json:"local_units,omitempty"`
+	Leases        int64 `json:"leases,omitempty"`
+	Expired       int64 `json:"expired,omitempty"`
+	Fenced        int64 `json:"fenced,omitempty"`
+	Duplicates    int64 `json:"duplicates,omitempty"`
+	WorkersJoined int64 `json:"workers_joined,omitempty"`
+	WorkersLost   int64 `json:"workers_lost,omitempty"`
+}
+
+// DispatchFromObs fills Dispatch from the dispatch_* counters in o —
+// a no-op (Dispatch stays nil) when o records no dispatched units,
+// so non-distributed records keep their old shape byte for byte.
+func (r *Record) DispatchFromObs(o *obs.Campaign) {
+	if o == nil {
+		return
+	}
+	units := o.Counter("dispatch_units_total").Value()
+	if units == 0 {
+		return
+	}
+	r.Dispatch = &DispatchStats{
+		Units:         units,
+		UnitsDone:     o.Counter("dispatch_units_done_total").Value(),
+		LocalUnits:    o.Counter("dispatch_local_units_total").Value(),
+		Leases:        o.Counter("dispatch_leases_total").Value(),
+		Expired:       o.Counter("dispatch_expired_total").Value(),
+		Fenced:        o.Counter("dispatch_fenced_total").Value(),
+		Duplicates:    o.Counter("dispatch_duplicates_total").Value(),
+		WorkersJoined: o.Counter("dispatch_workers_joined_total").Value(),
+		WorkersLost:   o.Counter("dispatch_workers_lost_total").Value(),
+	}
 }
 
 // Stamp fills the schema, timestamp and host-context fields. CLIs call
@@ -185,7 +231,10 @@ func HashParams(v any) string {
 // single write plus fsync, retrying transient failures with the given
 // policy (nil means the iofault defaults). The file is created if
 // missing. Appends from concurrent processes interleave at line
-// granularity on POSIX filesystems (O_APPEND single-write).
+// granularity: O_APPEND single-write on POSIX filesystems, backed by an
+// exclusive advisory flock held across the write+fsync on platforms
+// that have it (see flock_unix.go), so a service fleet and ad-hoc CLI
+// runs can share one ledger file safely.
 func Append(path string, r *Record, retry *iofault.Retry) error {
 	line, err := json.Marshal(r)
 	if err != nil {
@@ -197,6 +246,13 @@ func Append(path string, r *Record, retry *iofault.Retry) error {
 		if err != nil {
 			return err
 		}
+		if err := lockAppend(f.Fd()); err != nil {
+			f.Close()
+			// Lock contention/interruption says nothing durable about the
+			// next attempt.
+			return iofault.MarkTransient(err)
+		}
+		defer func() { _ = unlockAppend(f.Fd()) }()
 		if _, err := f.Write(line); err != nil {
 			f.Close()
 			return err

@@ -73,6 +73,26 @@ const (
 	// KindJobRecovered records an incomplete job re-queued from its
 	// on-disk spec and checkpoint after a restart (Job, Circuit).
 	KindJobRecovered Kind = "job_recovered"
+
+	// Distributed-dispatch kinds (internal/dispatch): Msg carries the
+	// worker id, Phase the unit key, N the lease epoch.
+	//
+	// KindWorkerJoin records a worker registration; KindWorkerLost a
+	// worker whose heartbeats went stale. KindUnitLeased records a lease
+	// grant; KindUnitDone an accepted result; KindUnitExpired a lease
+	// deadline passing (the unit goes back in the queue with backoff);
+	// KindUnitFenced a result rejected for a stale epoch;
+	// KindUnitDuplicate a redundant result for an already-done unit;
+	// KindUnitLocal the coordinator running a unit itself (the
+	// documented degraded / no-workers fallback).
+	KindWorkerJoin    Kind = "worker_join"
+	KindWorkerLost    Kind = "worker_lost"
+	KindUnitLeased    Kind = "unit_leased"
+	KindUnitDone      Kind = "unit_done"
+	KindUnitExpired   Kind = "unit_expired"
+	KindUnitFenced    Kind = "unit_fenced"
+	KindUnitDuplicate Kind = "unit_duplicate"
+	KindUnitLocal     Kind = "unit_local"
 )
 
 // Event is one structured campaign record. Unused fields stay zero and

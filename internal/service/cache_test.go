@@ -1,0 +1,182 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func testMemo(hash string) *Memo {
+	return &Memo{
+		ParamsHash: hash,
+		Summary:    Summary{Faults: 1, Detected: 1},
+		Report:     "report for " + hash + "\n",
+	}
+}
+
+// TestCacheDiskHitPromotion checks the two-layer contract: a result
+// written by one process generation is found on disk by the next, and
+// the hit is promoted so the second lookup is served from memory.
+func TestCacheDiskHitPromotion(t *testing.T) {
+	dir := t.TempDir()
+	writer := newMemoCache(dir, 4)
+	if err := writer.Put(testMemo("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the same dir models a service restart: memory
+	// empty, durable layer intact.
+	c := newMemoCache(dir, 4)
+	m, ok, layer := c.Get("aaaa")
+	if !ok || layer != "disk" {
+		t.Fatalf("first Get = (%v, %q), want disk hit", ok, layer)
+	}
+	if m.Report != "report for aaaa\n" {
+		t.Fatalf("wrong report %q", m.Report)
+	}
+	if _, ok, layer = c.Get("aaaa"); !ok || layer != "memory" {
+		t.Fatalf("second Get = (%v, %q), want promoted memory hit", ok, layer)
+	}
+}
+
+// TestCacheLRUEviction pins the eviction discipline: memory residency
+// never exceeds max, the oldest entry is the one dropped, and eviction
+// only sheds the memory copy — the durable file still serves the result.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newMemoCache(t.TempDir(), 2)
+	for _, h := range []string{"h1", "h2", "h3"} {
+		if err := c.Put(testMemo(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Resident(); n != 2 {
+		t.Fatalf("Resident() = %d, want 2", n)
+	}
+	// h2/h3 are the survivors; h1 was least recently used.
+	if _, ok, layer := c.Get("h3"); !ok || layer != "memory" {
+		t.Fatalf("h3 = (%v, %q), want memory", ok, layer)
+	}
+	if _, ok, layer := c.Get("h2"); !ok || layer != "memory" {
+		t.Fatalf("h2 = (%v, %q), want memory", ok, layer)
+	}
+	// Evicted, not lost: the disk layer backstops and re-promotes…
+	if _, ok, layer := c.Get("h1"); !ok || layer != "disk" {
+		t.Fatalf("h1 = (%v, %q), want disk", ok, layer)
+	}
+	// …which in turn evicts the new least-recently-used entry (h3,
+	// because the h2 Get above refreshed h2).
+	if n := c.Resident(); n != 2 {
+		t.Fatalf("Resident() after re-promotion = %d, want 2", n)
+	}
+	if _, ok, layer := c.Get("h3"); !ok || layer != "disk" {
+		t.Fatalf("h3 after h1 re-promotion = (%v, %q), want disk", ok, layer)
+	}
+}
+
+// TestCacheCorruptResultIsMiss feeds readMemo every flavour of damaged
+// result file and requires each to read as a miss — a corrupt archive
+// entry costs a re-run, never an error or a wrong answer served as a hit.
+func TestCacheCorruptResultIsMiss(t *testing.T) {
+	valid := func(hash string) string {
+		return fmt.Sprintf(`{"schema":1,"params_hash":%q,"spec":{},"summary":{},"report":"r\n"}`, hash)
+	}
+	cases := []struct {
+		name    string
+		content string
+		wantHit bool
+	}{
+		{"intact control", valid("c0"), true},
+		{"empty file", "", false},
+		{"truncated json", valid("c2")[:20], false},
+		{"not json at all", "report for c3: all faults detected\n", false},
+		{"wrong type", `{"schema":"one","params_hash":"c4","report":"r"}`, false},
+		{"foreign schema", strings.Replace(valid("c5"), `"schema":1`, `"schema":99`, 1), false},
+		{"missing hash", `{"schema":1,"report":"r"}`, false},
+		{"missing report", `{"schema":1,"params_hash":"c7"}`, false},
+		{"binary garbage", "\x00\x01\x02\xff\xfe", false},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newMemoCache(t.TempDir(), 4)
+			hash := fmt.Sprintf("c%d", i)
+			if err := os.WriteFile(c.path(hash), []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, ok, _ := c.Get(hash)
+			if ok != tc.wantHit {
+				t.Fatalf("Get(%s) hit = %v, want %v", hash, ok, tc.wantHit)
+			}
+			// A miss must be a quiet one: the cache stays usable and the
+			// slot can be overwritten by a fresh Put.
+			if !tc.wantHit {
+				if err := c.Put(testMemo(hash)); err != nil {
+					t.Fatalf("Put over corrupt file: %v", err)
+				}
+				if _, ok, _ := c.Get(hash); !ok {
+					t.Fatal("repaired slot still misses")
+				}
+			}
+		})
+	}
+	t.Run("missing file", func(t *testing.T) {
+		c := newMemoCache(t.TempDir(), 4)
+		if _, ok, _ := c.Get("nosuch"); ok {
+			t.Fatal("hit on a hash never written")
+		}
+	})
+}
+
+// TestCacheConcurrentPromotionAndEviction hammers a tiny cache from
+// many goroutines so disk-hit promotion, Put, and eviction race under
+// the race detector: every Get must return the correct memo for its
+// hash, and residency must respect max throughout.
+func TestCacheConcurrentPromotionAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	const hashes, workers, rounds = 8, 8, 50
+
+	// Seed the durable layer only, via a throwaway cache, so every
+	// first Get in the hot loop takes the promotion path.
+	seed := newMemoCache(dir, 1)
+	for i := 0; i < hashes; i++ {
+		if err := seed.Put(testMemo(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := newMemoCache(dir, 2) // far smaller than the working set: constant eviction
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				h := fmt.Sprintf("k%d", (w+r)%hashes)
+				m, ok, layer := c.Get(h)
+				if !ok {
+					t.Errorf("worker %d: miss on seeded hash %s", w, h)
+					return
+				}
+				if layer != "memory" && layer != "disk" {
+					t.Errorf("worker %d: unknown layer %q", w, layer)
+					return
+				}
+				if m.Report != "report for "+h+"\n" {
+					t.Errorf("worker %d: hash %s served foreign report %q", w, h, m.Report)
+					return
+				}
+				if r%10 == w%10 {
+					if err := c.Put(testMemo(h)); err != nil {
+						t.Errorf("worker %d: Put: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Resident(); n > 2 {
+		t.Fatalf("Resident() = %d after storm, want <= 2", n)
+	}
+}

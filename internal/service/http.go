@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"limscan/internal/debugsrv"
 	"limscan/internal/errs"
@@ -46,6 +47,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
+	if s.opts.Dispatch != nil {
+		// Distributed mode: the fleet protocol shares the mux (and the
+		// JSON/error conventions) with the campaign API.
+		s.opts.Dispatch.RegisterHandlers(mux)
+	}
 	debugsrv.Register(mux, debugsrv.Config{
 		Registry: s.o.Metrics(),
 		Ready:    s.Ready,
@@ -59,16 +65,16 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sp); err != nil {
-		writeError(w, errs.Wrap(errs.Input, err))
+		s.writeError(w, errs.Wrap(errs.Input, err))
 		return
 	}
 	if dec.More() {
-		writeError(w, errs.Newf(errs.Input, "service: request body holds more than one spec"))
+		s.writeError(w, errs.Newf(errs.Input, "service: request body holds more than one spec"))
 		return
 	}
 	v, created, err := s.Submit(sp)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	// A new job is Accepted (the campaign runs asynchronously); a
@@ -91,7 +97,7 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 	v, err := s.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -100,7 +106,7 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	v, err := s.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -109,7 +115,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	data, err := s.Report(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -132,12 +138,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeError maps the errs taxonomy onto the wire: HTTPStatus picks the
 // code, KindString names the class in the body. A saturated queue also
-// advertises Retry-After, since the condition clears as soon as a
-// worker frees a slot.
-func writeError(w http.ResponseWriter, err error) {
+// advertises Retry-After (Options.RetryAfterSeconds, default 1), since
+// the condition clears as soon as a worker frees a slot.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
 	status := errs.HTTPStatus(err)
 	if errors.Is(err, errs.Saturated) {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.opts.RetryAfterSeconds))
 	}
 	var maxBytes *http.MaxBytesError
 	if errors.As(err, &maxBytes) {

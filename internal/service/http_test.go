@@ -291,3 +291,58 @@ func TestHTTPSaturation(t *testing.T) {
 	}
 	checkGolden(t, "report_not_ready.json", normalizeJSON(t, wr.Body.Bytes()))
 }
+
+// TestHTTPRetryAfterConfigurable: the 429 back-pressure header honors
+// Options.RetryAfterSeconds, with anything below one clamped to the
+// old hardwired "1" so existing clients see no change by default.
+func TestHTTPRetryAfterConfigurable(t *testing.T) {
+	cases := []struct {
+		name    string
+		seconds int
+		want    string
+	}{
+		{"zero clamps to default", 0, "1"},
+		{"negative clamps to default", -3, "1"},
+		{"explicit default", 1, "1"},
+		{"custom backoff", 7, "7"},
+	}
+	for i, tc := range cases {
+		tc, i := tc, i
+		t.Run(tc.name, func(t *testing.T) {
+			release := make(chan struct{})
+			started := make(chan struct{})
+			var once sync.Once
+			s, _ := newTestService(t, func(o *Options) {
+				o.Workers = 1
+				o.QueueDepth = 1
+				o.RetryAfterSeconds = tc.seconds
+			})
+			s.beforeRun = func(*job) {
+				once.Do(func() { close(started) })
+				<-release
+			}
+			defer close(release)
+			h := s.Handler()
+			// Distinct seeds per case keep ParamsHash collisions (and
+			// with them cache hits) out of the saturation setup.
+			submit := func(n int) *httptest.ResponseRecorder {
+				return do(h, "POST", "/v1/campaigns",
+					fmt.Sprintf(`{"circuit":"s27","la":10,"lb":5,"n":2,"seed":%d}`, 1000+10*i+n))
+			}
+			if w := submit(0); w.Code != http.StatusAccepted {
+				t.Fatalf("first submit: %d", w.Code)
+			}
+			<-started
+			if w := submit(1); w.Code != http.StatusAccepted {
+				t.Fatalf("second submit: %d", w.Code)
+			}
+			w := submit(2)
+			if w.Code != http.StatusTooManyRequests {
+				t.Fatalf("saturated submit = %d, want 429\n%s", w.Code, w.Body)
+			}
+			if got := w.Header().Get("Retry-After"); got != tc.want {
+				t.Errorf("Retry-After = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"limscan/internal/core"
+	"limscan/internal/dispatch"
 	"limscan/internal/errs"
 	"limscan/internal/ledger"
 	"limscan/internal/obs"
@@ -71,11 +72,31 @@ type Options struct {
 	// queue/running/cache metrics. Nil gets a fresh silent observer so
 	// /metrics still works.
 	Obs *obs.Campaign
+	// RetryAfterSeconds is the Retry-After value advertised with 429
+	// (queue saturated) responses. <1 means 1.
+	RetryAfterSeconds int
+	// Dispatch, when set, routes every campaign's fault-simulation
+	// sessions through the distributed lease coordinator instead of
+	// running them in-process; Handler also mounts the coordinator's
+	// /v1/dispatch endpoints. The coordinator runs one unit set at a
+	// time, so Workers is forced to 1. Build the coordinator with this
+	// service's Obs so dispatch_* counters reach /metrics and the
+	// ledger records.
+	Dispatch *dispatch.Coordinator
+	// DispatchChunk is the per-unit fault count handed to the fleet
+	// (0 means the core default; rounded up to a batch-width multiple).
+	DispatchChunk int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = 1
+	}
+	if o.Dispatch != nil {
+		o.Workers = 1 // one active unit set per coordinator
+	}
+	if o.RetryAfterSeconds < 1 {
+		o.RetryAfterSeconds = 1
 	}
 	if o.QueueDepth < 1 {
 		o.QueueDepth = 64
@@ -429,6 +450,15 @@ func (s *Service) runCampaign(ctx context.Context, j *job) (res *core.Result, re
 	r := core.NewRunner(c)
 	r.SetWorkers(s.opts.FsimWorkers)
 	r.SetTracer(j.tracer)
+	if s.opts.Dispatch != nil {
+		// Unit keys are namespaced by job id, so two jobs sharing the
+		// coordinator over the service's lifetime can never collide.
+		r.SetSessionRunner(&dispatch.CampaignExec{
+			Coord:  s.opts.Dispatch,
+			Chunk:  s.opts.DispatchChunk,
+			Prefix: j.id,
+		})
+	}
 	s.o.Counter("service_runs_total").Inc()
 	ck := &core.CheckpointOptions{Path: s.ckPath(j.hash), Every: s.opts.CheckpointEvery}
 	return r.RunJob(ctx, cfg, ck)
@@ -645,6 +675,9 @@ func (s *Service) appendLedger(j *job, wall time.Duration) {
 		rec.TotalCycles = j.summary.TotalCycles
 	}
 	s.mu.Unlock()
+	if s.opts.Dispatch != nil {
+		rec.DispatchFromObs(s.o)
+	}
 	rec.Stamp()
 	if err := ledger.Append(s.opts.LedgerPath, rec, nil); err != nil {
 		s.o.Emit(obs.Event{Kind: obs.KindWarning, Job: j.id,

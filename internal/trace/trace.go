@@ -42,6 +42,7 @@ const (
 	CatWait       = "wait"       // a worker stalled at the merge barrier
 	CatMerge      = "merge"      // the deterministic ordered merge
 	CatCheckpoint = "checkpoint" // one snapshot write
+	CatDispatch   = "dispatch"   // one leased work unit (distributed fan-out)
 )
 
 // Well-known track and span names.
@@ -52,12 +53,17 @@ const (
 	// WorkerTrackPrefix prefixes per-worker tracks ("fsim worker 3").
 	// The analyzer identifies worker tracks by this prefix.
 	WorkerTrackPrefix = "fsim worker "
+	// DispatchTrackPrefix prefixes per-remote-worker dispatch tracks
+	// ("dispatch worker w1"): one lane per registered worker process,
+	// one CatDispatch span per unit it completed.
+	DispatchTrackPrefix = "dispatch worker "
 
 	SpanRun        = "fsim_run"
 	SpanBatch      = "batch"
 	SpanWaitMerge  = "wait_merge"
 	SpanMerge      = "merge"
 	SpanCheckpoint = "checkpoint_write"
+	SpanUnit       = "dispatch_unit"
 )
 
 // KV is one integer span argument (batch index, fault count, bytes...).

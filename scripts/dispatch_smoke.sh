@@ -1,0 +1,233 @@
+#!/bin/sh
+# Distributed-dispatch smoke for `make ci`: boot a real limscand
+# coordinator with -distributed, attach a real limsworker fleet, and
+# SIGKILL one worker mid-unit. Requires
+#
+#   1. the campaign to complete despite the crash — the coordinator
+#      reaps the dead worker's lease and reassigns its fault batch,
+#   2. the final report to be byte-identical to what the plain limscan
+#      CLI prints for the same flags (at-least-once execution + ordered
+#      merge must leave no fingerprint of worker count or crashes),
+#   3. the ledger record to carry dispatch stats showing both workers
+#      joined and the crash observed (an expired lease or a lost worker),
+#   4. the surviving worker and the daemon to exit 0 on SIGTERM.
+#
+# Every wait polls the daemon's API, a worker log line, or an on-disk
+# artifact; there are no blind sleeps.
+set -eu
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid= w1= w2=
+cleanup() {
+    for p in $w1 $w2 $pid; do
+        if kill -0 "$p" 2>/dev/null; then
+            kill "$p" 2>/dev/null || true
+            wait "$p" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+if ! command -v curl >/dev/null 2>&1; then
+    echo "dispatch smoke: curl not available" >&2
+    exit 1
+fi
+
+$GO build -o "$tmp/limscand" ./cmd/limscand
+$GO build -o "$tmp/limsworker" ./cmd/limsworker
+$GO build -o "$tmp/limscan" ./cmd/limscan
+
+# The reference bytes a single uninterrupted process computes.
+"$tmp/limscan" -circuit s298 -la 10 -lb 5 -n 2 -seed 5 >"$tmp/cli.out" 2>/dev/null
+
+# Small units (8 faults each) make the campaign long enough, in unit
+# count, that the kill below always lands with work still outstanding;
+# the short lease TTL keeps reassignment fast.
+"$tmp/limscand" -state-dir "$tmp/state" -addr 127.0.0.1:0 \
+    -addr-file "$tmp/addr" -ledger "$tmp/ledger.jsonl" \
+    -distributed -dispatch-chunk 8 -lease-ttl 300ms 2>"$tmp/daemon.err" &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -ge 1000 ] || ! kill -0 "$pid" 2>/dev/null; then
+        echo "dispatch smoke: daemon never wrote its address" >&2
+        cat "$tmp/daemon.err" >&2
+        exit 1
+    fi
+    sleep 0.01
+done
+addr=$(head -n 1 "$tmp/addr")
+
+i=0
+until curl -fs "http://$addr/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 1000 ]; then
+        echo "dispatch smoke: daemon never became ready" >&2
+        cat "$tmp/daemon.err" >&2
+        exit 1
+    fi
+    sleep 0.01
+done
+
+# Worker 1 must be registered before the campaign is submitted, so the
+# coordinator dispatches to the fleet instead of falling back locally.
+"$tmp/limsworker" -url "http://$addr" -id w1 -poll 50ms 2>"$tmp/w1.err" &
+w1=$!
+i=0
+until grep -q "registered" "$tmp/w1.err" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -ge 1000 ] || ! kill -0 "$w1" 2>/dev/null; then
+        echo "dispatch smoke: worker 1 never registered" >&2
+        cat "$tmp/w1.err" >&2
+        exit 1
+    fi
+    sleep 0.01
+done
+
+spec='{"circuit":"s298","la":10,"lb":5,"n":2,"seed":5}'
+json_field() { # json_field FILE KEY -> first string value of KEY
+    sed -n "s/.*\"$2\": \"\([^\"]*\)\".*/\1/p" "$1" | head -n 1
+}
+
+curl -fs -X POST -d "$spec" "http://$addr/v1/campaigns" >"$tmp/sub.json"
+id=$(json_field "$tmp/sub.json" id)
+if [ -z "$id" ]; then
+    echo "dispatch smoke: submission returned no job id" >&2
+    cat "$tmp/sub.json" >&2
+    exit 1
+fi
+
+# Catch worker 1 provably mid-unit, then SIGKILL it. Units are fast, so
+# a blind kill can land between units and strand nothing; instead freeze
+# the worker with SIGSTOP, check its log shows a lease without a
+# matching completion, and wait for the coordinator's stats endpoint to
+# confirm the frozen lease actually expired. Only then is the kill
+# guaranteed to model a crash with leased work outstanding. Each
+# confirmation wait stays well under the worker-lost TTL (3 x 300ms) so
+# the coordinator never falls back to local execution.
+stat_field() { # stat_field KEY -> integer value from the last stats fetch
+    v=$(sed -n "s/.*\"$1\": \([0-9]*\).*/\1/p" "$tmp/stats.json")
+    echo "${v:-0}"
+}
+expired=0
+attempt=0
+while [ "$expired" -eq 0 ]; do
+    attempt=$((attempt + 1))
+    if [ "$attempt" -gt 500 ]; then
+        echo "dispatch smoke: never caught worker 1 mid-unit" >&2
+        cat "$tmp/w1.err" "$tmp/daemon.err" >&2
+        exit 1
+    fi
+    kill -STOP "$w1"
+    # With the worker frozen, the coordinator's counters are the ground
+    # truth: a grant not yet matched by an acceptance means the frozen
+    # worker holds a live lease right now.
+    curl -fs "http://$addr/v1/dispatch/stats" >"$tmp/stats.json"
+    if [ "$(stat_field leases)" -le "$(stat_field units_done)" ]; then
+        if [ "$(stat_field units)" -gt 0 ] &&
+            [ "$(stat_field units_done)" -ge "$(stat_field units)" ]; then
+            echo "dispatch smoke: campaign finished before a crash could be injected" >&2
+            exit 1
+        fi
+        kill -CONT "$w1" # frozen between units: let it move, try again
+        continue
+    fi
+    # The held lease's heartbeats are frozen with the worker, so the
+    # 300ms TTL must lapse; poll until the coordinator reaps it.
+    j=0
+    while [ "$j" -lt 40 ]; do
+        j=$((j + 1))
+        sleep 0.05
+        curl -fs "http://$addr/v1/dispatch/stats" >"$tmp/stats.json"
+        expired=$(stat_field expired)
+        if [ "$expired" -ge 1 ]; then
+            break
+        fi
+    done
+    if [ "$expired" -eq 0 ]; then
+        echo "dispatch smoke: held lease never expired" >&2
+        cat "$tmp/stats.json" "$tmp/daemon.err" >&2
+        exit 1
+    fi
+done
+kill -9 "$w1"
+wait "$w1" 2>/dev/null || true
+w1=
+echo "dispatch smoke: SIGKILLed worker 1 mid-unit (lease expired while frozen)"
+
+# Worker 2 joins and must carry the campaign to completion, including
+# the crashed worker's reassigned units.
+"$tmp/limsworker" -url "http://$addr" -id w2 -poll 50ms 2>"$tmp/w2.err" &
+w2=$!
+
+i=0
+while :; do
+    curl -fs "http://$addr/v1/campaigns/$id" >"$tmp/job.json"
+    state=$(json_field "$tmp/job.json" state)
+    case "$state" in
+    done) break ;;
+    failed | canceled)
+        echo "dispatch smoke: job $id ended $state" >&2
+        cat "$tmp/job.json" "$tmp/daemon.err" >&2
+        exit 1
+        ;;
+    esac
+    i=$((i + 1))
+    if [ "$i" -ge 6000 ]; then
+        echo "dispatch smoke: job $id never finished (state $state)" >&2
+        cat "$tmp/w2.err" "$tmp/daemon.err" >&2
+        exit 1
+    fi
+    sleep 0.01
+done
+
+curl -fs "http://$addr/v1/campaigns/$id/report" >"$tmp/dist.out"
+cmp "$tmp/cli.out" "$tmp/dist.out"
+echo "dispatch smoke: distributed report is byte-identical to the limscan CLI's"
+
+# The ledger's dispatch stats must show the fleet and the crash.
+if ! grep -q '"dispatch":' "$tmp/ledger.jsonl"; then
+    echo "dispatch smoke: ledger record has no dispatch stats" >&2
+    cat "$tmp/ledger.jsonl" >&2
+    exit 1
+fi
+if ! grep -q '"workers_joined":2' "$tmp/ledger.jsonl"; then
+    echo "dispatch smoke: ledger does not show both workers joining" >&2
+    cat "$tmp/ledger.jsonl" >&2
+    exit 1
+fi
+if ! grep -q '"expired":' "$tmp/ledger.jsonl"; then
+    echo "dispatch smoke: crash left no trace (no expired lease in dispatch stats)" >&2
+    cat "$tmp/ledger.jsonl" >&2
+    exit 1
+fi
+echo "dispatch smoke: ledger shows 2 workers joined and the crashed lease reaped"
+
+kill -TERM "$w2"
+set +e
+wait "$w2"
+wstatus=$?
+set -e
+w2=
+if [ "$wstatus" -ne 0 ]; then
+    echo "dispatch smoke: worker 2 SIGTERM exit status $wstatus, want 0" >&2
+    cat "$tmp/w2.err" >&2
+    exit 1
+fi
+
+kill -TERM "$pid"
+set +e
+wait "$pid"
+status=$?
+set -e
+pid=
+if [ "$status" -ne 0 ]; then
+    echo "dispatch smoke: daemon SIGTERM exit status $status, want 0" >&2
+    cat "$tmp/daemon.err" >&2
+    exit 1
+fi
+echo "dispatch smoke: worker and daemon shut down cleanly"
