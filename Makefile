@@ -110,8 +110,10 @@ chaosdispatch:
 # a real two-worker limsworker fleet, SIGKILLs one worker while it
 # provably holds a lease (confirmed via /v1/dispatch/stats), and
 # requires the reassigned campaign's report byte-identical to the
-# limscan CLI's, crash evidence in the ledger's dispatch stats, and
-# clean SIGTERM shutdowns.
+# limscan CLI's, crash evidence in the ledger's dispatch stats, the
+# stitched fleet trace downloadable mid-run with one process group per
+# contacted worker (and a perf fleet verdict over the final trace),
+# dispatch latency histograms in /metrics, and clean SIGTERM shutdowns.
 dispatchsmoke:
 	sh scripts/dispatch_smoke.sh
 

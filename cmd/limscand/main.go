@@ -19,6 +19,8 @@
 //	GET    /v1/campaigns/{id}/report the finished report, text/plain —
 //	                                 byte-identical to `limscan` with the same flags
 //	DELETE /v1/campaigns/{id}        cancel a queued or running job
+//	GET    /v1/dispatch/fleet        per-worker telemetry + cumulative stats (-distributed)
+//	GET    /v1/dispatch/fleet/trace  stitched multi-process Perfetto trace, mid-run safe
 //	GET    /healthz, /readyz, /metrics, /trace/{id}, /debug/pprof/*
 //
 // Exit codes: 0 clean shutdown (SIGINT/SIGTERM), 1 internal error,

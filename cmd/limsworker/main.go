@@ -7,10 +7,19 @@
 // mid-unit and the coordinator reassigns the lease after its TTL; run
 // zero, one or twelve and every campaign's report is byte-identical.
 //
+// The worker is also observable standalone: -metrics dumps its
+// counter registry (units leased/completed/abandoned, heartbeat RTT
+// histogram) at exit, -trace writes its local execution trace — the
+// same spans it ships to the coordinator for fleet stitching — and
+// -ledger appends a worker-session record to the shared performance
+// history. All three flush on SIGTERM through the same idempotent
+// teardown the other CLIs use.
+//
 // Usage:
 //
 //	limsworker -url http://127.0.0.1:8080
 //	limsworker -url http://host:8080 -id $(hostname)-1 -poll 250ms
+//	limsworker -url http://host:8080 -metrics - -trace worker.json -ledger perf.jsonl
 //
 // Exit codes: 0 clean shutdown (SIGINT/SIGTERM), 1 terminal protocol
 // or execution error (e.g. this build's circuit disagrees with the
@@ -26,9 +35,14 @@ import (
 	"os/signal"
 	"runtime/debug"
 	"syscall"
+	"time"
 
+	"limscan/internal/cliobs"
 	"limscan/internal/dispatch"
 	"limscan/internal/errs"
+	"limscan/internal/ledger"
+	"limscan/internal/obs"
+	"limscan/internal/trace"
 )
 
 func main() {
@@ -48,10 +62,13 @@ func run(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("limsworker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		url   = fs.String("url", "", "coordinator base URL, e.g. http://127.0.0.1:8080 (required)")
-		id    = fs.String("id", "", "worker id unique within the fleet (default host-pid)")
-		poll  = fs.Duration("poll", 0, "idle re-poll interval override (0 = coordinator's suggestion)")
-		quiet = fs.Bool("quiet", false, "suppress per-unit lifecycle lines")
+		url        = fs.String("url", "", "coordinator base URL, e.g. http://127.0.0.1:8080 (required)")
+		id         = fs.String("id", "", "worker id unique within the fleet (default host-pid)")
+		poll       = fs.Duration("poll", 0, "idle re-poll interval override (0 = coordinator's suggestion)")
+		quiet      = fs.Bool("quiet", false, "suppress per-unit lifecycle lines")
+		metrics    = fs.String("metrics", "", "write the worker's metrics registry as JSON at exit (- for stdout)")
+		tracePath  = fs.String("trace", "", "write the worker's execution trace as Chrome trace-event JSON at exit (- for stdout)")
+		ledgerPath = fs.String("ledger", "", "append a worker-session record to this performance ledger at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errs.ExitUsage
@@ -76,16 +93,48 @@ func run(args []string, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	o := obs.New(obs.NewRegistry(), nil)
+	rec := trace.New()
+	stack := &cliobs.Stack{
+		Obs:         o,
+		MetricsPath: *metrics,
+		Trace:       rec,
+		TracePath:   *tracePath,
+	}
+	// The deferred closure (not a direct defer of Report) matters: defer
+	// evaluates arguments immediately, and Shutdown must run at exit
+	// time. Shutdown is idempotent, so the explicit call below and this
+	// safety net compose.
+	defer func() { cliobs.Report(stderr, "limsworker", stack.Shutdown()) }()
+
 	var log io.Writer = stderr
 	if *quiet {
 		log = nil
 	}
+	start := time.Now()
 	err := dispatch.RunWorker(ctx, dispatch.WorkerOptions{
 		ID:      worker,
 		BaseURL: *url,
 		Poll:    *poll,
 		Log:     log,
+		Trace:   rec,
+		Obs:     o,
 	})
+	wall := time.Since(start)
+	if *ledgerPath != "" {
+		// JobID doubles as the worker id: a worker session belongs to the
+		// fleet, not to any one campaign job.
+		lrec := &ledger.Record{
+			Kind:        ledger.KindWorker,
+			JobID:       worker,
+			WallSeconds: wall.Seconds(),
+		}
+		lrec.Stamp()
+		if lerr := ledger.Append(*ledgerPath, lrec, nil); lerr != nil {
+			fmt.Fprintf(stderr, "limsworker: ledger append failed: %v\n", lerr)
+		}
+	}
+	cliobs.Report(stderr, "limsworker", stack.Shutdown())
 	if err != nil {
 		fmt.Fprintf(stderr, "limsworker: %v\n", err)
 		return errs.ExitCode(err)

@@ -5,7 +5,11 @@
 // leaves the ledger behind and analyzes an execution trace recorded with
 // -trace (see internal/trace): per-worker utilization, merge-barrier
 // stalls, the Amdahl serial fraction, and a one-screen diagnosis of what
-// limits scaling.
+// limits scaling. A fifth, fleet, does the same for a stitched
+// multi-process fleet trace (the /v1/dispatch/fleet/trace download):
+// per-worker utilization and a dominant-limiter verdict — straggler
+// worker, reassignment storm, coordinator merge stall, or undersized
+// fleet.
 //
 // Usage:
 //
@@ -13,6 +17,7 @@
 //	perf diff  [-ledger ...] [-kind ...] [-circuit ...] [A B]
 //	perf check [-ledger ...] [-kind ...] [-circuit ...] -baseline perf_baseline.json
 //	perf trace [-json] trace.json
+//	perf fleet [-json] [-ledger PERF_ledger.jsonl] fleet_trace.json
 //
 // diff compares records A and B by non-negative index into the filtered
 // history (0 is oldest); with no arguments it compares the last two.
@@ -49,6 +54,8 @@ func main() {
 		cmdCheck(args)
 	case "trace":
 		cmdTrace(args)
+	case "fleet":
+		cmdFleet(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -63,6 +70,7 @@ func usage() {
   perf diff  [-ledger FILE] [-kind K] [-circuit C] [A B]
   perf check [-ledger FILE] [-kind K] [-circuit C] -baseline FILE
   perf trace [-json] TRACEFILE
+  perf fleet [-json] [-ledger FILE] TRACEFILE
 `)
 	os.Exit(2)
 }
@@ -219,6 +227,48 @@ func cmdTrace(args []string) {
 			fail(err)
 		}
 		return
+	}
+	a.WriteReport(os.Stdout)
+}
+
+func cmdFleet(args []string) {
+	fs := flag.NewFlagSet("perf fleet", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the analysis as JSON instead of the report")
+	led := fs.String("ledger", "", "optional run ledger; the latest record with dispatch stats is shown for context")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		failUsage(fmt.Errorf("fleet takes exactly one stitched fleet trace file (GET /v1/dispatch/fleet/trace)"))
+	}
+	m, err := trace.ParseFile(fs.Arg(0))
+	if err != nil {
+		failUsage(err)
+	}
+	a := trace.AnalyzeFleet(m)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(a); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *led != "" {
+		recs, skipped, err := ledger.Read(*led)
+		if err != nil {
+			fail(err)
+		}
+		for _, s := range skipped {
+			fmt.Fprintf(os.Stderr, "perf: warning: %s: %v\n", *led, s)
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			if d := recs[i].Dispatch; d != nil {
+				fmt.Printf("ledger: %s %s/%s — %d units (%d local), %d leases, %d expired, %d fenced, %d/%d workers joined/lost\n",
+					recs[i].Time.Format(time.DateTime), recs[i].Kind, recs[i].Circuit,
+					d.Units, d.LocalUnits, d.Leases, d.Expired, d.Fenced,
+					d.WorkersJoined, d.WorkersLost)
+				break
+			}
+		}
 	}
 	a.WriteReport(os.Stdout)
 }

@@ -310,3 +310,170 @@ func TestCheckCommittedBaseline(t *testing.T) {
 		}
 	}
 }
+
+// writeFleetTraceFile stitches a small synthetic fleet — a coordinator
+// with two dispatch lanes plus a fast and a slow worker — exactly the
+// way the coordinator does, and writes the multi-process export.
+func writeFleetTraceFile(t *testing.T) string {
+	t.Helper()
+	ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+	f := trace.NewFleet()
+	f.Coord().Track(trace.MainTrack).Add(trace.CatPhase, "campaign", 0, ms(10))
+	f.Coord().Track(trace.MainTrack).Add(trace.CatMerge, trace.SpanMerge, ms(9), ms(0.5))
+	for i, w := range []string{"fast", "slow"} {
+		lane := f.Coord().Track(trace.DispatchTrackPrefix + w)
+		for u := 0; u < 4; u++ {
+			lane.Add(trace.CatDispatch, trace.SpanUnit, ms(float64(u)), ms(1),
+				trace.KV{K: "epoch", V: int64(u + 1)})
+		}
+		wr := trace.New()
+		busy := ms(2)
+		if i == 1 {
+			busy = ms(9)
+		}
+		wr.Track(trace.WorkerExecTrack).Add(trace.CatDispatch, "job/s1.i0.d0.0", 0, busy,
+			trace.KV{K: "epoch", V: 1})
+		f.AddSegment(w, "job", wr.DrainSegment())
+	}
+	path := filepath.Join(t.TempDir(), "fleet_trace.json")
+	file, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Model().WriteJSON(file); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFleetReport(t *testing.T) {
+	path := writeFleetTraceFile(t)
+	so, se, code := run(t, "fleet", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, se)
+	}
+	for _, want := range []string{
+		"fleet trace:", "fast", "slow", "dominant limiter: straggler worker slow",
+	} {
+		if !strings.Contains(so, want) {
+			t.Errorf("fleet report missing %q:\n%s", want, so)
+		}
+	}
+}
+
+func TestFleetJSON(t *testing.T) {
+	path := writeFleetTraceFile(t)
+	so, se, code := run(t, "fleet", "-json", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, se)
+	}
+	var a trace.FleetAnalysis
+	if err := json.Unmarshal([]byte(so), &a); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, so)
+	}
+	if len(a.Workers) != 2 || a.Units != 8 || a.Diagnosis == "" {
+		t.Errorf("analysis fields: %+v", a)
+	}
+}
+
+// TestFleetLedgerContext: -ledger prints the latest dispatch-bearing
+// record as a one-line context header.
+func TestFleetLedgerContext(t *testing.T) {
+	tracePath := writeFleetTraceFile(t)
+	led := filepath.Join(t.TempDir(), "ledger.jsonl")
+	rec := &ledger.Record{
+		Kind: ledger.KindService, Circuit: "s298", WallSeconds: 1,
+		Dispatch: &ledger.DispatchStats{Units: 8, UnitsDone: 8, Leases: 9, Expired: 1, WorkersJoined: 2},
+	}
+	rec.Stamp()
+	if err := ledger.Append(led, rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	so, se, code := run(t, "fleet", "-ledger", led, tracePath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, se)
+	}
+	if !strings.Contains(so, "ledger:") || !strings.Contains(so, "8 units") {
+		t.Errorf("ledger context line missing:\n%s", so)
+	}
+}
+
+func TestFleetUsageErrors(t *testing.T) {
+	if _, _, code := run(t, "fleet"); code != 2 {
+		t.Errorf("no file: exit %d, want 2", code)
+	}
+	if _, _, code := run(t, "fleet", "does-not-exist.json"); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := run(t, "fleet", bad); code != 2 {
+		t.Errorf("invalid file: exit %d, want 2", code)
+	}
+}
+
+// TestFleetOnSingleProcessTrace: an ordinary single-process trace is a
+// degenerate but legal fleet input — the verdict says "no worker
+// process groups" instead of inventing numbers.
+func TestFleetOnSingleProcessTrace(t *testing.T) {
+	path := writeTraceFile(t)
+	so, se, code := run(t, "fleet", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, se)
+	}
+	if !strings.Contains(so, "no worker process groups") {
+		t.Errorf("single-process fleet verdict:\n%s", so)
+	}
+}
+
+// TestTraceDegenerateInputs: structurally valid but informationally
+// empty traces must produce a diagnosis (or a typed usage error for
+// non-traces) — never a panic, NaN, or division by zero.
+func TestTraceDegenerateInputs(t *testing.T) {
+	writeFile := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name, content string
+	}{
+		{"empty-events", `{"traceEvents":[]}`},
+		{"single-span", `{"traceEvents":[
+			{"ph":"X","pid":1,"tid":0,"cat":"phase","name":"search","ts":0,"dur":100}
+		]}`},
+		{"worker-tracks-only", `{"traceEvents":[
+			{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"fsim worker 0"}},
+			{"ph":"X","pid":1,"tid":1,"cat":"batch","name":"batch","ts":0,"dur":50}
+		]}`},
+	}
+	for _, sub := range []string{"trace", "fleet"} {
+		for _, tc := range cases {
+			t.Run(sub+"/"+tc.name, func(t *testing.T) {
+				p := writeFile(tc.name+".json", tc.content)
+				so, se, code := run(t, sub, p)
+				if code != 0 {
+					t.Fatalf("exit %d, stderr: %s", code, se)
+				}
+				if !strings.Contains(so, "diagnosis") && !strings.Contains(so, "limiter") &&
+					!strings.Contains(so, "nothing to diagnose") && !strings.Contains(so, "no worker") &&
+					!strings.Contains(so, "serial path") && !strings.Contains(so, "balanced") {
+					t.Errorf("no verdict in output:\n%s", so)
+				}
+				for _, bad := range []string{"NaN", "Inf", "panic"} {
+					if strings.Contains(so, bad) || strings.Contains(se, bad) {
+						t.Errorf("%s leaked into output:\nstdout:\n%s\nstderr:\n%s", bad, so, se)
+					}
+				}
+			})
+		}
+	}
+}

@@ -20,6 +20,7 @@ package debugsrv
 import (
 	"context"
 	"errors"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -45,10 +46,18 @@ type Config struct {
 	// Trace backs /trace; nil makes the endpoint 404.
 	Trace *trace.Recorder
 	// TraceFor backs the per-job /trace/{id} endpoint: given an id it
-	// returns that job's recorder, or nil for 404. The campaign service
-	// wires this to its job table so every running or finished campaign
-	// exposes its own execution trace. Nil makes /trace/{id} 404.
-	TraceFor func(id string) *trace.Recorder
+	// returns that job's trace source, or nil for 404. The campaign
+	// service wires this to its job table so every running or finished
+	// campaign exposes its own execution trace — in distributed mode a
+	// stitched multi-process view including the worker spans shipped
+	// under that job. Nil makes /trace/{id} 404.
+	TraceFor func(id string) TraceSource
+}
+
+// TraceSource is anything that can render itself as Chrome trace-event
+// JSON: a live *trace.Recorder, or a stitched fleet *trace.Model.
+type TraceSource interface {
+	WriteJSON(w io.Writer) error
 }
 
 // Server is a running debug HTTP server. The zero value and nil are
@@ -90,6 +99,13 @@ func Register(mux *http.ServeMux, cfg Config) {
 		_, _ = w.Write([]byte("ready\n"))
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		// The explicit nil check matters: a nil *trace.Recorder boxed
+		// into the interface would not compare equal to nil inside
+		// serveTrace and an empty trace would masquerade as a real one.
+		if cfg.Trace == nil {
+			http.NotFound(w, r)
+			return
+		}
 		serveTrace(w, r, cfg.Trace, "limscan-trace.json")
 	})
 	mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -107,9 +123,9 @@ func Register(mux *http.ServeMux, cfg Config) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// serveTrace writes a recorder's Chrome trace-event JSON, or 404 when
-// the recorder is absent (no trace collected under that name).
-func serveTrace(w http.ResponseWriter, r *http.Request, tr *trace.Recorder, filename string) {
+// serveTrace writes a trace source's Chrome trace-event JSON, or 404
+// when the source is absent (no trace collected under that name).
+func serveTrace(w http.ResponseWriter, r *http.Request, tr TraceSource, filename string) {
 	if tr == nil {
 		http.NotFound(w, r)
 		return

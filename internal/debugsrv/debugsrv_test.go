@@ -245,7 +245,14 @@ func TestTraceForPerJob(t *testing.T) {
 	tr.Track(trace.MainTrack).Add(trace.CatCheckpoint, trace.SpanCheckpoint, t0, tr.Now()-t0)
 
 	s, err := Start("127.0.0.1:0", Config{
-		TraceFor: func(id string) *trace.Recorder { return recorders[id] },
+		TraceFor: func(id string) TraceSource {
+			// The explicit nil test keeps a typed-nil *Recorder from
+			// boxing into a non-nil interface.
+			if tr := recorders[id]; tr != nil {
+				return tr
+			}
+			return nil
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

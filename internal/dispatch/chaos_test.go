@@ -27,6 +27,7 @@ import (
 	"limscan/internal/errs"
 	"limscan/internal/obs"
 	"limscan/internal/report"
+	"limscan/internal/trace"
 )
 
 const chaosChunk = 63 // one batch per unit: several units per session
@@ -220,8 +221,17 @@ func TestChaosZombieAndDuplicate(t *testing.T) {
 	zombieGo := make(chan struct{})       // test → zombie: lease reaped, submit your stale result
 	zombieDone := make(chan error, 1)     // zombie → test: outcome of the stale submission
 
+	// The contested unit, for the fleet-trace assertions below. Written
+	// by the zombie before zombieHolds, read by the test after — the
+	// channel send orders the accesses.
+	var zombieKey string
+	var zombieEpoch uint64
+
 	// The zombie: leases exactly one unit, computes it for real, then
-	// hangs (no heartbeat) until released.
+	// hangs (no heartbeat) until released. Like the real worker loop it
+	// records an exec span tagged with its lease epoch and ships the
+	// segment alongside the (fenced) result submission — the abandoned
+	// attempt must stay visible in the stitched trace.
 	if _, err := f.d.Register("zombie"); err != nil {
 		t.Fatal(err)
 	}
@@ -229,6 +239,7 @@ func TestChaosZombieAndDuplicate(t *testing.T) {
 	go func() {
 		defer f.wg.Done()
 		exec := &core.UnitRunner{}
+		zrec := trace.New()
 		for {
 			select {
 			case <-f.stop:
@@ -245,12 +256,17 @@ func TestChaosZombieAndDuplicate(t *testing.T) {
 				zombieDone <- err
 				return
 			}
+			zrec.Track(trace.WorkerExecTrack).Add(trace.CatDispatch, g.Spec.Key,
+				0, time.Millisecond, trace.KV{K: "epoch", V: int64(g.Epoch)})
+			zombieKey, zombieEpoch = g.Spec.Key, g.Epoch
 			zombieHolds <- struct{}{}
 			select {
 			case <-zombieGo:
 			case <-f.stop:
 				return
 			}
+			seg := zrec.DrainSegment()
+			f.d.AddTraceSegment("zombie", g.Spec.Key, 0, &seg)
 			_, err = f.d.Complete("zombie", g.Spec.Key, g.Epoch, res)
 			zombieDone <- err
 			return
@@ -303,6 +319,7 @@ func TestChaosZombieAndDuplicate(t *testing.T) {
 	go func() {
 		defer f.wg.Done()
 		exec := &core.UnitRunner{}
+		hrec := trace.New()
 		for {
 			select {
 			case <-f.stop:
@@ -319,6 +336,10 @@ func TestChaosZombieAndDuplicate(t *testing.T) {
 				t.Errorf("healthy worker: %v", err)
 				return
 			}
+			hrec.Track(trace.WorkerExecTrack).Add(trace.CatDispatch, g.Spec.Key,
+				0, time.Millisecond, trace.KV{K: "epoch", V: int64(g.Epoch)})
+			seg := hrec.DrainSegment()
+			f.d.AddTraceSegment("healthy", g.Spec.Key, 0, &seg)
 			if acc, err := f.d.Complete("healthy", g.Spec.Key, g.Epoch, res); err == nil && acc {
 				// Deliver again: the network "lost our response".
 				f.d.Complete("healthy", g.Spec.Key, g.Epoch, res)
@@ -346,6 +367,68 @@ func TestChaosZombieAndDuplicate(t *testing.T) {
 	}
 	if n := f.counter("dispatch_duplicates_total"); n < 1 {
 		t.Errorf("duplicates_total = %d, want >= 1", n)
+	}
+
+	// The stitched fleet trace tells the contested unit's whole story:
+	// the zombie's abandoned attempt and the healthy worker's reassigned
+	// one both appear, in separate process groups, distinguishable by
+	// their fencing epochs; the coordinator's own track shows the reap.
+	m := f.d.FleetModel()
+	var zpid, hpid int
+	for pid, name := range m.Processes {
+		switch name {
+		case "worker zombie":
+			zpid = pid
+		case "worker healthy":
+			hpid = pid
+		}
+	}
+	if zpid == 0 || hpid == 0 {
+		t.Fatalf("worker process groups missing from fleet trace: %+v", m.Processes)
+	}
+	epochOf := func(pid int) (int64, bool) {
+		for i := range m.Tracks {
+			tr := &m.Tracks[i]
+			if tr.PID != pid || tr.Name != trace.WorkerExecTrack {
+				continue
+			}
+			for j := range tr.Spans {
+				if tr.Spans[j].Name == zombieKey {
+					return tr.Spans[j].Arg("epoch")
+				}
+			}
+		}
+		return 0, false
+	}
+	ze, zok := epochOf(zpid)
+	he, hok := epochOf(hpid)
+	if !zok || !hok {
+		t.Fatalf("contested unit %s missing from an exec track (zombie %v, healthy %v)", zombieKey, zok, hok)
+	}
+	if ze != int64(zombieEpoch) {
+		t.Errorf("zombie attempt epoch = %d, want %d", ze, zombieEpoch)
+	}
+	if he <= ze {
+		t.Errorf("reassigned attempt epoch %d not after abandoned epoch %d: attempts indistinguishable", he, ze)
+	}
+	reaped := false
+	for i := range m.Tracks {
+		tr := &m.Tracks[i]
+		if tr.PID != 1 || tr.Name != trace.DispatchTrackPrefix+"zombie" {
+			continue
+		}
+		for j := range tr.Spans {
+			sp := &tr.Spans[j]
+			if sp.Name == trace.SpanLeaseExpired {
+				reaped = true
+				if e, ok := sp.Arg("epoch"); !ok || e != int64(zombieEpoch) {
+					t.Errorf("reap span epoch = %d (%v), want %d", e, ok, zombieEpoch)
+				}
+			}
+		}
+	}
+	if !reaped {
+		t.Error("coordinator reap span missing from the zombie's dispatch lane")
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,11 +59,17 @@ type Options struct {
 	// before re-checking deadlines when no other event wakes it. Zero
 	// means 100ms.
 	Tick time.Duration
-	// Obs receives dispatch_* metrics and worker/unit lifecycle events.
-	// Nil runs unobserved (the obs nil contract).
+	// Obs receives dispatch_* metrics (including the queue-wait,
+	// lease-to-complete, heartbeat-RTT and retry-backoff latency
+	// histograms) and worker/unit lifecycle events. Nil runs unobserved
+	// (the obs nil contract).
 	Obs *obs.Campaign
 	// Trace, when set, records one CatDispatch span per completed unit
 	// on a per-worker track (trace.DispatchTrackPrefix + worker id).
+	// Independent of Trace, the coordinator always keeps a fleet trace
+	// (see Fleet/FleetModel) stitching worker-shipped span segments with
+	// its own lease/reap events; recording there is per-unit, not
+	// per-cycle, so it costs the simulation hot path nothing.
 	Trace *trace.Recorder
 	// Clock abstracts time for the chaos suite. Nil means the real
 	// clock.
@@ -119,19 +126,31 @@ type unitState struct {
 	attempts int
 	// notBefore gates re-leasing after an expiry (backoff).
 	notBefore time.Time
-	result    *core.UnitResult
+	// availableAt is when the unit last became grantable (run start, or
+	// the end of a post-expiry backoff window); grant minus availableAt
+	// is the queue-wait histogram sample.
+	availableAt time.Time
+	result      *core.UnitResult
 }
 
 type activeRun struct {
 	units   map[string]*unitState
 	order   []string
 	pending int // units not yet done
+	// tr is the recorder dispatch spans for this run land on (the
+	// job's own tracer in the service, Options.Trace otherwise).
+	tr *trace.Recorder
 }
 
 type workerState struct {
 	lastSeen time.Time
+	joinedAt time.Time
 	lost     bool // lost event emitted; cleared on next contact
 	done     int  // units completed (accepted results)
+	// Cumulative telemetry served by FleetSnapshot.
+	attempts int           // lease grants
+	expired  int           // leases reaped while this worker held them
+	busy     time.Duration // lease-to-complete time across accepted units
 }
 
 // Coordinator owns the lease table for at most one active unit set at a
@@ -142,6 +161,11 @@ type workerState struct {
 type Coordinator struct {
 	opts Options
 	clk  Clock
+
+	// fleet stitches worker-shipped trace segments with the
+	// coordinator's own lease/reap/merge spans into one multi-process
+	// trace (always on; per-unit cost only).
+	fleet *trace.Fleet
 
 	mu      sync.Mutex
 	workers map[string]*workerState
@@ -155,10 +179,16 @@ func New(opts Options) *Coordinator {
 	return &Coordinator{
 		opts:    opts,
 		clk:     opts.Clock,
+		fleet:   trace.NewFleet(),
 		workers: make(map[string]*workerState),
 		wake:    make(chan struct{}, 1),
 	}
 }
+
+// rttBuckets shapes the heartbeat round-trip histogram: heartbeats are
+// sub-millisecond on a LAN, so the default second-scale buckets would
+// put every sample in the first one.
+var rttBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
 
 // signal wakes a blocked RunUnits pump (non-blocking; the channel
 // carries "something changed", not a count).
@@ -174,7 +204,7 @@ func (d *Coordinator) signal() {
 func (d *Coordinator) touch(worker string, now time.Time) *workerState {
 	w, ok := d.workers[worker]
 	if !ok {
-		w = &workerState{}
+		w = &workerState{joinedAt: now}
 		d.workers[worker] = w
 		d.opts.Obs.Counter("dispatch_workers_joined_total").Inc()
 		d.opts.Obs.Emit(obs.Event{Kind: obs.KindWorkerJoin, Msg: worker})
@@ -254,6 +284,7 @@ func (d *Coordinator) Lease(worker string) (g LeaseGrant, ok bool, err error) {
 	if d.run == nil {
 		return g, false, nil
 	}
+	w := d.workers[worker]
 	for _, key := range d.run.order {
 		u := d.run.units[key]
 		if u.state != unitPending || now.Before(u.notBefore) || u.attempts >= d.opts.MaxAttempts {
@@ -265,6 +296,10 @@ func (d *Coordinator) Lease(worker string) (g LeaseGrant, ok bool, err error) {
 		u.attempts++
 		u.leasedAt = now
 		u.deadline = now.Add(d.opts.LeaseTTL)
+		w.attempts++
+		if !u.availableAt.IsZero() {
+			d.opts.Obs.Histogram("dispatch_queue_wait_seconds").Observe(now.Sub(u.availableAt).Seconds())
+		}
 		d.opts.Obs.Counter("dispatch_leases_total").Inc()
 		d.opts.Obs.Emit(obs.Event{Kind: obs.KindUnitLeased, Phase: key, Msg: worker, N: int(u.epoch)})
 		return LeaseGrant{Spec: u.spec, Epoch: u.epoch, Deadline: u.deadline}, true, nil
@@ -339,18 +374,29 @@ func (d *Coordinator) accept(u *unitState, worker string, res *core.UnitResult, 
 	u.result = res
 	u.holder = worker
 	d.run.pending--
+	held := now.Sub(u.leasedAt)
 	if w := d.workers[worker]; w != nil {
 		w.done++
+		w.busy += held
 	}
 	d.opts.Obs.Counter("dispatch_units_done_total").Inc()
 	d.opts.Obs.Emit(obs.Event{Kind: obs.KindUnitDone, Phase: u.spec.Key, Msg: worker, N: int(u.epoch)})
-	if tr := d.opts.Trace; tr != nil && worker != localHolder {
+	if worker != localHolder {
+		d.opts.Obs.Histogram("dispatch_lease_to_complete_seconds").Observe(held.Seconds())
+		args := [2]trace.KV{
+			{K: "faults", V: int64(len(u.spec.Faults))},
+			{K: "epoch", V: int64(u.epoch)},
+		}
 		// The mutex serializes appends, satisfying the one-goroutine
-		// track convention.
-		tr.Track(trace.DispatchTrackPrefix+worker).Add(trace.CatDispatch, trace.SpanUnit,
-			tr.Rel(u.leasedAt), now.Sub(u.leasedAt),
-			trace.KV{K: "faults", V: int64(len(u.spec.Faults))},
-			trace.KV{K: "epoch", V: int64(u.epoch)})
+		// track convention — for the run tracer and the fleet's
+		// coordinator recorder alike.
+		if tr := d.run.tr; tr != nil {
+			tr.Track(trace.DispatchTrackPrefix+worker).Add(trace.CatDispatch, trace.SpanUnit,
+				tr.Rel(u.leasedAt), held, args[0], args[1])
+		}
+		fc := d.fleet.Coord()
+		fc.Track(trace.DispatchTrackPrefix+worker).Add(trace.CatDispatch, trace.SpanUnit,
+			fc.Rel(u.leasedAt), held, args[0], args[1])
 	}
 	if d.run.pending == 0 {
 		d.signal()
@@ -410,11 +456,25 @@ func (d *Coordinator) pump() (done bool, locals []core.UnitSpec) {
 		if u.state == unitLeased && u.holder != localHolder && now.After(u.deadline) {
 			// Reap: bump the epoch so the old holder is fenced, and gate
 			// the re-lease behind backoff.
+			heldEpoch := u.epoch
 			u.state = unitPending
 			u.epoch++
-			u.notBefore = now.Add(d.backoff(key, u.attempts))
+			wait := d.backoff(key, u.attempts)
+			u.notBefore = now.Add(wait)
+			u.availableAt = u.notBefore
 			d.opts.Obs.Counter("dispatch_expired_total").Inc()
+			d.opts.Obs.Histogram("dispatch_retry_backoff_seconds").Observe(wait.Seconds())
 			d.opts.Obs.Emit(obs.Event{Kind: obs.KindUnitExpired, Phase: key, Msg: u.holder, N: int(u.epoch)})
+			if w := d.workers[u.holder]; w != nil {
+				w.expired++
+			}
+			// The abandoned attempt stays visible in the fleet trace: a
+			// lease_expired span covering the whole lost lease, tagged
+			// with the epoch the holder held (now fenced).
+			fc := d.fleet.Coord()
+			fc.Track(trace.DispatchTrackPrefix+u.holder).Add(trace.CatDispatch, trace.SpanLeaseExpired,
+				fc.Rel(u.leasedAt), now.Sub(u.leasedAt),
+				trace.KV{K: "epoch", V: int64(heldEpoch)})
 			u.holder = ""
 		}
 	}
@@ -467,15 +527,23 @@ func (d *Coordinator) completeLocal(key string, res *core.UnitResult) {
 // At most one unit set may be active; a second concurrent RunUnits is a
 // programming error and fails fast.
 func (d *Coordinator) RunUnits(ctx context.Context, units []core.UnitSpec, local func(core.UnitSpec) (*core.UnitResult, error)) ([]*core.UnitResult, error) {
+	return d.RunUnitsTraced(ctx, units, local, d.opts.Trace)
+}
+
+// RunUnitsTraced is RunUnits with an explicit recorder for this run's
+// dispatch spans (the service passes each job's own tracer so
+// /trace/{id} shows that job's units; Options.Trace is the default).
+func (d *Coordinator) RunUnitsTraced(ctx context.Context, units []core.UnitSpec, local func(core.UnitSpec) (*core.UnitResult, error), tr *trace.Recorder) ([]*core.UnitResult, error) {
 	if len(units) == 0 {
 		return nil, nil
 	}
-	run := &activeRun{units: make(map[string]*unitState, len(units)), pending: len(units)}
+	now := d.clk.Now()
+	run := &activeRun{units: make(map[string]*unitState, len(units)), pending: len(units), tr: tr}
 	for _, spec := range units {
 		if _, dup := run.units[spec.Key]; dup {
 			return nil, fmt.Errorf("dispatch: duplicate unit key %q", spec.Key)
 		}
-		run.units[spec.Key] = &unitState{spec: spec}
+		run.units[spec.Key] = &unitState{spec: spec, availableAt: now}
 		run.order = append(run.order, spec.Key)
 	}
 	d.mu.Lock()
@@ -551,6 +619,142 @@ type Stats struct {
 	LocalUnits    int64 `json:"local_units"`
 	WorkersJoined int64 `json:"workers_joined"`
 	WorkersLost   int64 `json:"workers_lost"`
+}
+
+// JobFromKey extracts the job ID a unit key encodes: the prefix before
+// the first '/' of the "<jobID>/s<seq>.i<I>.d<D1>.<idx>" form
+// CampaignExec derives ("" for keys without one, e.g. tests).
+func JobFromKey(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i]
+		}
+	}
+	return ""
+}
+
+// Fleet returns the coordinator's fleet trace stitcher. Coordinator-side
+// events (lease reaps, unit acks) and worker-shipped segments land here.
+func (d *Coordinator) Fleet() *trace.Fleet {
+	if d == nil {
+		return nil
+	}
+	return d.fleet
+}
+
+// RecordClockSample aligns a worker's trace clock with the
+// coordinator's: workerNow is "now" on the worker's recorder timeline,
+// sampled just before the request was sent, so coordinator-now minus
+// workerNow over-estimates the offset by at most that exchange's
+// one-way latency (see DESIGN.md §9). Each sample overwrites the last,
+// keeping drift bounded for long-lived workers.
+func (d *Coordinator) RecordClockSample(worker string, workerNow time.Duration) {
+	if worker == "" {
+		return
+	}
+	d.fleet.SetOffset(worker, d.fleet.Coord().Now()-workerNow)
+}
+
+// AddTraceSegment stitches one worker-shipped span segment into the
+// fleet trace under the job the unit key encodes. workerNow (the
+// worker's trace clock at send time, nanoseconds) refreshes the clock
+// offset first so the segment lands aligned; zero means "no sample".
+// Segments are accepted regardless of the unit's lease outcome — a
+// fenced zombie's spans are exactly the ones worth seeing.
+func (d *Coordinator) AddTraceSegment(worker, key string, workerNow int64, seg *trace.Segment) {
+	if worker == "" {
+		return
+	}
+	if workerNow > 0 {
+		d.RecordClockSample(worker, time.Duration(workerNow))
+	}
+	if seg != nil {
+		d.fleet.AddSegment(worker, JobFromKey(key), *seg)
+	}
+}
+
+// FleetModel renders the stitched multi-process fleet trace:
+// coordinator tracks as process 1, one process group per worker that
+// has made trace contact. Safe mid-run.
+func (d *Coordinator) FleetModel() *trace.Model {
+	return d.fleet.Model()
+}
+
+// JobTrace renders one job's stitched view: the job's own recorder as
+// the coordinator process plus only the worker spans shipped under
+// that job's unit keys.
+func (d *Coordinator) JobTrace(job string, rec *trace.Recorder) *trace.Model {
+	return d.fleet.JobModel(job, rec)
+}
+
+// ObserveHeartbeatRTT records one worker-measured heartbeat round-trip
+// into the dispatch_heartbeat_rtt_seconds histogram.
+func (d *Coordinator) ObserveHeartbeatRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	d.opts.Obs.Histogram("dispatch_heartbeat_rtt_seconds", rttBuckets...).Observe(rtt.Seconds())
+}
+
+// WorkerTelemetry is one worker's cumulative accounting in a FleetView.
+type WorkerTelemetry struct {
+	ID   string `json:"id"`
+	Live bool   `json:"live"`
+	// UnitsDone counts accepted results; Attempts counts lease grants;
+	// LeaseExpiries counts leases reaped while this worker held them.
+	UnitsDone     int `json:"units_done"`
+	Attempts      int `json:"attempts"`
+	LeaseExpiries int `json:"lease_expiries"`
+	// BusySeconds is cumulative lease-to-complete time across accepted
+	// units; IdleSeconds is registered wall time not covered by it.
+	BusySeconds float64 `json:"busy_seconds"`
+	IdleSeconds float64 `json:"idle_seconds"`
+	// ClockOffsetSeconds is the trace-clock offset (coordinator − worker)
+	// currently used to align this worker's shipped spans.
+	ClockOffsetSeconds float64 `json:"clock_offset_seconds"`
+}
+
+// FleetView is what GET /v1/dispatch/fleet serves: per-worker
+// cumulative telemetry plus the protocol counters and a pointer at the
+// stitched trace.
+type FleetView struct {
+	Workers []WorkerTelemetry `json:"workers"`
+	Stats   Stats             `json:"stats"`
+	// TracePath is where the stitched multi-process trace is served.
+	TracePath string `json:"trace_path"`
+}
+
+// FleetSnapshot reports per-worker cumulative telemetry, sorted by
+// worker ID for stable output.
+func (d *Coordinator) FleetSnapshot() FleetView {
+	stats := d.Snapshot()
+	d.mu.Lock()
+	now := d.clk.Now()
+	view := FleetView{Stats: stats, TracePath: "/v1/dispatch/fleet/trace"}
+	ids := make([]string, 0, len(d.workers))
+	for id := range d.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := d.workers[id]
+		idle := now.Sub(w.joinedAt) - w.busy
+		if idle < 0 {
+			idle = 0
+		}
+		view.Workers = append(view.Workers, WorkerTelemetry{
+			ID:                 id,
+			Live:               !now.After(w.lastSeen.Add(d.opts.WorkerTTL)),
+			UnitsDone:          w.done,
+			Attempts:           w.attempts,
+			LeaseExpiries:      w.expired,
+			BusySeconds:        w.busy.Seconds(),
+			IdleSeconds:        idle.Seconds(),
+			ClockOffsetSeconds: d.fleet.Offset(id).Seconds(),
+		})
+	}
+	d.mu.Unlock()
+	return view
 }
 
 // Snapshot reports the worker registry state and protocol counters.

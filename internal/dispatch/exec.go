@@ -44,18 +44,32 @@ func (e *CampaignExec) RunSession(req core.SessionRequest) (fsim.RunStats, error
 	if tr != nil {
 		runStart = tr.Now()
 	}
+	// The fleet's coordinator recorder always exists and mirrors the
+	// run/merge brackets, so the stitched trace shows the coordinator's
+	// critical path even when the job itself runs untraced. All appends
+	// here happen on the campaign goroutine (the track's owner).
+	fleetMain := e.Coord.Fleet().Coord()
+	fleetStart := fleetMain.Now()
 	if len(units) > 0 {
 		local := func(spec core.UnitSpec) (*core.UnitResult, error) {
 			return core.ExecUnitLocal(req, spec)
 		}
-		results, err := e.Coord.RunUnits(req.Options.Ctx, units, local)
+		results, err := e.Coord.RunUnitsTraced(req.Options.Ctx, units, local, tr)
 		if err != nil {
 			return stats, err
 		}
+		mergeStart, fleetMergeStart := tr.Now(), fleetMain.Now()
 		merged, err := core.MergeUnits(req.Faults, units, results)
 		if err != nil {
 			return stats, err
 		}
+		if tr != nil {
+			tr.Track(trace.MainTrack).Add(trace.CatMerge, trace.SpanMerge, mergeStart, tr.Now()-mergeStart,
+				trace.KV{K: "units", V: int64(len(units))})
+		}
+		fleetMain.Track(trace.MainTrack).Add(trace.CatMerge, trace.SpanMerge,
+			fleetMergeStart, fleetMain.Now()-fleetMergeStart,
+			trace.KV{K: "units", V: int64(len(units))})
 		merged.Cycles = stats.Cycles
 		stats = merged
 	}
@@ -65,6 +79,10 @@ func (e *CampaignExec) RunSession(req core.SessionRequest) (fsim.RunStats, error
 			trace.KV{K: "batches", V: int64(stats.Batches)},
 			trace.KV{K: "mode", V: int64(req.Options.Mode)})
 	}
+	fleetMain.Track(trace.MainTrack).Add(trace.CatRun, trace.SpanRun, fleetStart, fleetMain.Now()-fleetStart,
+		trace.KV{K: "units", V: int64(len(units))},
+		trace.KV{K: "batches", V: int64(stats.Batches)},
+		trace.KV{K: "mode", V: int64(req.Options.Mode)})
 	if o := req.Options.Obs; o != nil {
 		o.Gauge("fsim_mode").Set(float64(req.Options.Mode))
 		o.Counter("fsim_runs_total").Inc()

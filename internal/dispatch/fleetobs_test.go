@@ -1,0 +1,225 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"limscan/internal/obs"
+	"limscan/internal/trace"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/dispatch -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// rfc3339 matches JSON timestamp values so goldens stay byte-stable if
+// a timestamp field ever joins a pinned body.
+var rfc3339 = regexp.MustCompile(`"20\d\d-\d\d-\d\dT[0-9:.+Z-]+"`)
+
+func redactTimestamps(b []byte) []byte {
+	return rfc3339.ReplaceAll(b, []byte(`"<TIMESTAMP>"`))
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	got = redactTimestamps(got)
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("response diverges from %s (re-bless with -update if intended):\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+// obsFleet drives a deterministic dispatch scenario under the fake
+// clock: two registered workers, three units, w1 takes two and w2 one.
+// Every counter and telemetry field it produces is a pure function of
+// this script, so the HTTP bodies below can be golden-filed byte for
+// byte.
+func obsFleet(t *testing.T) (*Coordinator, *obs.Registry, *httptest.Server) {
+	t.Helper()
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	d := New(Options{Clock: clk, Obs: obs.New(reg, nil)})
+	mux := http.NewServeMux()
+	d.RegisterHandlers(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	for _, w := range []string{"w1", "w2"} {
+		if _, err := d.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	done := make(chan error, 1)
+	go func() {
+		_, err := d.RunUnits(ctx, synthUnits(3), nil)
+		done <- err
+	}()
+	leaseOne := func(w string) LeaseGrant {
+		t.Helper()
+		for {
+			g, ok, err := d.Lease(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				return g
+			}
+		}
+	}
+	for _, w := range []string{"w1", "w1", "w2"} {
+		g := leaseOne(w)
+		if _, err := d.Complete(w, g.Spec.Key, g.Epoch, synthResult(g.Spec.Key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	return d, reg, srv
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+// TestDispatchStatsGolden pins the exact bytes of GET
+// /v1/dispatch/stats — field names, order, indentation, trailing
+// newline. An accidental rename or re-marshal shows up as a diff here
+// before any client sees it.
+func TestDispatchStatsGolden(t *testing.T) {
+	_, _, srv := obsFleet(t)
+	code, body := getBody(t, srv.URL+"/v1/dispatch/stats")
+	if code != http.StatusOK {
+		t.Fatalf("GET stats: HTTP %d\n%s", code, body)
+	}
+	checkGolden(t, "dispatch_stats.golden", body)
+}
+
+// TestDispatchFleetGolden pins GET /v1/dispatch/fleet the same way:
+// per-worker telemetry rows (sorted by id), the embedded cumulative
+// stats, and the trace download pointer.
+func TestDispatchFleetGolden(t *testing.T) {
+	_, _, srv := obsFleet(t)
+	code, body := getBody(t, srv.URL+"/v1/dispatch/fleet")
+	if code != http.StatusOK {
+		t.Fatalf("GET fleet: HTTP %d\n%s", code, body)
+	}
+	checkGolden(t, "dispatch_fleet.golden", body)
+
+	// Shape sanity on top of the byte pin, so a stale golden can't hide
+	// a broken view.
+	var view FleetView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Workers) != 2 || view.Workers[0].ID != "w1" || view.Workers[1].ID != "w2" {
+		t.Fatalf("workers: %+v", view.Workers)
+	}
+	if view.Workers[0].UnitsDone != 2 || view.Workers[1].UnitsDone != 1 {
+		t.Errorf("units_done: %+v", view.Workers)
+	}
+	if !view.Workers[0].Live || !view.Workers[1].Live {
+		t.Errorf("frozen-clock workers must be live: %+v", view.Workers)
+	}
+}
+
+// TestDispatchFleetTraceDownload: the stitched trace is downloadable
+// mid-run (here: post-run, same code path), parses as a multi-process
+// trace, and carries the coordinator's dispatch lanes.
+func TestDispatchFleetTraceDownload(t *testing.T) {
+	_, _, srv := obsFleet(t)
+	code, body := getBody(t, srv.URL+"/v1/dispatch/fleet/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET fleet trace: HTTP %d", code)
+	}
+	m, err := trace.Parse(body)
+	if err != nil {
+		t.Fatalf("fleet trace does not parse: %v", err)
+	}
+	var lanes int
+	for i := range m.Tracks {
+		if strings.HasPrefix(m.Tracks[i].Name, trace.DispatchTrackPrefix) {
+			lanes++
+		}
+	}
+	if lanes != 2 {
+		t.Errorf("%d dispatch lanes, want 2 (one per completing worker)", lanes)
+	}
+	if !strings.Contains(string(body), `"coordinator"`) {
+		t.Error("export missing the coordinator process_name")
+	}
+}
+
+// TestDispatchHistogramsInPrometheusExposition: the four dispatch
+// latency histograms ride the existing /metrics text format. The
+// scenario above exercises queue-wait and lease-to-complete; RTT and
+// backoff are observed directly — what matters here is the exposition
+// format, which the obs package's own golden tests pin.
+func TestDispatchHistogramsInPrometheusExposition(t *testing.T) {
+	d, reg, _ := obsFleet(t)
+	d.ObserveHeartbeatRTT(1e6) // 1ms
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"dispatch_queue_wait_seconds",
+		"dispatch_lease_to_complete_seconds",
+		"dispatch_heartbeat_rtt_seconds",
+	} {
+		if !strings.Contains(out, name+"_bucket{") || !strings.Contains(out, name+"_count") {
+			t.Errorf("exposition missing histogram %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestJobFromKey pins the unit-key → job-ID extraction the per-job
+// trace stitching relies on.
+func TestJobFromKey(t *testing.T) {
+	for key, want := range map[string]string{
+		"job-7/s1.i0.d1.3": "job-7",
+		"a/b/c":            "a",
+		"nokey":            "",
+		"":                 "",
+	} {
+		if got := JobFromKey(key); got != want {
+			t.Errorf("JobFromKey(%q) = %q, want %q", key, got, want)
+		}
+	}
+}

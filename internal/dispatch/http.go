@@ -4,22 +4,35 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"limscan/internal/core"
 	"limscan/internal/errs"
+	"limscan/internal/trace"
 )
 
-// The wire protocol: four POST endpoints under /v1/dispatch, JSON in
+// The wire protocol: five POST endpoints under /v1/dispatch, JSON in
 // and out, errors in the service's golden body form {error, kind} with
 // errs.HTTPStatus choosing the code — a fenced worker sees 409
 // {"kind":"conflict"}, exactly like any other Conflict in the API.
+//
+// Observability piggybacks on the protocol rather than widening it:
+// register/heartbeat/result optionally carry the sender's trace-clock
+// reading ("now", nanoseconds on its recorder timeline) for clock-offset
+// alignment, heartbeats carry the previously measured round-trip, and
+// results carry the span segment recorded since the last submission. A
+// final /v1/dispatch/trace flush catches whatever a draining worker
+// still holds. All fields are optional: an uninstrumented worker speaks
+// the same protocol.
 
 // maxBodyBytes bounds a request body. Results are a few KiB (a bitmask
-// over ~1000 faults); a megabyte is hostile.
+// over ~1000 faults) plus a span segment of the same order; a megabyte
+// is hostile.
 const maxBodyBytes = 1 << 20
 
 type registerRequest struct {
 	Worker string `json:"worker"`
+	Now    int64  `json:"now,omitempty"` // sender's trace clock, ns
 }
 
 type leaseRequest struct {
@@ -33,9 +46,11 @@ type leaseResponse struct {
 }
 
 type heartbeatRequest struct {
-	Worker string `json:"worker"`
-	Key    string `json:"key"`
-	Epoch  uint64 `json:"epoch"`
+	Worker   string `json:"worker"`
+	Key      string `json:"key"`
+	Epoch    uint64 `json:"epoch"`
+	Now      int64  `json:"now,omitempty"`    // sender's trace clock, ns
+	RTTNanos int64  `json:"rtt_ns,omitempty"` // previously measured heartbeat round-trip
 }
 
 type resultRequest struct {
@@ -43,6 +58,15 @@ type resultRequest struct {
 	Key    string           `json:"key"`
 	Epoch  uint64           `json:"epoch"`
 	Result *core.UnitResult `json:"result"`
+	Now    int64            `json:"now,omitempty"`
+	Trace  *trace.Segment   `json:"trace,omitempty"` // spans recorded since the last submission
+}
+
+// traceFlushRequest is the final segment a draining worker ships.
+type traceFlushRequest struct {
+	Worker string         `json:"worker"`
+	Now    int64          `json:"now,omitempty"`
+	Trace  *trace.Segment `json:"trace,omitempty"`
 }
 
 type resultResponse struct {
@@ -62,7 +86,10 @@ func (d *Coordinator) RegisterHandlers(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/dispatch/lease", d.handleLease)
 	mux.HandleFunc("POST /v1/dispatch/heartbeat", d.handleHeartbeat)
 	mux.HandleFunc("POST /v1/dispatch/result", d.handleResult)
+	mux.HandleFunc("POST /v1/dispatch/trace", d.handleTraceFlush)
 	mux.HandleFunc("GET /v1/dispatch/stats", d.handleStats)
+	mux.HandleFunc("GET /v1/dispatch/fleet", d.handleFleet)
+	mux.HandleFunc("GET /v1/dispatch/fleet/trace", d.handleFleetTrace)
 }
 
 func decodeInto(w http.ResponseWriter, r *http.Request, v any) error {
@@ -87,6 +114,11 @@ func (d *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	if req.Now > 0 {
+		// First clock sample: the worker's process group exists in the
+		// fleet trace from registration on, spans or not.
+		d.RecordClockSample(req.Worker, time.Duration(req.Now))
 	}
 	writeJSON(w, http.StatusOK, reply)
 }
@@ -115,6 +147,10 @@ func (d *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if req.Now > 0 {
+		d.RecordClockSample(req.Worker, time.Duration(req.Now))
+	}
+	d.ObserveHeartbeatRTT(time.Duration(req.RTTNanos))
 	if err := d.Heartbeat(req.Worker, req.Key, req.Epoch); err != nil {
 		writeError(w, err)
 		return
@@ -128,6 +164,10 @@ func (d *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// The segment is stitched in whatever Complete says: a fenced
+	// zombie's abandoned-attempt spans are exactly the ones an operator
+	// wants next to the reassigned attempt's.
+	d.AddTraceSegment(req.Worker, req.Key, req.Now, req.Trace)
 	accepted, err := d.Complete(req.Worker, req.Key, req.Epoch, req.Result)
 	if err != nil {
 		writeError(w, err)
@@ -136,8 +176,35 @@ func (d *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resultResponse{Accepted: accepted})
 }
 
+func (d *Coordinator) handleTraceFlush(w http.ResponseWriter, r *http.Request) {
+	var req traceFlushRequest
+	if err := decodeInto(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Worker == "" {
+		writeError(w, errs.Newf(errs.Input, "dispatch: empty worker id"))
+		return
+	}
+	d.AddTraceSegment(req.Worker, "", req.Now, req.Trace)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
 func (d *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, d.Snapshot())
+}
+
+func (d *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.FleetSnapshot())
+}
+
+func (d *Coordinator) handleFleetTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="fleet_trace.json"`)
+	if err := d.FleetModel().WriteJSON(w); err != nil {
+		// Headers are gone; nothing more to do than log-free best effort.
+		return
+	}
 }
 
 // writeJSON / writeError mirror internal/service's conventions exactly

@@ -13,6 +13,8 @@ import (
 	"limscan/internal/core"
 	"limscan/internal/errs"
 	"limscan/internal/iofault"
+	"limscan/internal/obs"
+	"limscan/internal/trace"
 )
 
 // UnitExecutor runs one unit — core.UnitRunner in production, fakes in
@@ -38,6 +40,16 @@ type WorkerOptions struct {
 	Poll time.Duration
 	// Log receives one line per lifecycle event. Nil discards.
 	Log io.Writer
+	// Trace is the worker's span recorder: one exec-track span per
+	// leased unit, one control-track span per heartbeat round trip.
+	// Spans ship to the coordinator as segments with each result (and a
+	// final flush on drain) regardless of whether the caller keeps the
+	// recorder for a local -trace file. Nil means a private recorder —
+	// segments still ship.
+	Trace *trace.Recorder
+	// Obs receives worker_* lifecycle counters and the local heartbeat
+	// RTT histogram. Nil runs unobserved.
+	Obs *obs.Campaign
 }
 
 // client is the worker-side protocol stub. Transient transport errors
@@ -142,10 +154,37 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 		}
 	}
 
+	rec := o.Trace
+	if rec == nil {
+		// Even without a local -trace file the worker records: the spans
+		// ship to the coordinator's fleet trace, which is where a
+		// distributed run is diagnosed.
+		rec = trace.New()
+	}
+	execTrack := rec.Track(trace.WorkerExecTrack)
+	ctrlTrack := rec.Track(trace.WorkerControlTrack)
+
 	var reg RegisterReply
-	if err := c.post(ctx, "/v1/dispatch/register", registerRequest{Worker: o.ID}, &reg); err != nil {
+	if err := c.post(ctx, "/v1/dispatch/register",
+		registerRequest{Worker: o.ID, Now: int64(rec.Now())}, &reg); err != nil {
 		return fmt.Errorf("dispatch: register: %w", err)
 	}
+	// Whatever is still undrained when the loop exits — the last unit's
+	// spans after a cancellation, heartbeats of an abandoned lease —
+	// flushes on the way out, on a fresh short-lived context because ctx
+	// is typically already canceled by then.
+	defer func() {
+		seg := rec.DrainSegment()
+		if seg.Empty() {
+			return
+		}
+		fctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := c.post(fctx, "/v1/dispatch/trace",
+			traceFlushRequest{Worker: o.ID, Now: int64(rec.Now()), Trace: &seg}, nil); err != nil {
+			logf("final trace flush failed: %v", err)
+		}
+	}()
 	poll := o.Poll
 	if poll <= 0 {
 		poll = time.Duration(reg.PollMillis) * time.Millisecond
@@ -179,10 +218,15 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 			continue
 		}
 		g := lease.Unit
+		o.Obs.Counter("worker_units_leased_total").Inc()
 		logf("leased %s (epoch %d, %d faults)", g.Spec.Key, g.Epoch, len(g.Spec.Faults))
 
 		// Heartbeat until the unit finishes. fenced flips when the
-		// coordinator tells us the lease is gone mid-run.
+		// coordinator tells us the lease is gone mid-run. Each round
+		// trip is timed: the span lands on the control track (this
+		// goroutine is its sole owner until hbDone closes), the
+		// measurement rides the *next* heartbeat to the coordinator's
+		// dispatch_heartbeat_rtt_seconds histogram.
 		var fenced atomic.Bool
 		hbCtx, stopHB := context.WithCancel(ctx)
 		hbDone := make(chan struct{})
@@ -190,13 +234,21 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 			defer close(hbDone)
 			t := time.NewTicker(hb)
 			defer t.Stop()
+			var lastRTT int64
 			for {
 				select {
 				case <-hbCtx.Done():
 					return
 				case <-t.C:
+					start := rec.Now()
 					err := c.post(hbCtx, "/v1/dispatch/heartbeat",
-						heartbeatRequest{Worker: o.ID, Key: g.Spec.Key, Epoch: g.Epoch}, nil)
+						heartbeatRequest{Worker: o.ID, Key: g.Spec.Key, Epoch: g.Epoch,
+							Now: int64(start), RTTNanos: lastRTT}, nil)
+					rtt := rec.Now() - start
+					lastRTT = int64(rtt)
+					ctrlTrack.Add(trace.CatDispatch, "heartbeat", start, rtt,
+						trace.KV{K: "epoch", V: int64(g.Epoch)})
+					o.Obs.Histogram("worker_heartbeat_rtt_seconds", rttBuckets...).Observe(rtt.Seconds())
 					if errs.Is(err, errs.Conflict) || errs.Is(err, errs.NotFound) {
 						fenced.Store(true)
 						return
@@ -205,9 +257,17 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 			}
 		}()
 
+		start := rec.Now()
 		res, runErr := o.Exec.Run(g.Spec)
 		stopHB()
 		<-hbDone
+		// The exec span is named by the unit key (which encodes job and
+		// unit index) and carries the fencing epoch, so two attempts at
+		// one unit — an abandoned one and the reassigned one — are
+		// distinguishable in the stitched trace.
+		execTrack.Add(trace.CatDispatch, g.Spec.Key, start, rec.Now()-start,
+			trace.KV{K: "epoch", V: int64(g.Epoch)},
+			trace.KV{K: "faults", V: int64(len(g.Spec.Faults))})
 
 		switch {
 		case runErr != nil:
@@ -219,14 +279,21 @@ func RunWorker(ctx context.Context, o WorkerOptions) error {
 			// lease expiry already routes the unit elsewhere.
 			return fmt.Errorf("dispatch: unit %s: %w", g.Spec.Key, runErr)
 		case fenced.Load():
+			o.Obs.Counter("worker_units_abandoned_total").Inc()
 			logf("abandoned %s: fenced mid-run", g.Spec.Key)
 			continue
 		}
+		seg := rec.DrainSegment()
+		rreq := resultRequest{Worker: o.ID, Key: g.Spec.Key, Epoch: g.Epoch,
+			Result: res, Now: int64(rec.Now())}
+		if !seg.Empty() {
+			rreq.Trace = &seg
+		}
 		var rr resultResponse
-		err := c.post(ctx, "/v1/dispatch/result",
-			resultRequest{Worker: o.ID, Key: g.Spec.Key, Epoch: g.Epoch, Result: res}, &rr)
+		err := c.post(ctx, "/v1/dispatch/result", rreq, &rr)
 		switch {
 		case err == nil:
+			o.Obs.Counter("worker_units_completed_total").Inc()
 			logf("completed %s (accepted=%v)", g.Spec.Key, rr.Accepted)
 		case errs.Is(err, errs.Conflict), errs.Is(err, errs.NotFound):
 			logf("result for %s rejected: %v", g.Spec.Key, err)

@@ -38,6 +38,7 @@ const (
 	KindFaultSim  = "faultsim"  // a standalone simulation session (cmd/faultsim)
 	KindBenchFsim = "benchfsim" // a worker-scaling sweep (cmd/benchfsim)
 	KindService   = "service"   // one campaign-service job (cmd/limscand)
+	KindWorker    = "worker"    // one fleet-worker session (cmd/limsworker)
 )
 
 // PhaseSeconds is one per-phase wall-time row, copied from the obs phase

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"limscan/internal/core"
+	"limscan/internal/debugsrv"
 	"limscan/internal/dispatch"
 	"limscan/internal/errs"
 	"limscan/internal/ledger"
@@ -589,14 +590,23 @@ func (s *Service) Cancel(id string) (View, error) {
 	return v, nil
 }
 
-// TraceFor resolves a job's execution-trace recorder (nil for unknown
-// ids) — the debugsrv /trace/{id} source.
-func (s *Service) TraceFor(id string) *trace.Recorder {
+// TraceFor resolves a job's execution trace (nil for unknown ids) —
+// the debugsrv /trace/{id} source. In distributed mode the job's own
+// recorder is stitched with the worker span segments shipped under the
+// job's unit keys, so the download is a multi-process view; otherwise
+// it is the recorder itself.
+func (s *Service) TraceFor(id string) debugsrv.TraceSource {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j := s.jobs[id]
+	s.mu.Unlock()
 	if j == nil {
 		return nil
+	}
+	if j.tracer == nil {
+		return nil
+	}
+	if s.opts.Dispatch != nil {
+		return s.opts.Dispatch.JobTrace(id, j.tracer)
 	}
 	return j.tracer
 }

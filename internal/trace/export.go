@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -35,7 +36,10 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 }
 
 // WriteJSON writes the model in the same format (the offline half:
-// parse, filter, re-export).
+// parse, filter, re-export). A model with Processes set (a stitched
+// fleet trace) emits one process group per pid; otherwise the legacy
+// single-process layout (pid 1 named "limscan") is preserved byte for
+// byte.
 func (m *Model) WriteJSON(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
@@ -49,23 +53,43 @@ func (m *Model) WriteJSON(w io.Writer) error {
 		first = false
 		bw.WriteByte('\n')
 	}
-	sep()
-	bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"limscan"}}`)
-	for _, t := range m.Tracks {
-		sep()
-		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
-			t.TID, quote(t.Name))
-		sep()
-		fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
-			t.TID, t.TID)
+	multi := len(m.Processes) > 0
+	pidOf := func(t *ModelTrack) int {
+		if multi {
+			return t.PID
+		}
+		return 1
 	}
-	for _, t := range m.Tracks {
-		for i := range t.Spans {
-			sp := &t.Spans[i]
+	if multi {
+		for _, pid := range sortedPIDs(m.Processes) {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+				pid, quote(m.Processes[pid]))
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_sort_index","args":{"sort_index":%d}}`,
+				pid, pid)
+		}
+	} else {
+		sep()
+		bw.WriteString(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"limscan"}}`)
+	}
+	for i := range m.Tracks {
+		t := &m.Tracks[i]
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			pidOf(t), t.TID, quote(t.Name))
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+			pidOf(t), t.TID, t.TID)
+	}
+	for i := range m.Tracks {
+		t := &m.Tracks[i]
+		for j := range t.Spans {
+			sp := &t.Spans[j]
 			sep()
 			// ts/dur are microseconds; fractional keeps sub-µs spans.
-			fmt.Fprintf(bw, `{"ph":"X","pid":1,"tid":%d,"cat":%s,"name":%s,"ts":%s,"dur":%s`,
-				t.TID, quote(sp.Cat), quote(sp.Name), micros(sp.Start), micros(sp.Dur))
+			fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"cat":%s,"name":%s,"ts":%s,"dur":%s`,
+				pidOf(t), t.TID, quote(sp.Cat), quote(sp.Name), micros(sp.Start), micros(sp.Dur))
 			if sp.Args[0].K != "" {
 				bw.WriteString(`,"args":{`)
 				fmt.Fprintf(bw, `%s:%d`, quote(sp.Args[0].K), sp.Args[0].V)
@@ -80,14 +104,24 @@ func (m *Model) WriteJSON(w io.Writer) error {
 			// The cap is never silent: a bounded trace announces what it
 			// dropped as an instant event at the end of the track.
 			sep()
-			fmt.Fprintf(bw, `{"ph":"i","pid":1,"tid":%d,"s":"t","name":"spans_dropped","args":{"dropped":%d}}`,
-				t.TID, t.Dropped)
+			fmt.Fprintf(bw, `{"ph":"i","pid":%d,"tid":%d,"s":"t","name":"spans_dropped","args":{"dropped":%d}}`,
+				pidOf(t), t.TID, t.Dropped)
 		}
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// sortedPIDs returns the process IDs in ascending order.
+func sortedPIDs(procs map[int]string) []int {
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	return pids
 }
 
 func writeEmpty(w io.Writer) error {

@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDrainSegmentIncremental pins the drain-cursor contract: each
+// drain ships exactly the spans recorded since the previous one, and a
+// drained recorder ships nothing.
+func TestDrainSegmentIncremental(t *testing.T) {
+	r := New()
+	w := r.Track(WorkerExecTrack)
+	for i := 0; i < 3; i++ {
+		w.Add(CatDispatch, "u", time.Duration(i), 1)
+	}
+	seg := r.DrainSegment()
+	if len(seg.Tracks) != 1 || len(seg.Tracks[0].Spans) != 3 {
+		t.Fatalf("first drain: %+v", seg)
+	}
+	if seg.Tracks[0].Name != WorkerExecTrack {
+		t.Errorf("track name lost: %q", seg.Tracks[0].Name)
+	}
+	w.Add(CatDispatch, "u", 10, 1)
+	w.Add(CatDispatch, "u", 11, 1)
+	seg = r.DrainSegment()
+	if len(seg.Tracks) != 1 || len(seg.Tracks[0].Spans) != 2 {
+		t.Fatalf("second drain: %+v", seg)
+	}
+	if got := seg.Tracks[0].Spans[0].StartNS; got != 10 {
+		t.Errorf("second drain starts at old span: start_ns %d", got)
+	}
+	if seg = r.DrainSegment(); !seg.Empty() {
+		t.Fatalf("drained recorder shipped again: %+v", seg)
+	}
+	// MainTrack exists but never recorded: it must not produce an empty
+	// track entry.
+	for _, st := range seg.Tracks {
+		if st.Name == MainTrack {
+			t.Error("empty main track shipped")
+		}
+	}
+}
+
+// TestDrainSegmentShipsDropDeltas: cap-dropped spans are reported once,
+// as deltas, never re-shipped.
+func TestDrainSegmentShipsDropDeltas(t *testing.T) {
+	r := New()
+	r.SetMaxSpans(2)
+	w := r.Track(WorkerExecTrack)
+	for i := 0; i < 5; i++ {
+		w.Add(CatDispatch, "u", time.Duration(i), 1)
+	}
+	seg := r.DrainSegment()
+	if seg.Tracks[0].Dropped != 3 {
+		t.Fatalf("first drain dropped = %d, want 3", seg.Tracks[0].Dropped)
+	}
+	w.Add(CatDispatch, "u", 9, 1) // dropped too (cap already hit)
+	seg = r.DrainSegment()
+	if len(seg.Tracks) != 1 || seg.Tracks[0].Dropped != 1 || len(seg.Tracks[0].Spans) != 0 {
+		t.Fatalf("drop delta: %+v", seg)
+	}
+}
+
+func TestNilRecorderDrainsEmpty(t *testing.T) {
+	var r *Recorder
+	if seg := r.DrainSegment(); !seg.Empty() {
+		t.Fatalf("nil recorder drained spans: %+v", seg)
+	}
+}
+
+// TestFleetStitchRoundTrip is the tentpole contract end to end in
+// miniature: a worker records, drains, ships; the fleet clock-aligns
+// and stitches; the export is a multi-process trace that survives
+// Parse with process identity, PIDs, and the offset applied.
+func TestFleetStitchRoundTrip(t *testing.T) {
+	f := NewFleet()
+	// Coordinator-side spans: one acked unit on w1's dispatch lane.
+	f.Coord().Track(DispatchTrackPrefix+"w1").Add(
+		CatDispatch, SpanUnit, 5*time.Millisecond, 2*time.Millisecond,
+		KV{K: "epoch", V: 1})
+
+	// Worker w1's clock reads 0 when the coordinator's reads +10ms.
+	f.SetOffset("w1", 10*time.Millisecond)
+	wr := New()
+	wr.Track(WorkerExecTrack).Add(CatDispatch, "job1/s1.i0.d0.0",
+		1*time.Millisecond, 3*time.Millisecond, KV{K: "epoch", V: 1})
+	f.AddSegment("w1", "job1", wr.DrainSegment())
+
+	m := f.Model()
+	if m.Processes[1] != "coordinator" || m.Processes[2] != "worker w1" {
+		t.Fatalf("process table: %+v", m.Processes)
+	}
+	var exec *ModelTrack
+	for i := range m.Tracks {
+		if m.Tracks[i].Name == WorkerExecTrack && m.Tracks[i].PID == 2 {
+			exec = &m.Tracks[i]
+		}
+	}
+	if exec == nil || len(exec.Spans) != 1 {
+		t.Fatalf("worker exec track not stitched: %+v", m.Tracks)
+	}
+	if got := exec.Spans[0].Start; got != 11*time.Millisecond {
+		t.Errorf("clock offset not applied: start %v, want 11ms", got)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("fleet export does not re-parse: %v\n%s", err, buf.String())
+	}
+	if len(rt.Processes) != 2 {
+		t.Fatalf("processes lost in round trip: %+v", rt.Processes)
+	}
+	names := map[string]bool{}
+	for _, n := range rt.Processes {
+		names[n] = true
+	}
+	if !names["coordinator"] || !names["worker w1"] {
+		t.Fatalf("process names lost: %+v", rt.Processes)
+	}
+	found := false
+	for i := range rt.Tracks {
+		tr := &rt.Tracks[i]
+		if tr.Name == WorkerExecTrack && len(tr.Spans) == 1 {
+			found = true
+			if ep, ok := tr.Spans[0].Arg("epoch"); !ok || ep != 1 {
+				t.Errorf("epoch arg lost: %v %v", ep, ok)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("worker exec span lost in round trip: %+v", rt.Tracks)
+	}
+}
+
+// TestFleetRegisteredWorkerAppearsBeforeSpans: clock contact alone
+// creates the process group — a freshly registered worker is visible in
+// the stitched trace before it completes anything.
+func TestFleetRegisteredWorkerAppearsBeforeSpans(t *testing.T) {
+	f := NewFleet()
+	f.SetOffset("idle-worker", 0)
+	m := f.Model()
+	if m.Processes[2] != "worker idle-worker" {
+		t.Fatalf("registered worker missing from process table: %+v", m.Processes)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"worker idle-worker"`) {
+		t.Error("export omits the idle worker's process_name metadata")
+	}
+}
+
+// TestFleetJobModelFilters: a shared coordinator's per-job trace view
+// carries only that job's worker spans.
+func TestFleetJobModelFilters(t *testing.T) {
+	f := NewFleet()
+	wr := New()
+	wr.Track(WorkerExecTrack).Add(CatDispatch, "jobA/s1.i0.d0.0", 0, 1)
+	f.AddSegment("w1", "jobA", wr.DrainSegment())
+	wr.Track(WorkerExecTrack).Add(CatDispatch, "jobB/s1.i0.d0.0", 2, 1)
+	f.AddSegment("w1", "jobB", wr.DrainSegment())
+
+	m := f.JobModel("jobA", nil)
+	total := 0
+	for i := range m.Tracks {
+		if m.Tracks[i].PID >= 2 {
+			for _, sp := range m.Tracks[i].Spans {
+				total++
+				if !strings.HasPrefix(sp.Name, "jobA/") {
+					t.Errorf("foreign span in jobA view: %+v", sp)
+				}
+			}
+		}
+	}
+	if total != 1 {
+		t.Fatalf("jobA view has %d worker spans, want 1", total)
+	}
+}
+
+// fleetModel hand-builds a stitched model with known per-worker busy
+// structure for the diagnoser tests.
+func fleetModel(busy map[string]time.Duration, units, expiries int, merge, wall time.Duration) *Model {
+	m := &Model{Processes: map[int]string{1: "coordinator"}}
+	coord := ModelTrack{Name: MainTrack, PID: 1, TID: 0}
+	if wall > 0 {
+		coord.Spans = append(coord.Spans, Span{Name: "campaign", Cat: CatPhase, Start: 0, Dur: wall})
+	}
+	if merge > 0 {
+		coord.Spans = append(coord.Spans, Span{Name: SpanMerge, Cat: CatMerge, Start: 0, Dur: merge})
+	}
+	m.Tracks = append(m.Tracks, coord)
+	lane := ModelTrack{Name: DispatchTrackPrefix + "w", PID: 1, TID: 1}
+	for i := 0; i < units; i++ {
+		lane.Spans = append(lane.Spans, Span{Name: SpanUnit, Cat: CatDispatch, Start: 0, Dur: time.Millisecond})
+	}
+	for i := 0; i < expiries; i++ {
+		lane.Spans = append(lane.Spans, Span{Name: SpanLeaseExpired, Cat: CatDispatch, Start: 0, Dur: time.Millisecond})
+	}
+	m.Tracks = append(m.Tracks, lane)
+	pid := 2
+	for _, id := range sortedKeys(busy) {
+		m.Processes[pid] = "worker " + id
+		m.Tracks = append(m.Tracks, ModelTrack{
+			Name: WorkerExecTrack, PID: pid, TID: 0,
+			Spans: []Span{{Name: "u", Cat: CatDispatch, Start: 0, Dur: busy[id]}},
+		})
+		pid++
+	}
+	return m
+}
+
+func sortedKeys(m map[string]time.Duration) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	for i := range ks {
+		for j := i + 1; j < len(ks); j++ {
+			if ks[j] < ks[i] {
+				ks[i], ks[j] = ks[j], ks[i]
+			}
+		}
+	}
+	return ks
+}
+
+func TestAnalyzeFleetStraggler(t *testing.T) {
+	m := fleetModel(map[string]time.Duration{
+		"fast": 2 * time.Millisecond, "slow": 9 * time.Millisecond,
+	}, 8, 0, 0, 10*time.Millisecond)
+	a := AnalyzeFleet(m)
+	if len(a.Workers) != 2 || a.Units != 8 {
+		t.Fatalf("counts: %+v", a)
+	}
+	if !strings.Contains(a.Diagnosis, "straggler worker slow") {
+		t.Errorf("diagnosis misses the straggler: %q", a.Diagnosis)
+	}
+}
+
+func TestAnalyzeFleetReassignmentStorm(t *testing.T) {
+	m := fleetModel(map[string]time.Duration{
+		"w1": 5 * time.Millisecond, "w2": 5 * time.Millisecond,
+	}, 4, 6, 0, 10*time.Millisecond)
+	a := AnalyzeFleet(m)
+	if a.Expiries != 6 {
+		t.Fatalf("expiries = %d, want 6", a.Expiries)
+	}
+	if !strings.Contains(a.Diagnosis, "reassignment storm") {
+		t.Errorf("diagnosis misses the churn: %q", a.Diagnosis)
+	}
+}
+
+func TestAnalyzeFleetMergeStall(t *testing.T) {
+	m := fleetModel(map[string]time.Duration{
+		"w1": 3 * time.Millisecond, "w2": 3 * time.Millisecond,
+	}, 8, 0, 4*time.Millisecond, 10*time.Millisecond)
+	a := AnalyzeFleet(m)
+	if !strings.Contains(a.Diagnosis, "coordinator merge stall") {
+		t.Errorf("diagnosis misses the merge stall: %q", a.Diagnosis)
+	}
+}
+
+func TestAnalyzeFleetUndersized(t *testing.T) {
+	m := fleetModel(map[string]time.Duration{
+		"w1": 9 * time.Millisecond, "w2": 9 * time.Millisecond,
+	}, 8, 0, 0, 10*time.Millisecond)
+	a := AnalyzeFleet(m)
+	if !strings.Contains(a.Diagnosis, "undersized fleet") {
+		t.Errorf("diagnosis misses saturation: %q", a.Diagnosis)
+	}
+}
+
+// TestAnalyzeFleetDegenerate: single-process and empty models must
+// produce a verdict, never a panic, NaN, or division by zero.
+func TestAnalyzeFleetDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    *Model
+	}{
+		{"empty", &Model{}},
+		{"single-process", syntheticModel()},
+		{"worker-only", &Model{
+			Processes: map[int]string{2: "worker w1"},
+			Tracks: []ModelTrack{{Name: WorkerExecTrack, PID: 2,
+				Spans: []Span{{Name: "u", Cat: CatDispatch, Start: 0, Dur: time.Millisecond}}}},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := AnalyzeFleet(tc.m)
+			if a.Diagnosis == "" {
+				t.Error("no diagnosis")
+			}
+			for _, v := range []float64{a.WallSeconds, a.MergeSeconds} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("non-finite number in analysis: %+v", a)
+				}
+			}
+			for _, ws := range a.Workers {
+				if math.IsNaN(ws.Utilization) || math.IsInf(ws.Utilization, 0) {
+					t.Errorf("non-finite utilization: %+v", ws)
+				}
+			}
+			var buf bytes.Buffer
+			a.WriteReport(&buf) // must not panic
+			if buf.Len() == 0 {
+				t.Error("empty report")
+			}
+		})
+	}
+}

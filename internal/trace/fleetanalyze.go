@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The fleet diagnoser: the distributed sibling of Analyze. Where
+// Analyze decomposes one process's span timeline into Amdahl terms,
+// AnalyzeFleet reads a stitched multi-process trace — coordinator
+// tracks plus one process group per worker — and names the dominant
+// limiter of the *fleet*: a straggler worker, a reassignment storm
+// (lease churn), a coordinator-side merge stall, or a fleet too small
+// for its unit stream.
+
+// FleetWorkerStat is one worker process's accounting.
+type FleetWorkerStat struct {
+	Name string `json:"name"`
+	// Units is the number of exec spans (leased units attempted).
+	Units int `json:"units"`
+	// BusySeconds is total exec-span time; Utilization is busy over the
+	// fleet's wall time.
+	BusySeconds float64 `json:"busy_seconds"`
+	Utilization float64 `json:"utilization"`
+}
+
+// FleetAnalysis is the diagnosis of one stitched fleet trace.
+type FleetAnalysis struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	// Units counts coordinator-acknowledged units (CatDispatch spans on
+	// the coordinator's dispatch tracks); Expiries counts reaped leases.
+	Units    int `json:"units"`
+	Expiries int `json:"expiries"`
+	// MergeSeconds is coordinator-side merge time (CatMerge spans).
+	MergeSeconds float64 `json:"merge_seconds"`
+
+	Workers []FleetWorkerStat `json:"workers,omitempty"`
+
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+
+	// Diagnosis is the one-line verdict naming the dominant fleet
+	// limiter.
+	Diagnosis string `json:"diagnosis"`
+}
+
+// AnalyzeFleet computes the fleet diagnosis of a stitched multi-process
+// trace (Fleet.Model or a parsed fleet trace file). It also accepts a
+// single-process model — the worker list will be empty and the verdict
+// says so rather than dividing by anything.
+func AnalyzeFleet(m *Model) *FleetAnalysis {
+	a := &FleetAnalysis{}
+	var wall float64
+	for i := range m.Tracks {
+		t := &m.Tracks[i]
+		a.DroppedSpans += t.Dropped
+		for j := range t.Spans {
+			if e := t.Spans[j].End().Seconds(); e > wall {
+				wall = e
+			}
+		}
+	}
+	a.WallSeconds = wall
+
+	// Which pids are worker process groups? In a stitched trace the
+	// coordinator is the process named "coordinator" (or the only
+	// process); workers are the "worker <id>" processes.
+	workerPID := make(map[int]string)
+	for pid, name := range m.Processes {
+		if rest, ok := strings.CutPrefix(name, "worker "); ok {
+			workerPID[pid] = rest
+		}
+	}
+
+	stats := make(map[int]*FleetWorkerStat)
+	for i := range m.Tracks {
+		t := &m.Tracks[i]
+		if id, ok := workerPID[t.PID]; ok {
+			ws := stats[t.PID]
+			if ws == nil {
+				ws = &FleetWorkerStat{Name: id}
+				stats[t.PID] = ws
+			}
+			if t.Name != WorkerExecTrack {
+				continue
+			}
+			for j := range t.Spans {
+				ws.Units++
+				ws.BusySeconds += t.Spans[j].Dur.Seconds()
+			}
+			continue
+		}
+		// Coordinator process: dispatch tracks carry unit acks and
+		// lease expiries; the campaign track carries merges.
+		for j := range t.Spans {
+			sp := &t.Spans[j]
+			switch {
+			case sp.Cat == CatDispatch && sp.Name == SpanUnit:
+				a.Units++
+			case sp.Cat == CatDispatch && sp.Name == SpanLeaseExpired:
+				a.Expiries++
+			case sp.Cat == CatMerge:
+				a.MergeSeconds += sp.Dur.Seconds()
+			}
+		}
+	}
+	for _, ws := range stats {
+		if a.WallSeconds > 0 {
+			ws.Utilization = ws.BusySeconds / a.WallSeconds
+		}
+		a.Workers = append(a.Workers, *ws)
+	}
+	sort.Slice(a.Workers, func(i, j int) bool { return a.Workers[i].Name < a.Workers[j].Name })
+	a.Diagnosis = a.diagnose()
+	return a
+}
+
+// diagnose names the dominant fleet limiter with ordered heuristics:
+// hard structural problems (no workers, lease churn) outrank soft ones
+// (imbalance, saturation).
+func (a *FleetAnalysis) diagnose() string {
+	if len(a.Workers) == 0 {
+		return "dominant limiter: undersized fleet — no worker process groups in trace (all units ran on the coordinator's local fallback)"
+	}
+	storm := a.Units / 4
+	if storm < 2 {
+		storm = 2
+	}
+	if a.Expiries >= storm {
+		return fmt.Sprintf("dominant limiter: reassignment storm — %d lease expiries against %d completed units (shrink units or raise the lease TTL)",
+			a.Expiries, a.Units)
+	}
+	var busySum, busyMax float64
+	slowest := ""
+	minUtil := 1.0
+	for _, ws := range a.Workers {
+		busySum += ws.BusySeconds
+		if ws.BusySeconds > busyMax {
+			busyMax = ws.BusySeconds
+			slowest = ws.Name
+		}
+		if ws.Utilization < minUtil {
+			minUtil = ws.Utilization
+		}
+	}
+	mean := busySum / float64(len(a.Workers))
+	if len(a.Workers) >= 2 && mean > 0 && busyMax >= 1.5*mean {
+		return fmt.Sprintf("dominant limiter: straggler worker %s — %.3fs busy vs %.3fs fleet mean (rebalance units or replace the worker)",
+			slowest, busyMax, mean)
+	}
+	if a.WallSeconds > 0 && a.MergeSeconds > 0.25*a.WallSeconds {
+		return fmt.Sprintf("dominant limiter: coordinator merge stall — %.3fs merging out of %.3fs wall (workers outpace the ordered merge)",
+			a.MergeSeconds, a.WallSeconds)
+	}
+	if minUtil >= 0.8 {
+		return fmt.Sprintf("dominant limiter: undersized fleet — every worker >= %.0f%% busy for the whole run (add workers)",
+			minUtil*100)
+	}
+	return fmt.Sprintf("fleet balanced: %d workers, %d units, no straggler, churn, or merge stall dominates", len(a.Workers), a.Units)
+}
+
+// WriteReport prints the one-screen human fleet diagnosis.
+func (a *FleetAnalysis) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "fleet trace: %.3fs wall, %d units acked, %d lease expiries, %d workers\n",
+		a.WallSeconds, a.Units, a.Expiries, len(a.Workers))
+	if a.DroppedSpans > 0 {
+		fmt.Fprintf(w, "WARNING: %d spans dropped at the per-track cap; totals undercount\n", a.DroppedSpans)
+	}
+	if len(a.Workers) > 0 {
+		fmt.Fprintf(w, "per-worker:\n")
+		fmt.Fprintf(w, "  %-16s %8s %10s %6s\n", "worker", "units", "busy", "util")
+		for _, ws := range a.Workers {
+			fmt.Fprintf(w, "  %-16s %8d %9.3fs %5.0f%%\n",
+				ws.Name, ws.Units, ws.BusySeconds, ws.Utilization*100)
+		}
+	}
+	if a.MergeSeconds > 0 {
+		fmt.Fprintf(w, "coordinator merge: %.3fs\n", a.MergeSeconds)
+	}
+	fmt.Fprintf(w, "%s\n", a.Diagnosis)
+}

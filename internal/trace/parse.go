@@ -26,17 +26,23 @@ func (s *Span) Arg(key string) (int64, bool) {
 	return 0, false
 }
 
-// ModelTrack is one named track with its spans in recorded order.
+// ModelTrack is one named track with its spans in recorded order. PID
+// is meaningful only in a multi-process (fleet) model; single-process
+// models leave it zero and the exporter renders everything as pid 1.
 type ModelTrack struct {
 	Name    string
+	PID     int
 	TID     int
 	Dropped int
 	Spans   []Span
 }
 
-// Model is a whole trace.
+// Model is a whole trace. Processes maps pid → process name; nil for a
+// single-process trace (the legacy layout), non-nil for a stitched
+// fleet trace with one process group per worker.
 type Model struct {
-	Tracks []ModelTrack
+	Tracks    []ModelTrack
+	Processes map[int]string
 }
 
 // Track returns the named track, or nil.
@@ -53,6 +59,7 @@ func (m *Model) Track(name string) *ModelTrack {
 // package emits are read; foreign traces with extra fields still parse.
 type fileEvent struct {
 	Ph   string          `json:"ph"`
+	PID  int             `json:"pid"`
 	TID  int             `json:"tid"`
 	Name string          `json:"name"`
 	Cat  string          `json:"cat"`
@@ -91,18 +98,25 @@ func Parse(data []byte) (*Model, error) {
 		return nil, fmt.Errorf("neither a trace-event object nor array: %w", err)
 	}
 
-	byTID := make(map[int]*ModelTrack)
-	var order []int
-	track := func(tid int) *ModelTrack {
-		if t, ok := byTID[tid]; ok {
+	// Tracks are keyed by (pid, tid): a stitched fleet trace reuses tid
+	// numbers across worker process groups.
+	type key struct{ pid, tid int }
+	byKey := make(map[key]*ModelTrack)
+	var order []key
+	procNames := make(map[int]string)
+	pids := make(map[int]bool)
+	track := func(pid, tid int) *ModelTrack {
+		k := key{pid, tid}
+		if t, ok := byKey[k]; ok {
 			return t
 		}
-		t := &ModelTrack{Name: fmt.Sprintf("tid %d", tid), TID: tid}
-		byTID[tid] = t
-		order = append(order, tid)
+		t := &ModelTrack{Name: fmt.Sprintf("tid %d", tid), PID: pid, TID: tid}
+		byKey[k] = t
+		order = append(order, k)
 		return t
 	}
 	for _, e := range events {
+		pids[e.PID] = true
 		switch e.Ph {
 		case "M":
 			if e.Name == "thread_name" {
@@ -110,7 +124,15 @@ func Parse(data []byte) (*Model, error) {
 					Name string `json:"name"`
 				}
 				if json.Unmarshal(e.Args, &args) == nil && args.Name != "" {
-					track(e.TID).Name = args.Name
+					track(e.PID, e.TID).Name = args.Name
+				}
+			}
+			if e.Name == "process_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				if json.Unmarshal(e.Args, &args) == nil && args.Name != "" {
+					procNames[e.PID] = args.Name
 				}
 			}
 		case "X":
@@ -141,23 +163,46 @@ func Parse(data []byte) (*Model, error) {
 					}
 				}
 			}
-			track(e.TID).Spans = append(track(e.TID).Spans, sp)
+			t := track(e.PID, e.TID)
+			t.Spans = append(t.Spans, sp)
 		case "i":
 			if e.Name == "spans_dropped" {
 				var args struct {
 					Dropped int `json:"dropped"`
 				}
 				if json.Unmarshal(e.Args, &args) == nil {
-					track(e.TID).Dropped += args.Dropped
+					track(e.PID, e.TID).Dropped += args.Dropped
 				}
 			}
 		}
 	}
 
 	m := &Model{}
-	sort.Ints(order)
-	for _, tid := range order {
-		m.Tracks = append(m.Tracks, *byTID[tid])
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].pid != order[j].pid {
+			return order[i].pid < order[j].pid
+		}
+		return order[i].tid < order[j].tid
+	})
+	for _, k := range order {
+		m.Tracks = append(m.Tracks, *byKey[k])
+	}
+	if len(pids) > 1 {
+		// Multi-process (fleet) trace: surface the process map. A
+		// single-pid file stays a legacy model — PIDs zeroed so the
+		// analyzer and re-export treat it exactly as before.
+		m.Processes = make(map[int]string)
+		for pid := range pids {
+			name, ok := procNames[pid]
+			if !ok {
+				name = fmt.Sprintf("pid %d", pid)
+			}
+			m.Processes[pid] = name
+		}
+	} else {
+		for i := range m.Tracks {
+			m.Tracks[i].PID = 0
+		}
 	}
 	return m, nil
 }

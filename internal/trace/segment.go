@@ -1,0 +1,326 @@
+// Segment shipping and fleet stitching: the cross-process half of the
+// tracing layer.
+//
+// A distributed campaign runs spans in many processes. Each limsworker
+// records on its own Recorder exactly as a local run would, and with
+// every result submission drains the spans recorded since the last
+// drain into a Segment — a small JSON-serializable increment — which
+// rides the existing dispatch protocol back to the coordinator. The
+// coordinator holds a Fleet: the coordinator's own Recorder plus one
+// buffered process group per worker, clock-aligned by the offset
+// sampled at register/heartbeat (see DESIGN.md §9), and renders the
+// whole thing as one multi-process Perfetto trace.
+//
+// Nothing here touches the recording hot path: draining snapshots the
+// published spans exactly like a mid-run /trace download does, and the
+// fleet's maps are guarded by one mutex touched only at segment-arrival
+// rate (per unit, not per event).
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// SegmentSpan is one span on the wire. Times stay in nanoseconds on the
+// *worker's* trace clock; the coordinator applies the clock offset when
+// it stitches.
+type SegmentSpan struct {
+	Name    string `json:"name"`
+	Cat     string `json:"cat"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Args    []KV   `json:"args,omitempty"`
+}
+
+// SegmentTrack is the increment of one named track.
+type SegmentTrack struct {
+	Name    string        `json:"name"`
+	Dropped int64         `json:"dropped,omitempty"` // drop-count delta since the last drain
+	Spans   []SegmentSpan `json:"spans,omitempty"`
+}
+
+// Segment is everything a recorder produced since its last drain.
+type Segment struct {
+	Tracks []SegmentTrack `json:"tracks,omitempty"`
+}
+
+// Empty reports whether the segment carries nothing worth shipping.
+func (s *Segment) Empty() bool {
+	return s == nil || len(s.Tracks) == 0
+}
+
+// DrainSegment returns the spans (and cap-drop counts) recorded since
+// the previous DrainSegment call, advancing the drain cursor. Tracks
+// with nothing new are omitted; a recorder with nothing new anywhere
+// returns an empty segment. Nil-safe. Draining is safe concurrently
+// with recording — it reads only the atomically published prefix — but
+// two concurrent drains serialize on a per-track mutex so every span is
+// shipped exactly once.
+func (r *Recorder) DrainSegment() Segment {
+	if r == nil {
+		return Segment{}
+	}
+	var seg Segment
+	for _, t := range r.tracks() {
+		t.drainMu.Lock()
+		spans := t.snapshotSpans()
+		fresh := spans[t.drained:]
+		drops := t.dropped.Load() - t.drainedDrops
+		t.drained = len(spans)
+		t.drainedDrops += drops
+		t.drainMu.Unlock()
+		if len(fresh) == 0 && drops == 0 {
+			continue
+		}
+		st := SegmentTrack{Name: t.name, Dropped: drops}
+		for _, sp := range fresh {
+			ss := SegmentSpan{
+				Name:    sp.Name,
+				Cat:     sp.Cat,
+				StartNS: int64(sp.Start),
+				DurNS:   int64(sp.Dur),
+			}
+			for _, kv := range sp.Args {
+				if kv.K != "" {
+					ss.Args = append(ss.Args, kv)
+				}
+			}
+			st.Spans = append(st.Spans, ss)
+		}
+		seg.Tracks = append(seg.Tracks, st)
+	}
+	return seg
+}
+
+// fleetTrack buffers one worker track's stitched spans. jobs runs
+// parallel to spans: the job ID each span arrived under, so a per-job
+// view (/trace/{id} on a shared coordinator) can filter.
+type fleetTrack struct {
+	name    string
+	dropped int64
+	spans   []Span
+	jobs    []string
+}
+
+// fleetWorker is one worker process group in the stitched trace.
+type fleetWorker struct {
+	pid    int
+	offset time.Duration // coordinator clock − worker clock
+	tracks map[string]*fleetTrack
+	order  []string
+}
+
+// Fleet stitches the coordinator's recorder and per-worker span
+// segments into one multi-process trace model. All methods are
+// nil-safe and safe for concurrent use.
+type Fleet struct {
+	coord    *Recorder
+	maxSpans int
+
+	mu      sync.Mutex
+	workers map[string]*fleetWorker
+	order   []string
+}
+
+// NewFleet returns a Fleet whose coordinator recorder starts now.
+// The coordinator is process 1 in the export (matching the
+// single-process trace layout); workers become processes 2, 3, ... in
+// first-contact order.
+func NewFleet() *Fleet {
+	return &Fleet{
+		coord:    New(),
+		maxSpans: DefaultMaxSpans,
+		workers:  make(map[string]*fleetWorker),
+	}
+}
+
+// Coord returns the coordinator-side recorder (lease/reap/merge events
+// land here). Never nil on a non-nil fleet.
+func (f *Fleet) Coord() *Recorder {
+	if f == nil {
+		return nil
+	}
+	return f.coord
+}
+
+// worker returns the named worker's process group, creating it on
+// first contact. Caller holds f.mu.
+func (f *Fleet) worker(id string) *fleetWorker {
+	w, ok := f.workers[id]
+	if !ok {
+		w = &fleetWorker{
+			pid:    2 + len(f.order),
+			tracks: make(map[string]*fleetTrack),
+		}
+		f.workers[id] = w
+		f.order = append(f.order, id)
+	}
+	return w
+}
+
+// SetOffset records the clock offset (coordinator trace clock − worker
+// trace clock) for a worker, creating its process group if this is
+// first contact — so a registered worker appears in the fleet trace
+// even before it ships a span. Later samples overwrite earlier ones:
+// each is bounded by that exchange's RTT, and refreshing keeps drift
+// bounded too.
+func (f *Fleet) SetOffset(workerID string, offset time.Duration) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.worker(workerID).offset = offset
+	f.mu.Unlock()
+}
+
+// Offset returns the current clock offset recorded for a worker.
+func (f *Fleet) Offset(workerID string) time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w, ok := f.workers[workerID]; ok {
+		return w.offset
+	}
+	return 0
+}
+
+// AddSegment stitches one worker segment into the fleet under the
+// given job ID, shifting span starts by the worker's current clock
+// offset onto the coordinator timeline. Buffering honors the same
+// per-track span cap as a recorder: past the cap spans count as
+// dropped.
+func (f *Fleet) AddSegment(workerID, jobID string, seg Segment) {
+	if f == nil || seg.Empty() {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := f.worker(workerID)
+	for _, st := range seg.Tracks {
+		ft, ok := w.tracks[st.Name]
+		if !ok {
+			ft = &fleetTrack{name: st.Name}
+			w.tracks[st.Name] = ft
+			w.order = append(w.order, st.Name)
+		}
+		ft.dropped += st.Dropped
+		for _, ss := range st.Spans {
+			if len(ft.spans) >= f.maxSpans {
+				ft.dropped++
+				continue
+			}
+			sp := Span{
+				Name:  ss.Name,
+				Cat:   ss.Cat,
+				Start: time.Duration(ss.StartNS) + w.offset,
+				Dur:   time.Duration(ss.DurNS),
+			}
+			for i := 0; i < len(ss.Args) && i < 2; i++ {
+				sp.Args[i] = ss.Args[i]
+			}
+			ft.spans = append(ft.spans, sp)
+			ft.jobs = append(ft.jobs, jobID)
+		}
+	}
+}
+
+// Workers returns the worker IDs in first-contact order.
+func (f *Fleet) Workers() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// Model renders the whole fleet — coordinator tracks as process 1 plus
+// one process group per worker — as a multi-process trace model.
+func (f *Fleet) Model() *Model {
+	if f == nil {
+		return &Model{}
+	}
+	m := f.coord.Model()
+	m.Processes = map[int]string{1: "coordinator"}
+	for i := range m.Tracks {
+		m.Tracks[i].PID = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tid := 0
+	for _, id := range f.order {
+		w := f.workers[id]
+		m.Processes[w.pid] = "worker " + id
+		for _, name := range w.order {
+			ft := w.tracks[name]
+			spans := make([]Span, len(ft.spans))
+			copy(spans, ft.spans)
+			m.Tracks = append(m.Tracks, ModelTrack{
+				Name:    ft.name,
+				PID:     w.pid,
+				TID:     tid,
+				Dropped: int(ft.dropped),
+				Spans:   spans,
+			})
+			tid++
+		}
+		if len(w.order) == 0 {
+			// A worker that registered but never shipped a span still
+			// gets a (empty) process group: the smoke's "one process
+			// group per live worker" check counts presence, not spans.
+			m.Tracks = append(m.Tracks, ModelTrack{
+				Name: WorkerExecTrack,
+				PID:  w.pid,
+				TID:  tid,
+			})
+			tid++
+		}
+	}
+	return m
+}
+
+// JobModel renders one job's view of the fleet: the job's own recorder
+// as the coordinator process plus only those worker spans that arrived
+// under this job ID. rec may be nil (worker spans only).
+func (f *Fleet) JobModel(jobID string, rec *Recorder) *Model {
+	if f == nil {
+		return rec.Model()
+	}
+	m := rec.Model()
+	m.Processes = map[int]string{1: "coordinator"}
+	for i := range m.Tracks {
+		m.Tracks[i].PID = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tid := 0
+	for _, id := range f.order {
+		w := f.workers[id]
+		for _, name := range w.order {
+			ft := w.tracks[name]
+			var spans []Span
+			for i, sp := range ft.spans {
+				if ft.jobs[i] == jobID {
+					spans = append(spans, sp)
+				}
+			}
+			if len(spans) == 0 {
+				continue
+			}
+			m.Processes[w.pid] = "worker " + id
+			m.Tracks = append(m.Tracks, ModelTrack{
+				Name:  ft.name,
+				PID:   w.pid,
+				TID:   tid,
+				Spans: spans,
+			})
+			tid++
+		}
+	}
+	return m
+}

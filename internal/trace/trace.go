@@ -64,13 +64,28 @@ const (
 	SpanMerge      = "merge"
 	SpanCheckpoint = "checkpoint_write"
 	SpanUnit       = "dispatch_unit"
+
+	// WorkerExecTrack / WorkerControlTrack name the two tracks a
+	// limsworker process records on: exec carries one span per leased
+	// unit (named by unit key, epoch in the args), control carries
+	// heartbeat round-trips. They ship to the coordinator as segments
+	// and reappear under the worker's process group in the fleet trace.
+	WorkerExecTrack    = "exec"
+	WorkerControlTrack = "control"
+	// SpanLeaseExpired marks a coordinator-side reap of a worker's
+	// lease on that worker's dispatch track: the span covers the whole
+	// lease the worker lost, so abandoned attempts are visible next to
+	// the reassigned ones.
+	SpanLeaseExpired = "lease_expired"
 )
 
 // KV is one integer span argument (batch index, fault count, bytes...).
-// Fixed-size and inline in Span so a span never allocates.
+// Fixed-size and inline in Span so a span never allocates. The json
+// tags serve the segment wire form (segment.go); the Perfetto export
+// does not use them.
 type KV struct {
-	K string
-	V int64
+	K string `json:"k"`
+	V int64  `json:"v"`
 }
 
 // Span is one completed timed operation. Start is relative to the
@@ -114,6 +129,14 @@ type Track struct {
 	cur     *chunk
 	total   atomic.Int64 // published spans across all chunks
 	dropped atomic.Int64
+
+	// Drain cursor (segment shipping): how many spans and drops have
+	// already been handed out by DrainSegment. Guarded by drainMu so
+	// concurrent drains (result submission racing the final flush)
+	// never double-ship a span.
+	drainMu      sync.Mutex
+	drained      int
+	drainedDrops int64
 }
 
 // Recorder owns the trace: the time base and the track set.

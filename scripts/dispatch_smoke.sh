@@ -10,7 +10,11 @@
 #      merge must leave no fingerprint of worker count or crashes),
 #   3. the ledger record to carry dispatch stats showing both workers
 #      joined and the crash observed (an expired lease or a lost worker),
-#   4. the surviving worker and the daemon to exit 0 on SIGTERM.
+#   4. the stitched fleet trace to be downloadable mid-run with one
+#      process group per worker that has made contact, to still parse
+#      after the campaign (perf fleet renders a verdict from it), and
+#      the dispatch latency histograms to ride /metrics,
+#   5. the surviving worker and the daemon to exit 0 on SIGTERM.
 #
 # Every wait polls the daemon's API, a worker log line, or an on-disk
 # artifact; there are no blind sleeps.
@@ -38,6 +42,7 @@ fi
 $GO build -o "$tmp/limscand" ./cmd/limscand
 $GO build -o "$tmp/limsworker" ./cmd/limsworker
 $GO build -o "$tmp/limscan" ./cmd/limscan
+$GO build -o "$tmp/perf" ./cmd/perf
 
 # The reference bytes a single uninterrupted process computes.
 "$tmp/limscan" -circuit s298 -la 10 -lb 5 -n 2 -seed 5 >"$tmp/cli.out" 2>/dev/null
@@ -154,6 +159,21 @@ while [ "$expired" -eq 0 ]; do
         exit 1
     fi
 done
+
+# Mid-run fleet observability, with worker 1 still frozen and the
+# campaign outstanding: the stitched multi-process trace must download
+# and carry one process group (a process_name metadata event) for the
+# coordinator and one for worker 1 — clock contact at registration is
+# enough; no completed span is required.
+curl -fs "http://$addr/v1/dispatch/fleet/trace" >"$tmp/fleet_midrun.json"
+groups=$(grep -c '"process_name"' "$tmp/fleet_midrun.json" || true)
+if [ "$groups" -lt 2 ]; then
+    echo "dispatch smoke: mid-run fleet trace has $groups process groups, want >= 2" >&2
+    head -c 2000 "$tmp/fleet_midrun.json" >&2
+    exit 1
+fi
+echo "dispatch smoke: mid-run fleet trace downloaded ($groups process groups)"
+
 kill -9 "$w1"
 wait "$w1" 2>/dev/null || true
 w1=
@@ -206,6 +226,37 @@ if ! grep -q '"expired":' "$tmp/ledger.jsonl"; then
     exit 1
 fi
 echo "dispatch smoke: ledger shows 2 workers joined and the crashed lease reaped"
+
+# Post-run fleet observability: the trace now has three process groups
+# (coordinator, crashed worker 1, worker 2), the per-worker telemetry
+# endpoint answers, perf fleet parses the download and renders its
+# per-worker table plus a verdict, and the dispatch latency histograms
+# appear in the Prometheus exposition.
+curl -fs "http://$addr/v1/dispatch/fleet/trace" >"$tmp/fleet_trace.json"
+groups=$(grep -c '"process_name"' "$tmp/fleet_trace.json" || true)
+if [ "$groups" -ne 3 ]; then
+    echo "dispatch smoke: final fleet trace has $groups process groups, want 3" >&2
+    head -c 2000 "$tmp/fleet_trace.json" >&2
+    exit 1
+fi
+curl -fs "http://$addr/v1/dispatch/fleet" >"$tmp/fleet.json"
+if ! grep -q '"units_done"' "$tmp/fleet.json"; then
+    echo "dispatch smoke: fleet view carries no per-worker telemetry" >&2
+    cat "$tmp/fleet.json" >&2
+    exit 1
+fi
+"$tmp/perf" fleet "$tmp/fleet_trace.json" >"$tmp/fleet_report.txt"
+if ! grep -q "per-worker" "$tmp/fleet_report.txt" ||
+    ! grep -Eq "limiter|balanced" "$tmp/fleet_report.txt"; then
+    echo "dispatch smoke: perf fleet rendered no per-worker verdict" >&2
+    cat "$tmp/fleet_report.txt" >&2
+    exit 1
+fi
+if ! curl -fs "http://$addr/metrics" | grep -q "dispatch_queue_wait_seconds_bucket"; then
+    echo "dispatch smoke: dispatch latency histograms missing from /metrics" >&2
+    exit 1
+fi
+echo "dispatch smoke: fleet trace stitched ($groups process groups), perf fleet verdict rendered, histograms exposed"
 
 kill -TERM "$w2"
 set +e
